@@ -1,0 +1,149 @@
+// Command lbsq-figures regenerates the paper's evaluation figures
+// (Figures 10–15), the latency-reduction table, the hit-ratio
+// analysis-vs-simulation comparison, and the design ablations, printing
+// the series as aligned text tables.
+//
+// Usage:
+//
+//	lbsq-figures [-fig all|10|11|12|13|14|15|latency|analysis|ablation]
+//	             [-side miles] [-hours h] [-step sec] [-seed n]
+//
+// The default scale is a density-preserving 5-mile area simulated for 0.5
+// hours per cell (seconds per figure). Pass -side 20 -hours 10 to run the
+// paper's full configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lbsq/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: all, 10..15, latency, analysis, ablation, calibration, lifetime")
+		side  = flag.Float64("side", 5, "service area side in miles (density-preserving scale of the 20-mile Table 3 area)")
+		hours = flag.Float64("hours", 0.5, "simulated hours per experiment cell")
+		step  = flag.Float64("step", 10, "simulation time step in seconds")
+		seed  = flag.Int64("seed", 42, "random seed")
+		svg   = flag.String("svg", "", "directory to also write figures as SVG plots (created if missing)")
+	)
+	flag.Parse()
+
+	svgDir = *svg
+	opt := experiments.Options{
+		SideMiles:     *side,
+		DurationHours: *hours,
+		TimeStepSec:   *step,
+		Seed:          *seed,
+	}
+
+	start := time.Now()
+	switch *fig {
+	case "all":
+		for _, f := range experiments.Figures(opt) {
+			printFigure(f)
+		}
+		printLatency(opt)
+		printAnalysis(opt)
+		printAblations(opt)
+		printCalibration(opt)
+	case "latency":
+		printLatency(opt)
+	case "analysis":
+		printAnalysis(opt)
+	case "ablation":
+		printAblations(opt)
+	case "calibration":
+		printCalibration(opt)
+	case "lifetime":
+		printLifetime(opt)
+	default:
+		f, err := experiments.ByID(*fig, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		printFigure(f)
+	}
+	fmt.Printf("\ncompleted in %.1fs (side=%.1f mi, %.2f h per cell, seed %d)\n",
+		time.Since(start).Seconds(), *side, *hours, *seed)
+}
+
+var svgDir string
+
+func printFigure(f experiments.Figure) {
+	if _, err := f.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if svgDir == "" {
+		return
+	}
+	if err := os.MkdirAll(svgDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := filepath.Join(svgDir, strings.ToLower(f.ID)+".svg")
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer out.Close()
+	if err := f.Chart().WriteSVG(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n\n", path)
+}
+
+func printLatency(opt experiments.Options) {
+	experiments.WriteLatency(os.Stdout, experiments.LatencyReduction(opt))
+	fmt.Println()
+}
+
+func printAnalysis(opt experiments.Options) {
+	experiments.WriteAnalysis(os.Stdout, experiments.AnalysisVsSim(opt))
+	fmt.Println()
+}
+
+func printCalibration(opt experiments.Options) {
+	experiments.WriteOrdering(os.Stdout, experiments.OrderingAblation(opt))
+	fmt.Println()
+	experiments.WriteCalibration(os.Stdout, "Poisson (lemma assumption)",
+		experiments.CorrectnessCalibration(opt, false, 4000))
+	fmt.Println()
+	experiments.WriteCalibration(os.Stdout, "clustered (assumption violated)",
+		experiments.CorrectnessCalibration(opt, true, 4000))
+	fmt.Println()
+}
+
+func printLifetime(opt experiments.Options) {
+	experiments.WriteLifetime(os.Stdout, experiments.ResultLifetime(opt))
+	fmt.Println()
+}
+
+func printAblations(opt experiments.Options) {
+	fmt.Println("Ablation: cache replacement policy (kNN, shared-resolution %)")
+	fmt.Printf("  %-20s %-20s %10s\n", "Parameter set", "policy", "shared %")
+	for _, r := range experiments.CachePolicyAblation(opt) {
+		fmt.Printf("  %-20s %-20s %10.1f\n", r.SetName, r.Policy, r.SharedPct)
+	}
+	fmt.Println()
+	fmt.Println("Ablation: approximate-acceptance threshold (LA City kNN)")
+	fmt.Printf("  %-10s %14s %14s\n", "threshold", "approx %", "broadcast %")
+	for _, r := range experiments.ApproxThresholdAblation(opt) {
+		fmt.Printf("  %-10.2f %14.1f %14.1f\n", r.Threshold, r.ApproximatePct, r.BroadcastPct)
+	}
+	fmt.Println()
+	experiments.WriteMultiHop(os.Stdout, experiments.MultiHopAblation(opt))
+	fmt.Println()
+}

@@ -1,0 +1,169 @@
+// Command lbsq-sim runs a single configuration of the full system model
+// (Section 4.1) and prints the resulting statistics. It defaults to a
+// density-preserving 5-mile scale of the chosen Table 3 parameter set;
+// pass -side 20 for the paper's full 20-mile area (the Los Angeles set
+// then simulates all 93,300 vehicles).
+//
+// Usage:
+//
+//	lbsq-sim [-set la|suburbia|riverside] [-kind knn|window]
+//	         [-tx meters] [-cache n] [-k n] [-window pct]
+//	         [-side miles] [-hours h] [-step sec] [-seed n]
+//	         [-policy direction|lru] [-approx] [-baseline] [-selfcheck]
+//	         [-hops n] [-clusters n] [-prefill n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lbsq/internal/cache"
+	"lbsq/internal/sim"
+	"lbsq/internal/trace"
+)
+
+func main() {
+	var (
+		set       = flag.String("set", "la", "parameter set: la, suburbia, riverside")
+		kind      = flag.String("kind", "knn", "query kind: knn or window")
+		tx        = flag.Float64("tx", 0, "transmission range in meters (0 = preset value)")
+		cacheSize = flag.Int("cache", 0, "cache capacity in POIs (0 = preset value)")
+		k         = flag.Int("k", 0, "mean number of nearest neighbors (0 = preset value)")
+		window    = flag.Float64("window", 0, "mean window size in percent (0 = preset value)")
+		side      = flag.Float64("side", 5, "service area side in miles")
+		hours     = flag.Float64("hours", 0.5, "simulated hours")
+		step      = flag.Float64("step", 10, "time step in seconds")
+		seed      = flag.Int64("seed", 42, "random seed")
+		policy    = flag.String("policy", "direction", "cache policy: direction or lru")
+		approx    = flag.Bool("approx", true, "accept approximate SBNN answers (correctness > 50%)")
+		baseline  = flag.Bool("baseline", false, "also price every query with the plain on-air algorithms")
+		selfcheck = flag.Bool("selfcheck", false, "verify every exact result against the R-tree ground truth")
+		hops      = flag.Int("hops", 1, "ad-hoc sharing hops (1 = the paper's single-hop)")
+		clusters  = flag.Int("clusters", 0, "POI Gaussian-mixture cluster count (0 = uniform field)")
+		types     = flag.Int("types", 1, "independent POI data types (cache capacity applies per type)")
+		prefill   = flag.Float64("prefill", 10, "mean historical queries pre-filling each host cache (0 disables)")
+		traceFile = flag.String("trace", "", "write one JSONL event per counted query to this file")
+		owncache  = flag.Bool("owncache", false, "let hosts consult their own caches (off isolates peer sharing)")
+		loss      = flag.Float64("loss", 0, "broadcast packet loss rate [0, 0.95]")
+	)
+	flag.Parse()
+
+	var p sim.Params
+	switch strings.ToLower(*set) {
+	case "la":
+		p = sim.LACity()
+	case "suburbia":
+		p = sim.SyntheticSuburbia()
+	case "riverside":
+		p = sim.RiversideCounty()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown parameter set %q\n", *set)
+		os.Exit(2)
+	}
+
+	p = p.Scaled(*side).WithDuration(*hours)
+	p.TimeStepSec = *step
+	p.Seed = *seed
+	p.AcceptApproximate = *approx
+	switch strings.ToLower(*kind) {
+	case "knn":
+		p.Kind = sim.KNNQuery
+	case "window":
+		p.Kind = sim.WindowQuery
+	default:
+		fmt.Fprintf(os.Stderr, "unknown query kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *tx > 0 {
+		p.TxRangeMeters = *tx
+	}
+	if *cacheSize > 0 {
+		p.CacheSize = *cacheSize
+	}
+	if *k > 0 {
+		p.K = *k
+	}
+	if *window > 0 {
+		p.WindowPct = *window
+	}
+	if strings.ToLower(*policy) == "lru" {
+		p.CachePolicy = cache.LRU
+	}
+	p.SharingHops = *hops
+	p.POIClusters = *clusters
+	p.POITypes = *types
+	p.PrefillQueriesPerHost = *prefill
+	p.UseOwnCache = *owncache
+	p.Broadcast.LossRate = *loss
+	p.Broadcast.LossSeed = *seed
+
+	w, err := sim.NewWorld(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w.CompareBaseline = *baseline
+	w.BaselineSampleRate = 1
+	w.SelfCheck = *selfcheck
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w.Trace = trace.NewWriter(f)
+		defer w.Trace.Flush()
+	}
+
+	fmt.Printf("%s — %s queries, %.1f-mile area, %d hosts, %d POIs, %.0f queries/min\n",
+		p.Name, p.Kind, p.AreaMiles, p.MHNumber, p.POINumber, p.QueryRate)
+	fmt.Printf("tx=%.0fm cache=%d k=%d window=%.1f%% policy=%v duration=%.2fh seed=%d\n\n",
+		p.TxRangeMeters, p.CacheSize, p.K, p.WindowPct, p.CachePolicy, p.DurationHours, p.Seed)
+
+	start := time.Now()
+	stats := w.Run()
+	elapsed := time.Since(start)
+
+	if err := w.SelfCheckErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "SELF-CHECK FAILED: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("queries counted (post warm-up): %d\n", stats.Queries)
+	fmt.Printf("  resolved by SBNN/SBWQ (verified): %6.1f%%\n", stats.VerifiedPct())
+	if p.Kind == sim.KNNQuery {
+		fmt.Printf("  resolved by approximate SBNN:     %6.1f%%\n", stats.ApproximatePct())
+	}
+	fmt.Printf("  resolved by broadcast channel:    %6.1f%%\n", stats.BroadcastPct())
+	fmt.Printf("\nmean reachable peers per query: %.1f\n", stats.AvgPeers())
+	fmt.Printf("P2P traffic: %d requests, %d replies, %.0f bytes/query\n",
+		stats.PeerRequests, stats.PeerReplies, stats.AvgPeerBytes())
+	if stats.Broadcast > 0 {
+		fmt.Printf("\nchannel cost (broadcast-resolved queries):\n")
+		fmt.Printf("  mean access latency: %.1f slots\n", stats.AvgLatencySlots())
+		fmt.Printf("  mean tuning time:    %.1f slots\n", stats.AvgTuningSlots())
+		fmt.Printf("  packets read / skipped by search bounds: %d / %d\n",
+			stats.PacketsRead, stats.PacketsSkipped)
+	}
+	fmt.Printf("mean system latency over all queries: %.1f slots\n", stats.MeanSystemLatencySlots())
+	if *baseline && stats.BaselineSampled > 0 {
+		base := stats.BaselineMeanLatencySlots()
+		fmt.Printf("\nplain on-air baseline: %.1f slots/query (%d sampled)\n",
+			base, stats.BaselineSampled)
+		if base > 0 {
+			fmt.Printf("latency reduction from sharing: %.1f%%\n",
+				100*(1-stats.MeanSystemLatencySlots()/base))
+		}
+	}
+	if *selfcheck {
+		fmt.Println("\nself-check: every exact result matched the R-tree ground truth")
+	}
+	if *traceFile != "" {
+		fmt.Printf("trace: %d events written to %s\n", w.Trace.Count(), *traceFile)
+	}
+	fmt.Printf("\nwall time %.1fs\n", elapsed.Seconds())
+}

@@ -1,0 +1,74 @@
+package lbsq_test
+
+import (
+	"fmt"
+
+	"lbsq"
+)
+
+// gridServer builds a deterministic server: POIs on a regular grid.
+func gridServer() *lbsq.Server {
+	area := lbsq.NewRect(0, 0, 16, 16)
+	var pois []lbsq.POI
+	id := int64(0)
+	for x := 1.0; x < 16; x += 2 {
+		for y := 1.0; y < 16; y += 2 {
+			pois = append(pois, lbsq.POI{ID: id, Pos: lbsq.Pt(x, y)})
+			id++
+		}
+	}
+	srv, err := lbsq.NewServer(area, pois, lbsq.BroadcastConfig{Order: 4, PacketCapacity: 4})
+	if err != nil {
+		panic(err)
+	}
+	return srv
+}
+
+// ExampleClient_KNN shows the sharing flow: the first client pays the
+// broadcast latency, the second verifies its answer from the first's
+// cache with zero channel access.
+func ExampleClient_KNN() {
+	srv := gridServer()
+
+	alice := lbsq.NewClient(srv, lbsq.Pt(8, 8), 50)
+	first := alice.KNN(4, nil)
+	fmt.Println("alice:", first.Outcome, "packets:", first.Access.PacketsRead > 0)
+
+	bob := lbsq.NewClient(srv, lbsq.Pt(8.1, 8.1), 50)
+	second := bob.KNN(2, alice.Share())
+	fmt.Println("bob:  ", second.Outcome, "packets:", second.Access.PacketsRead > 0)
+	fmt.Println("bob's nearest POI at distance",
+		fmt.Sprintf("%.2f", second.POIs[0].Pos.Dist(bob.Pos())))
+	// Output:
+	// alice: broadcast packets: true
+	// bob:   verified packets: false
+	// bob's nearest POI at distance 1.27
+}
+
+// ExampleClient_Window shows a window query answered locally once the
+// merged verified region covers the window.
+func ExampleClient_Window() {
+	srv := gridServer()
+
+	scout := lbsq.NewClient(srv, lbsq.Pt(8, 8), 60)
+	w := lbsq.NewRect(6, 6, 10, 10)
+	first := scout.Window(w, nil)
+	fmt.Println("scout:", first.Outcome, "POIs:", len(first.POIs))
+
+	friend := lbsq.NewClient(srv, lbsq.Pt(7.5, 8.5), 60)
+	second := friend.Window(w, scout.Share())
+	fmt.Println("friend:", second.Outcome, "POIs:", len(second.POIs))
+	// Output:
+	// scout: broadcast POIs: 4
+	// friend: verified POIs: 4
+}
+
+// ExampleCorrectnessProbability pins the paper's worked Lemma 3.2
+// example: density 0.3 POIs per square unit, a 2-square-unit unverified
+// region.
+func ExampleCorrectnessProbability() {
+	p := lbsq.CorrectnessProbability(0.3, 2)
+	fmt.Printf("%.4f\n", p)
+	// Output:
+	// 0.5488
+}

@@ -1,0 +1,87 @@
+// Roadtrip: the paper's motivating scenario. A motorist on a highway
+// repeatedly asks "what are the top-3 nearest gas stations?" while
+// driving at 60 mph. Exact on-air answers take a long time to assemble
+// from the broadcast cycle; peers' caches deliver instant verified — or
+// probabilistically-annotated approximate — answers instead (Section
+// 3.3.2: correctness probability and surpassing ratio).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lbsq"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(66)) // Route 66
+
+	area := lbsq.NewRect(0, 0, 20, 20)
+	pois := make([]lbsq.POI, 800)
+	for i := range pois {
+		pois[i] = lbsq.POI{ID: int64(i), Pos: lbsq.Pt(rng.Float64()*20, rng.Float64()*20)}
+	}
+	server, err := lbsq.NewServer(area, pois, lbsq.BroadcastConfig{})
+	if err != nil {
+		panic(err)
+	}
+
+	// Oncoming traffic: vehicles that already know stretches of the road
+	// ahead of the motorist (they just drove through it).
+	var traffic []*lbsq.Client
+	for i := 0; i < 12; i++ {
+		v := lbsq.NewClient(server, lbsq.Pt(4+rng.Float64()*14, 9.4+rng.Float64()*1.2), 60)
+		v.KNN(6, nil) // their own earlier query filled their cache
+		traffic = append(traffic, v)
+	}
+
+	// The motorist drives west→east along y=10 at 60 mph, querying every
+	// two minutes (2 miles of travel).
+	car := lbsq.NewClient(server, lbsq.Pt(2, 10), 40)
+	car.AcceptApproximate = true
+	car.MinCorrectness = 0.5 // accept candidates at least 50% likely correct
+
+	slotsPerTwoMinutes := int64(2 * 60 / 0.05) // 50 ms slots
+	for leg := 0; leg < 8; leg++ {
+		x := 2 + 2*float64(leg)
+		car.MoveTo(lbsq.Pt(x, 10))
+
+		// Ask every vehicle currently within 200 m for its cache.
+		const txMiles = 200 / lbsq.MetersPerMile
+		var peers []lbsq.PeerData
+		reachable := 0
+		for _, v := range traffic {
+			if v.Pos().Dist(car.Pos()) <= txMiles*40 { // highway: good antennas
+				peers = append(peers, v.Share()...)
+				reachable++
+			}
+		}
+
+		res := car.KNN(3, peers)
+		fmt.Printf("mile %4.1f — %d peers reachable — outcome: %v", x, reachable, res.Outcome)
+		if res.Outcome == lbsq.OutcomeBroadcast {
+			fmt.Printf(" (waited %d slots ≈ %.1f s)", res.Access.Latency,
+				float64(res.Access.Latency)*0.05)
+		}
+		fmt.Println()
+		if res.Outcome == lbsq.OutcomeBroadcast {
+			// Channel-resolved answers are exact.
+			for i, p := range res.POIs {
+				fmt.Printf("    %d. station %-4d %.2f mi  [exact, from channel]\n",
+					i+1, p.ID, p.Pos.Dist(car.Pos()))
+			}
+		} else {
+			for i, e := range res.Heap.Entries() {
+				tag := "verified"
+				if !e.Verified {
+					tag = fmt.Sprintf("approx, correct with p=%.0f%%", 100*e.Correctness)
+					if e.Surpassing > 0 {
+						tag += fmt.Sprintf(", worst-case detour ×%.2f", e.Surpassing)
+					}
+				}
+				fmt.Printf("    %d. station %-4d %.2f mi  [%s]\n", i+1, e.POI.ID, e.Dist, tag)
+			}
+		}
+		car.AdvanceSlots(slotsPerTwoMinutes)
+	}
+}

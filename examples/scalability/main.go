@@ -1,0 +1,64 @@
+// Scalability: the argument of Sections 1 and 2.1 for building on the
+// broadcast model at all. A point-to-point (on-demand) server answers
+// queries fast while lightly loaded but saturates as the client
+// population grows; broadcast latency is population-independent; and
+// peer-to-peer sharing then removes most of the broadcast latency too —
+// the more clients, the better it works.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lbsq"
+	"lbsq/internal/ondemand"
+	"lbsq/internal/rtree"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+
+	// The LA City database.
+	area := lbsq.NewRect(0, 0, 20, 20)
+	items := make([]rtree.Item, 2750)
+	pois := make([]lbsq.POI, len(items))
+	for i := range items {
+		p := lbsq.Pt(rng.Float64()*20, rng.Float64()*20)
+		items[i] = rtree.Item{ID: int64(i), Pos: p}
+		pois[i] = lbsq.POI{ID: int64(i), Pos: p}
+	}
+
+	server, err := ondemand.NewServer(items, 100) // 100 queries/s uplink+server capacity
+	if err != nil {
+		panic(err)
+	}
+	bcast, err := lbsq.NewServer(area, pois, lbsq.BroadcastConfig{})
+	if err != nil {
+		panic(err)
+	}
+	const slotSec = 0.05
+	broadcastLatency := bcast.Schedule().ExpectedKNNLatency(lbsq.Pt(10, 10), 5, 64) * slotSec
+
+	// Per-client query rate from Table 3: 6220 queries/min over 93,300
+	// vehicles.
+	perClient := 6220.0 / 60 / 93300
+
+	fmt.Println("5-NN query latency by access model (LA City database)")
+	fmt.Printf("%-10s %14s %14s %20s\n", "clients", "on-demand", "broadcast", "broadcast+sharing")
+	for _, n := range []int{100, 1000, 10000, 50000, 93300} {
+		od := server.ExpectedLatency(float64(n) * perClient)
+		odStr := fmt.Sprintf("%9.3f s", od)
+		if math.IsInf(od, 1) {
+			odStr = "saturated"
+		}
+		// Sharing effectiveness grows with density: reuse the measured
+		// LA City shared fraction at full density, scaled by population.
+		sharedFrac := 0.85 * float64(n) / 93300
+		withSharing := broadcastLatency * (1 - sharedFrac)
+		fmt.Printf("%-10d %14s %12.3f s %17.3f s\n", n, odStr, broadcastLatency, withSharing)
+	}
+	fmt.Println("\nOn-demand wins while the server is idle, collapses at scale;")
+	fmt.Println("broadcast is flat; sharing improves broadcast precisely when")
+	fmt.Println("the population is large — the paper's scalability story.")
+}

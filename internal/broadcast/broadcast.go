@@ -1,0 +1,713 @@
+// Package broadcast simulates the wireless data broadcast model of
+// Imielinski et al. ("Data on Air: Organization and Access") and the
+// on-air spatial query algorithms of Zheng et al. ("Spatial Queries in
+// Wireless Broadcast Systems") that the paper builds on.
+//
+// The base station partitions the service area into Hilbert-curve grid
+// cells, packs the POIs of consecutive cells into fixed-capacity data
+// packets, and broadcasts the packets cyclically in Hilbert order. An
+// index describing every packet (its Hilbert range, region, and POI
+// count) is interleaved m times per cycle — the (1, m) indexing scheme of
+// Figure 2. Time is measured in slots: one data packet occupies one slot
+// and an index segment occupies a number of slots proportional to the
+// packet count.
+//
+// Two cost metrics characterize every access (Section 2.1 of the paper):
+//
+//   - access latency: slots from the moment the query is posed until the
+//     last required packet has been received, and
+//   - tuning time: slots the client actively listens (a proxy for power).
+package broadcast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/hilbert"
+)
+
+// POI is a broadcast point of interest.
+type POI struct {
+	ID  int64
+	Pos geom.Point
+}
+
+// Packet is one broadcast data bucket: the POIs of a run of consecutive
+// Hilbert cells.
+type Packet struct {
+	Seq    int       // position in the data file, 0-based
+	First  int64     // first Hilbert cell value covered
+	Last   int64     // last Hilbert cell value covered
+	Region geom.Rect // MBR of the covered cells
+	POIs   []POI
+}
+
+// Ordering selects the space-filling order in which grid cells are
+// broadcast. The paper follows Zheng et al. in using the Hilbert curve
+// for its superior locality (Jagadish); the alternatives exist for the
+// locality ablation.
+type Ordering int
+
+const (
+	// OrderingHilbert broadcasts cells in Hilbert-curve order (default).
+	OrderingHilbert Ordering = iota
+	// OrderingMorton broadcasts cells in Z-order (linear quadtree order).
+	OrderingMorton
+	// OrderingRowMajor broadcasts cells row by row (no locality across
+	// rows) — the naive baseline.
+	OrderingRowMajor
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case OrderingMorton:
+		return "morton"
+	case OrderingRowMajor:
+		return "row-major"
+	default:
+		return "hilbert"
+	}
+}
+
+// Config parameterizes a broadcast schedule.
+type Config struct {
+	// Area is the service area covered by the broadcast.
+	Area geom.Rect
+	// Order is the Hilbert curve order (grid is 2^Order per axis).
+	// Defaults to 6 (a 64×64 grid) when zero.
+	Order int
+	// Ordering selects the cell broadcast order (default Hilbert).
+	Ordering Ordering
+	// PacketCapacity is the maximum POIs per data packet. Defaults to 8.
+	PacketCapacity int
+	// M is the index replication factor of the (1, m) scheme. Defaults
+	// to 4.
+	M int
+	// IndexEntriesPerSlot controls how many packet descriptors fit in one
+	// index slot. Defaults to 16.
+	IndexEntriesPerSlot int
+	// TreeIndex models a tree-structured air index (a directory slot
+	// pointing at leaf index slots): clients selectively tune only the
+	// index slots describing their candidate packets instead of the whole
+	// segment, reducing tuning time (power) without changing latency.
+	// The flat default reads the full segment, as the (1, m) scheme of
+	// Figure 2 implies.
+	TreeIndex bool
+	// LossRate is the probability that a packet reception fails and the
+	// client must wait for the packet's next cycle occurrence — the
+	// wireless error model. Zero (default) is a lossless channel; values
+	// are clamped to [0, 0.95].
+	LossRate float64
+	// LossSeed seeds the reception-loss process.
+	LossSeed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Order == 0 {
+		c.Order = 6
+	}
+	if c.PacketCapacity == 0 {
+		c.PacketCapacity = 8
+	}
+	if c.M == 0 {
+		c.M = 4
+	}
+	if c.IndexEntriesPerSlot == 0 {
+		c.IndexEntriesPerSlot = 16
+	}
+}
+
+// Schedule is one full broadcast cycle: m interleavings of (index segment,
+// data chunk).
+type Schedule struct {
+	curve          *hilbert.Curve
+	packets        []Packet
+	m              int
+	indexSlots     int
+	cycleLen       int64
+	indexStarts    []int64 // slot offsets of the index segments within a cycle
+	packetSlot     []int64 // slot offset of each packet within a cycle
+	totalPOIs      int
+	cellPacket     map[int64]int // cell key -> packet seq (only non-empty cells)
+	cellKey        func(x, y int) int64
+	ordering       Ordering
+	lossRate       float64
+	lossRng        *rand.Rand
+	treeIndex      bool
+	entriesPerSlot int
+}
+
+// cellKeyFunc returns the broadcast-order key of a grid cell for the
+// selected ordering.
+func cellKeyFunc(ord Ordering, curve *hilbert.Curve) func(x, y int) int64 {
+	side := int64(curve.Side())
+	switch ord {
+	case OrderingMorton:
+		return func(x, y int) int64 { return interleaveBits(int64(x)) | interleaveBits(int64(y))<<1 }
+	case OrderingRowMajor:
+		return func(x, y int) int64 { return int64(y)*side + int64(x) }
+	default:
+		return curve.D
+	}
+}
+
+// interleaveBits spreads the low 32 bits of v into the even bit
+// positions (Morton interleaving).
+func interleaveBits(v int64) int64 {
+	v &= 0x00000000FFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// Access records the cost of one on-air retrieval.
+type Access struct {
+	// Latency is the number of slots from the query instant until the
+	// last required packet was received. Zero when nothing had to be
+	// retrieved from the channel.
+	Latency int64
+	// Tuning is the number of slots the client actively listened.
+	Tuning int64
+	// PacketsRead is how many data packets the client downloaded.
+	PacketsRead int
+	// PacketsSkipped is how many candidate packets were filtered out by
+	// SBNN/SBWQ search bounds before retrieval.
+	PacketsSkipped int
+	// IndexReads counts index segments read (the initial probe).
+	IndexReads int
+	// Retransmissions counts packet receptions lost to channel errors
+	// (the client waited a further cycle for each).
+	Retransmissions int
+}
+
+// add accumulates another access (used when a query needs two passes).
+func (a *Access) add(b Access) {
+	a.Latency += b.Latency
+	a.Tuning += b.Tuning
+	a.PacketsRead += b.PacketsRead
+	a.PacketsSkipped += b.PacketsSkipped
+	a.IndexReads += b.IndexReads
+	a.Retransmissions += b.Retransmissions
+}
+
+// NewSchedule builds the broadcast cycle for the given POIs.
+func NewSchedule(pois []POI, cfg Config) (*Schedule, error) {
+	cfg.applyDefaults()
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("broadcast: m must be >= 1, got %d", cfg.M)
+	}
+	curve, err := hilbert.New(cfg.Order, cfg.Area)
+	if err != nil {
+		return nil, err
+	}
+
+	// Order POIs along the selected space-filling order and group them by
+	// grid cell.
+	key := cellKeyFunc(cfg.Ordering, curve)
+	type keyed struct {
+		d    int64
+		x, y int
+		poi  POI
+	}
+	ks := make([]keyed, len(pois))
+	for i, p := range pois {
+		cx, cy := curve.CellOf(p.Pos)
+		ks[i] = keyed{d: key(cx, cy), x: cx, y: cy, poi: p}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].d != ks[j].d {
+			return ks[i].d < ks[j].d
+		}
+		return ks[i].poi.ID < ks[j].poi.ID
+	})
+
+	// Pack whole cells into packets: a packet always holds every POI of
+	// each cell it covers, so retrieving a packet makes the client a
+	// complete authority on those cells (the property the verified-cache
+	// machinery builds on). A packet closes when adding the next cell
+	// would exceed the capacity; a single cell denser than the capacity
+	// becomes one oversized packet.
+	var packets []Packet
+	i := 0
+	for i < len(ks) {
+		// Collect the run of POIs sharing the next cell.
+		j := i + 1
+		for j < len(ks) && ks[j].d == ks[i].d {
+			j++
+		}
+		cellPOIs := make([]POI, 0, j-i)
+		for _, e := range ks[i:j] {
+			cellPOIs = append(cellPOIs, e.poi)
+		}
+		cellValue := ks[i].d
+		cellRect := curve.CellRect(ks[i].x, ks[i].y)
+
+		if n := len(packets); n > 0 &&
+			len(packets[n-1].POIs)+len(cellPOIs) <= cfg.PacketCapacity {
+			p := &packets[n-1]
+			p.Last = cellValue
+			p.Region = p.Region.Union(cellRect)
+			p.POIs = append(p.POIs, cellPOIs...)
+		} else {
+			packets = append(packets, Packet{
+				Seq:    len(packets),
+				First:  cellValue,
+				Last:   cellValue,
+				Region: cellRect,
+				POIs:   cellPOIs,
+			})
+		}
+		i = j
+	}
+
+	s := &Schedule{
+		curve:          curve,
+		packets:        packets,
+		m:              cfg.M,
+		totalPOIs:      len(pois),
+		cellPacket:     make(map[int64]int),
+		cellKey:        key,
+		ordering:       cfg.Ordering,
+		lossRate:       math.Min(math.Max(cfg.LossRate, 0), 0.95),
+		lossRng:        rand.New(rand.NewSource(cfg.LossSeed)),
+		treeIndex:      cfg.TreeIndex,
+		entriesPerSlot: cfg.IndexEntriesPerSlot,
+	}
+	for _, p := range packets {
+		for _, poi := range p.POIs {
+			cx, cy := curve.CellOf(poi.Pos)
+			s.cellPacket[key(cx, cy)] = p.Seq
+		}
+	}
+	s.indexSlots = (len(packets) + cfg.IndexEntriesPerSlot - 1) / cfg.IndexEntriesPerSlot
+	if s.indexSlots == 0 {
+		s.indexSlots = 1
+	}
+	s.layout()
+	return s, nil
+}
+
+// layout computes the slot positions of the (1, m) cycle: m repetitions of
+// [index segment][data chunk].
+func (s *Schedule) layout() {
+	n := len(s.packets)
+	m := s.m
+	if m > n && n > 0 {
+		m = n // no point replicating the index more often than chunks exist
+	}
+	if n == 0 {
+		m = 1
+	}
+	chunk := 0
+	if m > 0 {
+		chunk = (n + m - 1) / m
+	}
+	s.packetSlot = make([]int64, n)
+	s.indexStarts = s.indexStarts[:0]
+	pos := int64(0)
+	next := 0
+	for seg := 0; seg < m; seg++ {
+		s.indexStarts = append(s.indexStarts, pos)
+		pos += int64(s.indexSlots)
+		for i := 0; i < chunk && next < n; i++ {
+			s.packetSlot[next] = pos
+			pos++
+			next++
+		}
+	}
+	s.cycleLen = pos
+}
+
+// CycleLength returns the number of slots in one broadcast cycle.
+func (s *Schedule) CycleLength() int64 { return s.cycleLen }
+
+// IndexSlots returns the length of one index segment in slots.
+func (s *Schedule) IndexSlots() int { return s.indexSlots }
+
+// Packets returns the data packets in broadcast order.
+func (s *Schedule) Packets() []Packet { return s.packets }
+
+// TotalPOIs returns the number of POIs in the broadcast file.
+func (s *Schedule) TotalPOIs() int { return s.totalPOIs }
+
+// Curve exposes the Hilbert curve organizing the data file.
+func (s *Schedule) Curve() *hilbert.Curve { return s.curve }
+
+// M returns the effective index replication factor.
+func (s *Schedule) M() int { return len(s.indexStarts) }
+
+// Ordering returns the cell broadcast order in use.
+func (s *Schedule) Ordering() Ordering { return s.ordering }
+
+// nextIndexStart returns the first slot >= t at which an index segment
+// begins.
+func (s *Schedule) nextIndexStart(t int64) int64 {
+	phase := mod(t, s.cycleLen)
+	base := t - phase
+	for _, is := range s.indexStarts {
+		if is >= phase {
+			return base + is
+		}
+	}
+	return base + s.cycleLen + s.indexStarts[0]
+}
+
+// nextPacketArrival returns the first slot >= t at which packet seq is
+// fully received (its single-slot transmission completes).
+func (s *Schedule) nextPacketArrival(seq int, t int64) int64 {
+	slot := s.packetSlot[seq]
+	phase := mod(t, s.cycleLen)
+	base := t - phase
+	if slot >= phase {
+		return base + slot
+	}
+	return base + s.cycleLen + slot
+}
+
+func mod(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// probeIndex models the general access protocol's first two steps: the
+// initial probe plus reading one index segment. It returns the slot at
+// which the client holds the index and the accumulated access cost. With
+// a flat index the whole segment is tuned; with a tree index only the
+// directory is tuned here and indexTuning adds the visited leaf slots
+// once the candidate set is known.
+func (s *Schedule) probeIndex(start int64) (int64, Access) {
+	is := s.nextIndexStart(start)
+	done := is + int64(s.indexSlots)
+	tuning := 1 + int64(s.indexSlots) // initial probe + full index read
+	if s.treeIndex {
+		tuning = 1 + 1 // initial probe + directory slot
+	}
+	return done, Access{
+		Latency:    done - start,
+		Tuning:     tuning,
+		IndexReads: 1,
+	}
+}
+
+// indexTuning returns the extra index slots a tree-index client tunes:
+// the distinct leaf slots holding the entries of the candidate packets.
+// Zero for the flat index (already fully read by probeIndex).
+func (s *Schedule) indexTuning(candidates []int) int64 {
+	if !s.treeIndex || s.entriesPerSlot <= 0 {
+		return 0
+	}
+	slots := map[int]bool{}
+	for _, seq := range candidates {
+		slots[seq/s.entriesPerSlot] = true
+	}
+	return int64(len(slots))
+}
+
+// retrieve downloads the given packet sequence numbers starting no earlier
+// than `from`, returning their POIs and the cost. The client sleeps
+// between packets (selective tuning), so tuning grows by one slot per
+// packet while latency runs to the last arrival.
+func (s *Schedule) retrieve(seqs []int, from int64) ([]POI, int64, Access) {
+	var acc Access
+	if len(seqs) == 0 {
+		return nil, from, acc
+	}
+	last := from
+	var pois []POI
+	for _, seq := range seqs {
+		at := s.nextPacketArrival(seq, from)
+		// Channel errors: each failed reception wastes the listening slot
+		// and defers the packet to its next cycle occurrence.
+		for s.lossRate > 0 && s.lossRng.Float64() < s.lossRate {
+			acc.Tuning++
+			acc.Retransmissions++
+			at = s.nextPacketArrival(seq, at+1)
+		}
+		if at > last {
+			last = at
+		}
+		pois = append(pois, s.packets[seq].POIs...)
+		acc.Tuning++
+		acc.PacketsRead++
+	}
+	acc.Latency = last - from + 1
+	return pois, last + 1, acc
+}
+
+// KNN runs the plain on-air k-nearest-neighbor algorithm (no peer
+// knowledge): scan the index to derive a search range guaranteed to hold
+// the k nearest POIs, then retrieve every packet intersecting that range.
+// start is the absolute slot at which the query is posed.
+func (s *Schedule) KNN(q geom.Point, k int, start int64) ([]POI, Access) {
+	return s.KNNWithBounds(q, k, start, Bounds{})
+}
+
+// Bounds carries the search bounds SBNN derives from the partial result
+// heap (Section 3.3.3). Zero value means "no bounds".
+type Bounds struct {
+	// Upper, when positive, is a proven upper bound on the k-th NN
+	// distance (the distance of the last entry of a full heap, state 1
+	// and 2). Packets beyond it cannot contribute.
+	Upper float64
+	// Lower, when positive, is the verified-knowledge radius (distance of
+	// the last verified entry, states 1, 3 and 4): every POI within Lower
+	// of the query point is already known from peers, so packets entirely
+	// inside that circle are skipped.
+	Lower float64
+}
+
+// KNNWithBounds runs the on-air kNN search with SBNN packet filtering.
+// The returned POI set excludes the contents of skipped packets; the
+// caller is expected to merge it with the peer-supplied POIs that
+// justified the bounds.
+func (s *Schedule) KNNWithBounds(q geom.Point, k int, start int64, b Bounds) ([]POI, Access) {
+	if k <= 0 || len(s.packets) == 0 {
+		_, acc := s.probeIndex(start)
+		return nil, acc
+	}
+	after, acc := s.probeIndex(start)
+
+	radius := b.Upper
+	if radius <= 0 {
+		radius = s.SearchRadius(q, k)
+	}
+	searchRange := geom.RectAround(q, radius)
+
+	var need []int
+	for _, p := range s.packets {
+		if !p.Region.Intersects(searchRange) {
+			continue
+		}
+		// Strictly inside the verified circle: every POI of the packet is
+		// nearer than the last verified entry and therefore already known
+		// from peers. The comparison is strict so ties at exactly the
+		// verified radius are never skipped.
+		if b.Lower > 0 && p.Region.MaxDist(q) < b.Lower {
+			acc.PacketsSkipped++
+			continue
+		}
+		need = append(need, p.Seq)
+	}
+	acc.Tuning += s.indexTuning(need)
+	pois, _, racc := s.retrieve(need, after)
+	acc.add(racc)
+	return pois, acc
+}
+
+// SearchRadius derives, from index information alone, a radius guaranteed
+// to contain at least k POIs: the smallest r such that the packets whose
+// regions lie entirely within distance r of q together hold k POIs. This
+// models the first index scan of the on-air kNN algorithm; clients use it
+// to know which region their retrieval made them an authority on.
+func (s *Schedule) SearchRadius(q geom.Point, k int) float64 {
+	type pk struct {
+		maxDist float64
+		count   int
+	}
+	ps := make([]pk, len(s.packets))
+	total := 0
+	for i, p := range s.packets {
+		ps[i] = pk{maxDist: p.Region.MaxDist(q), count: len(p.POIs)}
+		total += len(p.POIs)
+	}
+	if total <= k {
+		// Fewer POIs than requested: the whole file is the answer.
+		max := 0.0
+		for _, p := range ps {
+			if p.maxDist > max {
+				max = p.maxDist
+			}
+		}
+		return max
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].maxDist < ps[j].maxDist })
+	acc := 0
+	for _, p := range ps {
+		acc += p.count
+		if acc >= k {
+			return p.maxDist
+		}
+	}
+	return ps[len(ps)-1].maxDist
+}
+
+// Window runs the plain on-air window query: retrieve every packet whose
+// region intersects w and filter the POIs.
+func (s *Schedule) Window(w geom.Rect, start int64) ([]POI, Access) {
+	return s.WindowReduced([]geom.Rect{w}, start)
+}
+
+// WindowReduced runs the on-air window query over a set of (reduced)
+// windows — the w′ rectangles SBWQ computes by subtracting the merged
+// verified region from the original window. POIs outside every window are
+// filtered out before returning.
+func (s *Schedule) WindowReduced(windows []geom.Rect, start int64) ([]POI, Access) {
+	out, _, _, acc := s.WindowReducedDetailed(windows, start)
+	return out, acc
+}
+
+// WindowReducedDetailed is WindowReduced exposing the full retrieval: the
+// filtered result, the raw contents of every downloaded packet, and the
+// downloaded packet sequence numbers. SBWQ uses the extra data to turn the
+// retrieval into cached verified knowledge (the paper's "store received
+// POIs with their collective MBR" cache policy).
+func (s *Schedule) WindowReducedDetailed(windows []geom.Rect, start int64) (filtered, raw []POI, retrieved []int, acc Access) {
+	after, acc := s.probeIndex(start)
+	if len(s.packets) == 0 {
+		return nil, nil, nil, acc
+	}
+	var need []int
+	for _, p := range s.packets {
+		hit := false
+		for _, w := range windows {
+			if p.Region.Intersects(w) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			need = append(need, p.Seq)
+		} else {
+			acc.PacketsSkipped++
+		}
+	}
+	acc.Tuning += s.indexTuning(need)
+	raw, _, racc := s.retrieve(need, after)
+	acc.add(racc)
+	for _, poi := range raw {
+		for _, w := range windows {
+			if w.Contains(poi.Pos) {
+				filtered = append(filtered, poi)
+				break
+			}
+		}
+	}
+	return filtered, raw, need, acc
+}
+
+// CellComplete reports whether the grid cell (x, y) is completely known
+// given the retrieved packet set: either the cell is empty, or its
+// (unique, by cell-granular packing) packet was downloaded.
+func (s *Schedule) CellComplete(x, y int, retrieved map[int]bool) bool {
+	seq, ok := s.cellPacket[s.cellKey(x, y)]
+	if !ok {
+		return true // empty cell: trivially complete
+	}
+	return retrieved[seq]
+}
+
+// GrowCompleteRect expands the seed rectangle outward, one cell row or
+// column at a time, for as long as every newly covered cell is complete
+// under the retrieved packet set and the area stays within maxArea. It
+// returns the grown cell-aligned rectangle, or the seed unchanged when
+// even the seed's own cells are not all complete. The result is the
+// largest sound "collective MBR" a client may cache after a window
+// retrieval.
+func (s *Schedule) GrowCompleteRect(seed geom.Rect, retrieved []int, maxArea float64) geom.Rect {
+	if seed.Empty() {
+		return seed
+	}
+	got := make(map[int]bool, len(retrieved))
+	for _, seq := range retrieved {
+		got[seq] = true
+	}
+	x0, y0 := s.curve.CellOf(seed.Min)
+	x1, y1 := s.curve.CellOf(seed.Max)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			if !s.CellComplete(x, y, got) {
+				return seed
+			}
+		}
+	}
+	cellRect := func(ax0, ay0, ax1, ay1 int) geom.Rect {
+		return s.curve.CellRect(ax0, ay0).Union(s.curve.CellRect(ax1, ay1))
+	}
+	colComplete := func(x, ay0, ay1 int) bool {
+		if x < 0 || x >= s.curve.Side() {
+			return false
+		}
+		for y := ay0; y <= ay1; y++ {
+			if !s.CellComplete(x, y, got) {
+				return false
+			}
+		}
+		return true
+	}
+	rowComplete := func(y, ax0, ax1 int) bool {
+		if y < 0 || y >= s.curve.Side() {
+			return false
+		}
+		for x := ax0; x <= ax1; x++ {
+			if !s.CellComplete(x, y, got) {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		grew := false
+		if colComplete(x0-1, y0, y1) && cellRect(x0-1, y0, x1, y1).Area() <= maxArea {
+			x0--
+			grew = true
+		}
+		if colComplete(x1+1, y0, y1) && cellRect(x0, y0, x1+1, y1).Area() <= maxArea {
+			x1++
+			grew = true
+		}
+		if rowComplete(y0-1, x0, x1) && cellRect(x0, y0-1, x1, y1).Area() <= maxArea {
+			y0--
+			grew = true
+		}
+		if rowComplete(y1+1, x0, x1) && cellRect(x0, y0, x1, y1+1).Area() <= maxArea {
+			y1++
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	grown := cellRect(x0, y0, x1, y1)
+	// The grown rect always contains the (cell-aligned bounding box of
+	// the) seed; return the union with the seed for exact containment.
+	return grown.Union(seed)
+}
+
+// FullCycleAccess returns the cost of downloading the entire data file —
+// the worst case a client without any index or sharing would pay.
+func (s *Schedule) FullCycleAccess(start int64) Access {
+	return Access{
+		Latency:     s.cycleLen,
+		Tuning:      s.cycleLen,
+		PacketsRead: len(s.packets),
+	}
+}
+
+// ExpectedKNNLatency estimates the mean on-air kNN latency by averaging
+// over every possible starting phase of the cycle. It is used by the
+// analytical model and the latency experiment.
+func (s *Schedule) ExpectedKNNLatency(q geom.Point, k int, samples int) float64 {
+	if samples <= 0 {
+		samples = 16
+	}
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		start := int64(math.Round(float64(i) / float64(samples) * float64(s.cycleLen)))
+		_, acc := s.KNN(q, k, start)
+		total += float64(acc.Latency)
+	}
+	return total / float64(samples)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"lbsq/internal/broadcast"
+	"lbsq/internal/geom"
+)
+
+// PeerData is one verified region received from a peer: the MBR the peer
+// guarantees complete knowledge of, and every cached POI inside it. A
+// peer with several cached regions contributes one PeerData per region.
+type PeerData struct {
+	VR   geom.Rect
+	POIs []broadcast.POI
+}
+
+// NNVResult bundles the outputs of the nearest-neighbor verification
+// method.
+type NNVResult struct {
+	// Heap holds up to k candidates in ascending distance order with
+	// their verification status, correctness probabilities, and
+	// surpassing ratios.
+	Heap *Heap
+	// MVR is the merged verified region of all peers.
+	MVR *geom.RectUnion
+	// EdgeDist is ‖q, e_s‖ — the distance from q to the nearest boundary
+	// edge of the MVR; zero when q lies outside the MVR (no verification
+	// possible).
+	EdgeDist float64
+	// InsideMVR reports whether q lies inside the MVR (the precondition
+	// of Lemma 3.1).
+	InsideMVR bool
+	// Candidates is the number of distinct POIs received from peers.
+	Candidates int
+}
+
+// NNV is Algorithm 1: merge the peers' verified regions, sort their
+// cached POIs by distance to q, and verify each candidate o against
+// Lemma 3.1 (o is a guaranteed nearest neighbor when ‖q,o‖ ≤ ‖q,e_s‖ and
+// q lies inside the MVR). Unverified candidates are annotated with the
+// Lemma 3.2 correctness probability computed from the exact area of their
+// unverified region, using lambda as the POI density.
+func NNV(q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
+	mvr := geom.NewRectUnion()
+	seen := make(map[int64]bool)
+	var candidates []broadcast.POI
+	for _, p := range peers {
+		mvr.Add(p.VR)
+		for _, poi := range p.POIs {
+			if !seen[poi.ID] {
+				seen[poi.ID] = true
+				candidates = append(candidates, poi)
+			}
+		}
+	}
+	sortCandidates(candidates, q)
+
+	res := NNVResult{
+		Heap:       NewHeap(k),
+		MVR:        mvr,
+		Candidates: len(candidates),
+	}
+	if d, ok := mvr.Clearance(q); ok {
+		res.EdgeDist = d
+		res.InsideMVR = true
+	}
+
+	lastVerified := 0.0
+	hasVerified := false
+	for _, poi := range candidates {
+		if res.Heap.Full() {
+			break
+		}
+		d := poi.Pos.Dist(q)
+		e := Entry{POI: poi, Dist: d}
+		if res.InsideMVR && d <= res.EdgeDist {
+			e.Verified = true
+			e.Correctness = 1
+			lastVerified = d
+			hasVerified = true
+		} else {
+			// Unverified: the candidate's unverified region is the part
+			// of its distance disk not covered by the MVR.
+			u := mvr.UnverifiedArea(q, d)
+			e.Correctness = CorrectnessProbability(lambda, u)
+			if hasVerified && lastVerified > 0 {
+				e.Surpassing = d / lastVerified
+			}
+		}
+		res.Heap.add(e)
+	}
+	return res
+}

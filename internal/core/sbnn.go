@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/geom"
+)
+
+// Outcome classifies how a sharing-based query was resolved — the
+// categories the paper's experiments report.
+type Outcome int
+
+const (
+	// OutcomeVerified: the query was fully answered from peer caches with
+	// guaranteed-correct results (SBNN with k verified NNs, or SBWQ with
+	// the window covered by the MVR).
+	OutcomeVerified Outcome = iota
+	// OutcomeApproximate: the client accepted a full heap containing
+	// unverified entries whose correctness probabilities passed the
+	// acceptance threshold (approximate SBNN).
+	OutcomeApproximate
+	// OutcomeBroadcast: the broadcast channel had to be used (possibly
+	// with reduced search bounds derived from partial peer results).
+	OutcomeBroadcast
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeVerified:
+		return "verified"
+	case OutcomeApproximate:
+		return "approximate"
+	case OutcomeBroadcast:
+		return "broadcast"
+	default:
+		return "unknown"
+	}
+}
+
+// SBNNConfig parameterizes a sharing-based nearest-neighbor query.
+type SBNNConfig struct {
+	// K is the number of nearest neighbors requested.
+	K int
+	// Lambda is the POI density (POIs per square unit) used by the
+	// Lemma 3.2 correctness model.
+	Lambda float64
+	// AcceptApproximate allows the client to accept a full heap with
+	// unverified entries instead of falling back to the channel (the
+	// `accept` flag of Algorithm 2).
+	AcceptApproximate bool
+	// MinCorrectness is the acceptance threshold on each unverified
+	// entry's correctness probability; the paper's experiments use 0.5.
+	MinCorrectness float64
+}
+
+// SBNNResult is the outcome of Algorithm 2.
+type SBNNResult struct {
+	// POIs are the k best answers known at return, ascending by distance.
+	// For OutcomeVerified and OutcomeBroadcast they are exact; for
+	// OutcomeApproximate the unverified tail is probabilistic.
+	POIs []broadcast.POI
+	// Heap is the NNV result heap (Table 2).
+	Heap *Heap
+	// MVR is the merged verified region.
+	MVR *geom.RectUnion
+	// Outcome classifies the resolution.
+	Outcome Outcome
+	// Bounds are the on-air search bounds derived from the heap state
+	// (zero when the channel was not used).
+	Bounds broadcast.Bounds
+	// Access is the broadcast channel cost; zero-valued for peer-resolved
+	// queries.
+	Access broadcast.Access
+	// KnownRegion is a rectangle the client now has complete knowledge
+	// of, and Known are exactly the database POIs inside it — the sound
+	// verified region the client may cache and later share with peers.
+	// Empty when the query produced no certain regional knowledge.
+	KnownRegion geom.Rect
+	// Known holds every POI inside KnownRegion.
+	Known []broadcast.POI
+}
+
+// verifiedSquare returns the largest axis-aligned square centered at q
+// whose closed extent provably contains only POIs at distance < radius
+// (the square inscribed in the open disk), shrunk one ulp to exclude
+// distance ties at the radius itself.
+func verifiedSquare(q geom.Point, radius float64) geom.Rect {
+	if radius <= 0 {
+		return geom.Rect{}
+	}
+	half := math.Nextafter(radius, 0) / math.Sqrt2
+	return geom.RectAround(q, half)
+}
+
+// SBNN is Algorithm 2: run NNV over the peers' cached results; if k
+// verified NNs were obtained — or the client accepts an approximate full
+// heap — answer immediately with zero channel access. Otherwise derive
+// search bounds from the heap state (Section 3.3.3), run the on-air kNN
+// query with packet filtering, and merge the channel data with the peer
+// knowledge.
+//
+// sched may be nil when no broadcast channel is available; the best
+// peer-side answer is then returned with OutcomeBroadcast and no POIs
+// beyond the heap contents.
+func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
+	nnv := NNV(q, peers, cfg.K, cfg.Lambda)
+	res := SBNNResult{Heap: nnv.Heap, MVR: nnv.MVR}
+
+	// Whatever the outcome, everything within the last verified distance
+	// is complete knowledge the client may cache.
+	fillVerifiedKnowledge := func() {
+		dv, ok := nnv.Heap.LastVerifiedDist()
+		if !ok {
+			return
+		}
+		res.KnownRegion = verifiedSquare(q, dv)
+		for _, e := range nnv.Heap.Entries() {
+			if e.Verified && res.KnownRegion.Contains(e.POI.Pos) {
+				res.Known = append(res.Known, e.POI)
+			}
+		}
+	}
+
+	if nnv.Heap.VerifiedCount() >= cfg.K && cfg.K > 0 {
+		res.Outcome = OutcomeVerified
+		res.POIs = nnv.Heap.POIs()
+		fillVerifiedKnowledge()
+		return res
+	}
+	if cfg.AcceptApproximate && nnv.Heap.Full() &&
+		nnv.Heap.MinUnverifiedCorrectness() >= cfg.MinCorrectness {
+		res.Outcome = OutcomeApproximate
+		res.POIs = nnv.Heap.POIs()
+		fillVerifiedKnowledge()
+		return res
+	}
+
+	// Fall back to the broadcast channel with the heap-state bounds.
+	res.Outcome = OutcomeBroadcast
+	res.Bounds = nnv.Heap.SearchBounds()
+	if sched == nil {
+		res.POIs = nnv.Heap.POIs()
+		fillVerifiedKnowledge()
+		return res
+	}
+	onAir, acc := sched.KNNWithBounds(q, cfg.K, now, res.Bounds)
+	res.Access = acc
+
+	// Merge: the heap's POIs (peer knowledge, covering any packets the
+	// lower bound skipped) plus the channel data.
+	merged := append([]broadcast.POI(nil), onAir...)
+	seen := make(map[int64]bool, len(merged))
+	for _, p := range merged {
+		seen[p.ID] = true
+	}
+	for _, e := range nnv.Heap.Entries() {
+		if !seen[e.POI.ID] {
+			seen[e.POI.ID] = true
+			merged = append(merged, e.POI)
+		}
+	}
+	sortCandidates(merged, q)
+
+	// The retrieval covered every packet intersecting the search square,
+	// and the heap covers the skipped packets, so within the square the
+	// merged set is complete — that square is new verified knowledge.
+	radius := res.Bounds.Upper
+	if radius <= 0 {
+		radius = sched.SearchRadius(q, cfg.K)
+	}
+	res.KnownRegion = geom.RectAround(q, radius)
+	for _, p := range merged {
+		if res.KnownRegion.Contains(p.Pos) {
+			res.Known = append(res.Known, p)
+		}
+	}
+
+	if len(merged) > cfg.K {
+		merged = merged[:cfg.K]
+	}
+	res.POIs = merged
+	return res
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"lbsq/internal/broadcast"
+	"lbsq/internal/geom"
+)
+
+// SBWQConfig tunes the sharing-based window query.
+type SBWQConfig struct {
+	// MaxKnownArea caps the area of the verified region a broadcast
+	// retrieval is turned into (the "collective MBR" of the received
+	// packets the paper's cache policy stores). Zero selects 64× the
+	// window area.
+	MaxKnownArea float64
+}
+
+// SBWQResult is the outcome of Algorithm 3.
+type SBWQResult struct {
+	// POIs are the objects inside the query window known at return:
+	// exact for OutcomeVerified and OutcomeBroadcast.
+	POIs []broadcast.POI
+	// MVR is the merged verified region.
+	MVR *geom.RectUnion
+	// Outcome is OutcomeVerified when the window was entirely covered by
+	// the MVR, otherwise OutcomeBroadcast.
+	Outcome Outcome
+	// ReducedWindows are the sub-rectangles of the window left uncovered
+	// by the MVR — the w′ rectangles resolved over the channel. Empty
+	// for fully covered windows.
+	ReducedWindows []geom.Rect
+	// CoveredFraction is the fraction of the window's area covered by
+	// the MVR (1 for fully covered).
+	CoveredFraction float64
+	// Access is the broadcast channel cost; zero-valued when the window
+	// was fully covered.
+	Access broadcast.Access
+	// KnownRegion is a rectangle the client now has complete knowledge
+	// of: the window itself, or — after a plain broadcast retrieval —
+	// the collective cell-aligned MBR of the received packets.
+	KnownRegion geom.Rect
+	// Known holds every database POI inside KnownRegion.
+	Known []broadcast.POI
+}
+
+// SBWQ is Algorithm 3: merge the peers' verified regions and collect
+// their cached POIs overlapping the window w. If w lies entirely inside
+// the MVR the query is fulfilled locally. Otherwise the window is reduced
+// by subtracting the MVR, the on-air window query runs over the reduced
+// windows only, and the channel data is merged with the peer knowledge.
+//
+// sched may be nil when no broadcast channel is available; the peer-side
+// partial answer is then returned with OutcomeBroadcast.
+func SBWQ(q geom.Point, w geom.Rect, peers []PeerData, sched *broadcast.Schedule, now int64) SBWQResult {
+	return SBWQWithConfig(q, w, peers, SBWQConfig{}, sched, now)
+}
+
+// SBWQWithConfig is SBWQ with explicit tuning.
+func SBWQWithConfig(q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig, sched *broadcast.Schedule, now int64) SBWQResult {
+	mvr := geom.NewRectUnion()
+	seen := make(map[int64]bool)
+	var local []broadcast.POI
+	for _, p := range peers {
+		mvr.Add(p.VR)
+		for _, poi := range p.POIs {
+			if w.Contains(poi.Pos) && !seen[poi.ID] {
+				seen[poi.ID] = true
+				local = append(local, poi)
+			}
+		}
+	}
+	res := SBWQResult{MVR: mvr}
+
+	if !w.Empty() {
+		res.CoveredFraction = mvr.IntersectRectArea(w) / w.Area()
+	} else if mvr.Contains(w.Min) {
+		res.CoveredFraction = 1
+	}
+
+	if mvr.CoversRect(w) {
+		res.Outcome = OutcomeVerified
+		sortCandidates(local, q)
+		res.POIs = local
+		res.KnownRegion = w
+		res.Known = local
+		return res
+	}
+
+	res.Outcome = OutcomeBroadcast
+	res.ReducedWindows = geom.SubtractRect(w, mvr.Rects())
+	if sched == nil {
+		sortCandidates(local, q)
+		res.POIs = local
+		return res
+	}
+	onAir, raw, retrieved, acc := sched.WindowReducedDetailed(res.ReducedWindows, now)
+	res.Access = acc
+	merged := local
+	for _, poi := range onAir {
+		if !seen[poi.ID] {
+			seen[poi.ID] = true
+			merged = append(merged, poi)
+		}
+	}
+	sortCandidates(merged, q)
+	res.POIs = merged
+
+	// The exact window contents are always new verified knowledge; when
+	// the retrieval alone made the client a complete authority on the
+	// window's cells, grow the region to the collective MBR of the
+	// received packets (the paper's broadcast-retrieval cache policy).
+	maxArea := cfg.MaxKnownArea
+	if maxArea <= 0 {
+		maxArea = 64 * w.Area()
+	}
+	res.KnownRegion = sched.GrowCompleteRect(w, retrieved, maxArea)
+	if res.KnownRegion == w {
+		res.Known = merged
+	} else {
+		// Inside the grown region every POI comes from a retrieved
+		// packet, so the raw downloads are the complete inventory.
+		seenKnown := make(map[int64]bool, len(raw))
+		for _, poi := range raw {
+			if res.KnownRegion.Contains(poi.Pos) && !seenKnown[poi.ID] {
+				seenKnown[poi.ID] = true
+				res.Known = append(res.Known, poi)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"lbsq/internal/broadcast"
+)
+
+func TestOrderingAblation(t *testing.T) {
+	rows := OrderingAblation(tiny())
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byOrd := map[broadcast.Ordering]OrderingRow{}
+	for _, r := range rows {
+		byOrd[r.Ordering] = r
+		if r.MeanKNNPackets <= 0 || r.MeanWindowPackets <= 0 || r.MeanKNNLatency <= 0 {
+			t.Fatalf("%v: degenerate means %+v", r.Ordering, r)
+		}
+	}
+	// Hilbert's locality means fewer window packets than row-major.
+	if byOrd[broadcast.OrderingHilbert].MeanWindowPackets >
+		byOrd[broadcast.OrderingRowMajor].MeanWindowPackets {
+		t.Errorf("Hilbert window packets %.2f above row-major %.2f",
+			byOrd[broadcast.OrderingHilbert].MeanWindowPackets,
+			byOrd[broadcast.OrderingRowMajor].MeanWindowPackets)
+	}
+	var buf bytes.Buffer
+	WriteOrdering(&buf, rows)
+	if !strings.Contains(buf.String(), "hilbert") {
+		t.Error("table missing hilbert row")
+	}
+}
+
+func TestCorrectnessCalibrationPoisson(t *testing.T) {
+	bins := CorrectnessCalibration(tiny(), false, 1500)
+	if len(bins) != 5 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+		if b.Count == 0 {
+			continue
+		}
+		if b.MeanPredicted < b.Lo-1e-9 || b.MeanPredicted > b.Hi+1e-9 {
+			t.Fatalf("bin [%v,%v): mean predicted %v outside bin", b.Lo, b.Hi, b.MeanPredicted)
+		}
+		if b.Observed < 0 || b.Observed > 1 {
+			t.Fatalf("observed %v out of range", b.Observed)
+		}
+	}
+	if total < 500 {
+		t.Fatalf("only %d unverified candidates collected", total)
+	}
+	// Calibration: in well-populated buckets the observed frequency must
+	// be within a generous tolerance of the prediction (the lemma treats
+	// a necessary condition as sufficient, so some bias is expected, but
+	// it should not be wildly off under its own Poisson assumption).
+	for _, b := range bins {
+		if b.Count < 100 {
+			continue
+		}
+		if math.Abs(b.Observed-b.MeanPredicted) > 0.30 {
+			t.Errorf("bin [%v,%v): predicted %.3f observed %.3f (n=%d)",
+				b.Lo, b.Hi, b.MeanPredicted, b.Observed, b.Count)
+		}
+	}
+	var buf bytes.Buffer
+	WriteCalibration(&buf, "Poisson", bins)
+	if !strings.Contains(buf.String(), "predicted bin") {
+		t.Error("calibration table missing header")
+	}
+}
+
+func TestCorrectnessCalibrationClusteredRuns(t *testing.T) {
+	bins := CorrectnessCalibration(tiny(), true, 800)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total == 0 {
+		t.Fatal("clustered calibration collected nothing")
+	}
+}
+
+func TestMultiHopAblation(t *testing.T) {
+	rows := MultiHopAblation(tiny())
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Within each set, more hops never reach fewer peers.
+	bySet := map[string][]HopRow{}
+	for _, r := range rows {
+		bySet[r.SetName] = append(bySet[r.SetName], r)
+		if r.SharedPct < 0 || r.SharedPct > 100 {
+			t.Fatalf("shared %v out of range", r.SharedPct)
+		}
+	}
+	for set, rs := range bySet {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].AvgPeers < rs[i-1].AvgPeers-0.01 {
+				t.Errorf("%s: peers fell from %.2f to %.2f as hops rose",
+					set, rs[i-1].AvgPeers, rs[i].AvgPeers)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteMultiHop(&buf, rows)
+	if !strings.Contains(buf.String(), "multi-hop") {
+		t.Error("table missing header")
+	}
+}
+
+func TestResultLifetime(t *testing.T) {
+	rows := ResultLifetime(tiny())
+	if len(rows) != 9 { // 3 sets x 3 ks
+		t.Fatalf("%d rows", len(rows))
+	}
+	bySet := map[string][]LifetimeRow{}
+	for _, r := range rows {
+		bySet[r.SetName] = append(bySet[r.SetName], r)
+		if r.MeanMiles <= 0 {
+			t.Fatalf("%s k=%d: lifetime %v not positive", r.SetName, r.K, r.MeanMiles)
+		}
+		if r.MeanSeconds <= 0 {
+			t.Fatalf("seconds %v not positive", r.MeanSeconds)
+		}
+	}
+	// The knowledge region of a larger k is bigger, so the lifetime must
+	// not shrink with k (weak monotonicity, generous tolerance).
+	for set, rs := range bySet {
+		if rs[len(rs)-1].MeanMiles < rs[0].MeanMiles*0.5 {
+			t.Errorf("%s: lifetime collapsed with k: %v -> %v",
+				set, rs[0].MeanMiles, rs[len(rs)-1].MeanMiles)
+		}
+	}
+	var buf bytes.Buffer
+	WriteLifetime(&buf, rows)
+	if !strings.Contains(buf.String(), "Result lifetime") {
+		t.Error("table missing header")
+	}
+}
+
+func TestFigureChart(t *testing.T) {
+	f := Fig15(tiny())
+	c := f.Chart()
+	if len(c.Series) != 3 {
+		t.Fatalf("%d chart series", len(c.Series))
+	}
+	if !c.FixedY || c.YMax != 100 {
+		t.Error("chart must use the fixed 0..100 percent axis")
+	}
+	for si, s := range c.Series {
+		if len(s.X) != len(WindowSweep()) {
+			t.Fatalf("series %d has %d points", si, len(s.X))
+		}
+		for i := range s.X {
+			want := f.Series[si].Points[i].VerifiedPct + f.Series[si].Points[i].ApproximatePct
+			if s.Y[i] != want {
+				t.Fatalf("series %d point %d: %v want %v", si, i, s.Y[i], want)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig15") {
+		t.Error("SVG missing figure id")
+	}
+}

@@ -1,0 +1,81 @@
+package geom
+
+import "math"
+
+// CircleRectArea returns the exact area of the intersection between the
+// closed disk centered at c with the given radius and the rectangle r.
+//
+// The computation integrates the vertical extent of the intersection over
+// x after translating the disk to the origin. The integration interval is
+// split at every x where the circle crosses y = rect.Min.Y or
+// y = rect.Max.Y so that on each sub-interval the upper and lower bounds
+// are each either a constant or the circle arc, for which a closed-form
+// antiderivative exists.
+func CircleRectArea(c Point, radius float64, r Rect) float64 {
+	if radius <= 0 || r.Empty() {
+		return 0
+	}
+	// Translate so the disk is centered at the origin.
+	x1, x2 := r.Min.X-c.X, r.Max.X-c.X
+	y1, y2 := r.Min.Y-c.Y, r.Max.Y-c.Y
+
+	lo := math.Max(x1, -radius)
+	hi := math.Min(x2, radius)
+	if lo >= hi {
+		return 0
+	}
+
+	// Critical x values: circle crossings with the horizontal rect edges.
+	cuts := []float64{lo, hi}
+	for _, y := range []float64{y1, y2} {
+		if math.Abs(y) < radius {
+			xc := math.Sqrt(radius*radius - y*y)
+			for _, x := range []float64{-xc, xc} {
+				if x > lo && x < hi {
+					cuts = append(cuts, x)
+				}
+			}
+		}
+	}
+	cuts = dedupSorted(cuts)
+
+	total := 0.0
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		mid := (a + b) / 2
+		f := math.Sqrt(math.Max(0, radius*radius-mid*mid))
+		upper := math.Min(y2, f)
+		lower := math.Max(y1, -f)
+		if upper <= lower {
+			continue
+		}
+		// On this sub-interval the active bounds do not switch branch, so
+		// integrate each bound in closed form.
+		var hiInt float64
+		if y2 < f { // upper bound is the constant y2 throughout
+			hiInt = y2 * (b - a)
+		} else { // upper bound is the arc +sqrt(R^2-x^2)
+			hiInt = arcIntegral(radius, b) - arcIntegral(radius, a)
+		}
+		var loInt float64
+		if y1 > -f { // lower bound is the constant y1
+			loInt = y1 * (b - a)
+		} else { // lower bound is the arc -sqrt(R^2-x^2)
+			loInt = -(arcIntegral(radius, b) - arcIntegral(radius, a))
+		}
+		total += hiInt - loInt
+	}
+	return total
+}
+
+// arcIntegral returns the antiderivative of sqrt(R^2 - x^2) at x, i.e.
+// (x*sqrt(R^2-x^2) + R^2*asin(x/R)) / 2, with x clamped to [-R, R].
+func arcIntegral(radius, x float64) float64 {
+	if x < -radius {
+		x = -radius
+	} else if x > radius {
+		x = radius
+	}
+	return (x*math.Sqrt(math.Max(0, radius*radius-x*x)) +
+		radius*radius*math.Asin(x/radius)) / 2
+}

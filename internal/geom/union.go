@@ -1,0 +1,416 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// RectUnion is a (possibly overlapping) collection of axis-aligned
+// rectangles treated as their set union. It models the merged verified
+// region (MVR) of the paper: the union of the verified-region MBRs
+// returned by the peers of a querying mobile host.
+//
+// The zero value is the empty union. RectUnion is immutable after
+// construction except through Add; cached derived data is invalidated on
+// Add.
+type RectUnion struct {
+	rects []Rect
+
+	// Lazily computed caches.
+	disjoint []Rect    // disjoint decomposition of the union
+	boundary []Segment // boundary pieces of the union
+}
+
+// NewRectUnion builds a union from the given rectangles, dropping
+// degenerate (zero-area) members.
+func NewRectUnion(rects ...Rect) *RectUnion {
+	u := &RectUnion{}
+	for _, r := range rects {
+		u.Add(r)
+	}
+	return u
+}
+
+// Add inserts another rectangle into the union.
+func (u *RectUnion) Add(r Rect) {
+	if r.Empty() || !r.Valid() {
+		return
+	}
+	u.rects = append(u.rects, r)
+	u.disjoint = nil
+	u.boundary = nil
+}
+
+// Rects returns the member rectangles as provided (possibly overlapping).
+// The returned slice must not be modified.
+func (u *RectUnion) Rects() []Rect { return u.rects }
+
+// Len returns the number of member rectangles.
+func (u *RectUnion) Len() int { return len(u.rects) }
+
+// IsEmpty reports whether the union covers no area.
+func (u *RectUnion) IsEmpty() bool { return len(u.rects) == 0 }
+
+// Contains reports whether p lies in the closed union.
+func (u *RectUnion) Contains(p Point) bool {
+	for _, r := range u.rects {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds returns the MBR of the whole union; the second result is false
+// for an empty union.
+func (u *RectUnion) Bounds() (Rect, bool) {
+	if len(u.rects) == 0 {
+		return Rect{}, false
+	}
+	out := u.rects[0]
+	for _, r := range u.rects[1:] {
+		out = out.Union(r)
+	}
+	return out, true
+}
+
+// Area returns the exact area of the union.
+func (u *RectUnion) Area() float64 {
+	total := 0.0
+	for _, r := range u.Disjoint() {
+		total += r.Area()
+	}
+	return total
+}
+
+// Disjoint returns a decomposition of the union into pairwise disjoint
+// rectangles (they may share edges but not interior points). The
+// decomposition works on the compressed grid induced by all member
+// coordinates: every member marks its covered cell range with a
+// difference array, and a per-row prefix sum merges covered cells into
+// horizontal strips. Total cost is O(n log n + n·rows + cells), which
+// keeps the merged-verified-region math cheap even with a hundred peer
+// regions per query.
+func (u *RectUnion) Disjoint() []Rect {
+	if u.disjoint != nil || len(u.rects) == 0 {
+		return u.disjoint
+	}
+	xs := make([]float64, 0, 2*len(u.rects))
+	ys := make([]float64, 0, 2*len(u.rects))
+	for _, r := range u.rects {
+		xs = append(xs, r.Min.X, r.Max.X)
+		ys = append(ys, r.Min.Y, r.Max.Y)
+	}
+	xs = dedupSorted(xs)
+	ys = dedupSorted(ys)
+	nx, ny := len(xs)-1, len(ys)-1
+	if nx <= 0 || ny <= 0 {
+		return nil
+	}
+
+	// Per-row difference array over cell columns; rect coordinates are
+	// exact members of xs/ys, so the index lookups are exact.
+	diff := make([]int32, ny*(nx+1))
+	for _, r := range u.rects {
+		x0 := sort.SearchFloat64s(xs, r.Min.X)
+		x1 := sort.SearchFloat64s(xs, r.Max.X)
+		y0 := sort.SearchFloat64s(ys, r.Min.Y)
+		y1 := sort.SearchFloat64s(ys, r.Max.Y)
+		for row := y0; row < y1; row++ {
+			diff[row*(nx+1)+x0]++
+			diff[row*(nx+1)+x1]--
+		}
+	}
+
+	var out []Rect
+	for j := 0; j < ny; j++ {
+		row := diff[j*(nx+1) : (j+1)*(nx+1)]
+		depth := int32(0)
+		stripStart := -1
+		for i := 0; i <= nx; i++ {
+			depth += row[i]
+			covered := i < nx && depth > 0
+			if covered && stripStart < 0 {
+				stripStart = i
+			}
+			if !covered && stripStart >= 0 {
+				out = append(out, Rect{
+					Min: Point{xs[stripStart], ys[j]},
+					Max: Point{xs[i], ys[j+1]},
+				})
+				stripStart = -1
+			}
+		}
+	}
+	u.disjoint = out
+	return out
+}
+
+// Boundary returns the boundary of the union as a set of axis-parallel
+// segments. A portion of a member rectangle's edge belongs to the union
+// boundary exactly when no other member covers its outward side.
+func (u *RectUnion) Boundary() []Segment {
+	if u.boundary != nil || len(u.rects) == 0 {
+		return u.boundary
+	}
+	var out []Segment
+	for i, r := range u.rects {
+		// Bottom edge (outward = -Y): covered where another rect spans
+		// the y just below.
+		out = appendEdgePieces(out, u.rects, i, r.Min.Y, r.Min.X, r.Max.X, true, outwardBelow)
+		// Top edge (outward = +Y).
+		out = appendEdgePieces(out, u.rects, i, r.Max.Y, r.Min.X, r.Max.X, true, outwardAbove)
+		// Left edge (outward = -X).
+		out = appendEdgePieces(out, u.rects, i, r.Min.X, r.Min.Y, r.Max.Y, false, outwardBelow)
+		// Right edge (outward = +X).
+		out = appendEdgePieces(out, u.rects, i, r.Max.X, r.Min.Y, r.Max.Y, false, outwardAbove)
+	}
+	u.boundary = out
+	return out
+}
+
+// BoundaryDist returns the minimum Euclidean distance from p to the
+// boundary of the union. For p inside the union this is the clearance
+// radius (‖q, e_s‖ in the NNV algorithm); for p outside it is the distance
+// to the union. It returns +Inf for an empty union.
+func (u *RectUnion) BoundaryDist(p Point) float64 {
+	best := math.Inf(1)
+	for _, s := range u.Boundary() {
+		if d := s.Dist(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Clearance returns the distance from p to the union boundary when p lies
+// inside the union, and ok=false (with zero distance) otherwise. This is
+// exactly the quantity Lemma 3.1 verifies candidates against: any POI
+// closer to p than its clearance is a guaranteed true nearest neighbor.
+func (u *RectUnion) Clearance(p Point) (float64, bool) {
+	if !u.Contains(p) {
+		return 0, false
+	}
+	return u.BoundaryDist(p), true
+}
+
+// CoversRect reports whether rectangle w is entirely inside the union —
+// the SBWQ full-coverage test (query window answered locally).
+func (u *RectUnion) CoversRect(w Rect) bool {
+	if w.Empty() {
+		return u.Contains(w.Min)
+	}
+	return len(SubtractRect(w, u.rects)) == 0
+}
+
+// IntersectRectArea returns the exact area of w ∩ union.
+func (u *RectUnion) IntersectRectArea(w Rect) float64 {
+	total := 0.0
+	for _, d := range u.Disjoint() {
+		if clipped, ok := d.Intersect(w); ok {
+			total += clipped.Area()
+		}
+	}
+	return total
+}
+
+// IntersectCircleArea returns the exact area of the intersection between
+// the disk (c, radius) and the union. It underlies the unverified-region
+// area of Lemma 3.2: u = π r² − IntersectCircleArea(q, r).
+func (u *RectUnion) IntersectCircleArea(c Point, radius float64) float64 {
+	if radius <= 0 {
+		return 0
+	}
+	total := 0.0
+	mbr := RectAround(c, radius)
+	for _, d := range u.Disjoint() {
+		if !d.Intersects(mbr) {
+			continue
+		}
+		total += CircleRectArea(c, radius, d)
+	}
+	return total
+}
+
+// UnverifiedArea returns the area of the part of the disk (c, radius) not
+// covered by the union: the unverified region of a candidate POI at
+// distance radius from the query point c (Lemma 3.2).
+func (u *RectUnion) UnverifiedArea(c Point, radius float64) float64 {
+	if radius <= 0 {
+		return 0
+	}
+	area := math.Pi*radius*radius - u.IntersectCircleArea(c, radius)
+	if area < 0 {
+		return 0 // guard tiny negative rounding residue
+	}
+	return area
+}
+
+// SubtractRect returns the parts of w not covered by the union of covers,
+// as a set of disjoint rectangles. This implements the query-window
+// reduction of SBWQ: the returned rectangles are the reduced windows w′
+// that still require on-air resolution.
+func SubtractRect(w Rect, covers []Rect) []Rect {
+	if w.Empty() {
+		return nil
+	}
+	xs := []float64{w.Min.X, w.Max.X}
+	ys := []float64{w.Min.Y, w.Max.Y}
+	for _, r := range covers {
+		if !r.Intersects(w) {
+			continue
+		}
+		if r.Min.X > w.Min.X && r.Min.X < w.Max.X {
+			xs = append(xs, r.Min.X)
+		}
+		if r.Max.X > w.Min.X && r.Max.X < w.Max.X {
+			xs = append(xs, r.Max.X)
+		}
+		if r.Min.Y > w.Min.Y && r.Min.Y < w.Max.Y {
+			ys = append(ys, r.Min.Y)
+		}
+		if r.Max.Y > w.Min.Y && r.Max.Y < w.Max.Y {
+			ys = append(ys, r.Max.Y)
+		}
+	}
+	xs = dedupSorted(xs)
+	ys = dedupSorted(ys)
+
+	covered := func(p Point) bool {
+		for _, r := range covers {
+			if r.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Rect
+	for j := 0; j+1 < len(ys); j++ {
+		ymid := (ys[j] + ys[j+1]) / 2
+		stripStart := -1
+		for i := 0; i <= len(xs)-1; i++ {
+			uncovered := false
+			if i+1 < len(xs) {
+				xmid := (xs[i] + xs[i+1]) / 2
+				uncovered = !covered(Point{xmid, ymid})
+			}
+			if uncovered && stripStart < 0 {
+				stripStart = i
+			}
+			if !uncovered && stripStart >= 0 {
+				out = append(out, Rect{
+					Min: Point{xs[stripStart], ys[j]},
+					Max: Point{xs[i], ys[j+1]},
+				})
+				stripStart = -1
+			}
+		}
+	}
+	return out
+}
+
+// outwardBelow/outwardAbove select which side of an edge is "outward" for
+// coverage testing in appendEdgePieces.
+const (
+	outwardBelow = iota // outward side has smaller coordinate (bottom/left edges)
+	outwardAbove        // outward side has larger coordinate (top/right edges)
+)
+
+// appendEdgePieces appends to out the sub-segments of one rectangle edge
+// that lie on the union boundary. The edge is at fixed coordinate `level`
+// on the perpendicular axis and spans [lo, hi] on the parallel axis.
+// horizontal selects edge orientation; side selects the outward direction.
+func appendEdgePieces(out []Segment, rects []Rect, self int, level, lo, hi float64, horizontal bool, side int) []Segment {
+	if lo >= hi {
+		return out
+	}
+	// Collect the intervals of [lo, hi] whose outward side is covered by
+	// another rectangle: such portions are interior to the union.
+	var cov []interval
+	for j, s := range rects {
+		if j == self {
+			continue
+		}
+		var perpMin, perpMax, parMin, parMax float64
+		if horizontal {
+			perpMin, perpMax = s.Min.Y, s.Max.Y
+			parMin, parMax = s.Min.X, s.Max.X
+		} else {
+			perpMin, perpMax = s.Min.X, s.Max.X
+			parMin, parMax = s.Min.Y, s.Max.Y
+		}
+		var coversOutward bool
+		if side == outwardBelow {
+			// Points just below `level` are inside s.
+			coversOutward = perpMin < level && perpMax >= level
+		} else {
+			// Points just above `level` are inside s.
+			coversOutward = perpMax > level && perpMin <= level
+		}
+		if !coversOutward {
+			continue
+		}
+		a, b := math.Max(parMin, lo), math.Min(parMax, hi)
+		if a < b {
+			cov = append(cov, interval{a, b})
+		}
+	}
+	for _, piece := range subtractIntervals(interval{lo, hi}, cov) {
+		var seg Segment
+		if horizontal {
+			seg = Segment{Point{piece.a, level}, Point{piece.b, level}}
+		} else {
+			seg = Segment{Point{level, piece.a}, Point{level, piece.b}}
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+type interval struct{ a, b float64 }
+
+// subtractIntervals returns the parts of base not covered by any interval
+// in cov. The covering intervals are treated as closed; zero-length
+// leftovers are dropped.
+func subtractIntervals(base interval, cov []interval) []interval {
+	if len(cov) == 0 {
+		return []interval{base}
+	}
+	sort.Slice(cov, func(i, j int) bool { return cov[i].a < cov[j].a })
+	var out []interval
+	cursor := base.a
+	for _, c := range cov {
+		if c.b <= cursor {
+			continue
+		}
+		if c.a > cursor {
+			end := math.Min(c.a, base.b)
+			if end > cursor {
+				out = append(out, interval{cursor, end})
+			}
+		}
+		if c.b > cursor {
+			cursor = c.b
+		}
+		if cursor >= base.b {
+			return out
+		}
+	}
+	if cursor < base.b {
+		out = append(out, interval{cursor, base.b})
+	}
+	return out
+}
+
+// dedupSorted sorts vs ascending and removes duplicates in place.
+func dedupSorted(vs []float64) []float64 {
+	sort.Float64s(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

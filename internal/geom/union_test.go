@@ -1,0 +1,376 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRectUnionContains(t *testing.T) {
+	u := NewRectUnion(NewRect(0, 0, 2, 2), NewRect(1, 1, 3, 3))
+	for _, p := range []Point{Pt(0.5, 0.5), Pt(2.5, 2.5), Pt(2, 0.5), Pt(1.5, 1.5)} {
+		if !u.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range []Point{Pt(2.5, 0.5), Pt(0.5, 2.5), Pt(-1, 0)} {
+		if u.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+}
+
+func TestRectUnionDropsDegenerate(t *testing.T) {
+	u := NewRectUnion(NewRect(0, 0, 0, 5), NewRect(1, 1, 2, 2))
+	if u.Len() != 1 {
+		t.Fatalf("Len = %d, degenerate rect not dropped", u.Len())
+	}
+}
+
+func TestRectUnionBounds(t *testing.T) {
+	u := NewRectUnion(NewRect(0, 0, 1, 1), NewRect(5, -2, 6, 3))
+	b, ok := u.Bounds()
+	if !ok || b != NewRect(0, -2, 6, 3) {
+		t.Fatalf("Bounds = %v, %v", b, ok)
+	}
+	if _, ok := NewRectUnion().Bounds(); ok {
+		t.Error("empty union must report no bounds")
+	}
+}
+
+func TestRectUnionAreaOverlap(t *testing.T) {
+	// Two 2x2 squares overlapping in a 1x1 square: area = 4+4-1 = 7.
+	u := NewRectUnion(NewRect(0, 0, 2, 2), NewRect(1, 1, 3, 3))
+	if got := u.Area(); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("Area = %v want 7", got)
+	}
+	// Identical rects: area of one.
+	u2 := NewRectUnion(NewRect(0, 0, 2, 3), NewRect(0, 0, 2, 3))
+	if got := u2.Area(); !almostEqual(got, 6, 1e-12) {
+		t.Errorf("Area identical = %v want 6", got)
+	}
+	// Disjoint rects: sum.
+	u3 := NewRectUnion(NewRect(0, 0, 1, 1), NewRect(5, 5, 7, 6))
+	if got := u3.Area(); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Area disjoint = %v want 3", got)
+	}
+}
+
+func TestDisjointDecompositionIsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		rects := make([]Rect, n)
+		for i := range rects {
+			rects[i] = randomRect(rng, 5)
+		}
+		u := NewRectUnion(rects...)
+		parts := u.Disjoint()
+		// Pairwise interior-disjoint.
+		for i := range parts {
+			for j := i + 1; j < len(parts); j++ {
+				if inter, ok := parts[i].Intersect(parts[j]); ok {
+					t.Fatalf("trial %d: overlapping parts %v and %v share %v",
+						trial, parts[i], parts[j], inter)
+				}
+			}
+		}
+		// Coverage agrees with membership at random probes.
+		for k := 0; k < 50; k++ {
+			p := randomPoint(rng, 6)
+			inUnion := u.Contains(p)
+			inParts := false
+			for _, r := range parts {
+				if r.Contains(p) {
+					inParts = true
+					break
+				}
+			}
+			// Boundary-of-part points can differ from strict membership
+			// only on measure-zero sets; skip points on part boundaries.
+			onEdge := false
+			for _, r := range parts {
+				if r.Contains(p) && !r.ContainsStrict(p) {
+					onEdge = true
+				}
+			}
+			if !onEdge && inUnion != inParts {
+				t.Fatalf("trial %d: probe %v union=%v parts=%v", trial, p, inUnion, inParts)
+			}
+		}
+	}
+}
+
+func TestBoundaryDistSingleRect(t *testing.T) {
+	u := NewRectUnion(NewRect(0, 0, 4, 2))
+	if got := u.BoundaryDist(Pt(2, 1)); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("center clearance = %v want 1", got)
+	}
+	if got := u.BoundaryDist(Pt(6, 1)); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("outside distance = %v want 2", got)
+	}
+}
+
+func TestBoundaryAdjacentRectsSharedEdgeInterior(t *testing.T) {
+	// Two rects stacked so they share the edge y=1: the shared edge is
+	// interior to the union, so clearance at the shared edge's midpoint is
+	// governed by the outer boundary.
+	u := NewRectUnion(NewRect(0, 0, 2, 1), NewRect(0, 1, 2, 2))
+	got, ok := u.Clearance(Pt(1, 1))
+	if !ok {
+		t.Fatal("point on shared edge must be inside union")
+	}
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("clearance at shared edge = %v want 1", got)
+	}
+}
+
+func TestClearanceOutside(t *testing.T) {
+	u := NewRectUnion(NewRect(0, 0, 1, 1))
+	if _, ok := u.Clearance(Pt(5, 5)); ok {
+		t.Error("Clearance must report ok=false outside the union")
+	}
+}
+
+func TestClearanceLShape(t *testing.T) {
+	// L-shape: horizontal bar [0,4]x[0,1] plus vertical bar [0,1]x[0,4].
+	u := NewRectUnion(NewRect(0, 0, 4, 1), NewRect(0, 0, 1, 4))
+	// Point in the inner corner region: nearest boundary is the re-entrant
+	// corner at (1,1).
+	p := Pt(1.5, 0.5)
+	got, ok := u.Clearance(p)
+	if !ok {
+		t.Fatal("p must be inside")
+	}
+	// Candidate boundaries: y=0 (0.5), x=1 above y=1 region? The segment
+	// x=1 for y in [1,4] is boundary; distance = hypot(0.5 from x.. ) =
+	// distance to point (1,1) = sqrt(0.25+0.25).
+	want := 0.5 // bottom edge y=0 is nearer than the corner (0.707)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("clearance = %v want %v", got, want)
+	}
+	// Near the top of the horizontal bar: the bar's top edge y=1 is
+	// boundary for x >= 1 (only x in [0,1] is covered by the vertical bar).
+	p2 := Pt(1.2, 0.8)
+	got2, _ := u.Clearance(p2)
+	want2 := 0.2 // vertical distance to the boundary segment y=1, x in [1,4]
+	if !almostEqual(got2, want2, 1e-12) {
+		t.Errorf("clearance near corner = %v want %v", got2, want2)
+	}
+	// A point deep inside the vertical bar sees the corner (1,1) only via
+	// the vertical boundary segment x=1, y in [1,4].
+	p3 := Pt(0.8, 1.4)
+	got3, _ := u.Clearance(p3)
+	want3 := 0.2 // horizontal distance to boundary segment x=1, y in [1,4]
+	if !almostEqual(got3, want3, 1e-12) {
+		t.Errorf("clearance in vertical bar = %v want %v", got3, want3)
+	}
+}
+
+// Property: clearance equals a dense-sampling estimate of the distance to
+// the union boundary.
+func TestBoundaryDistMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		rects := make([]Rect, n)
+		for i := range rects {
+			rects[i] = randomRect(rng, 4)
+		}
+		u := NewRectUnion(rects...)
+		p := randomPoint(rng, 5)
+		got := u.BoundaryDist(p)
+
+		// Reference: min distance over densely sampled boundary points.
+		// Sample each rect edge densely and keep points that are NOT
+		// interior to the union (tested by probing both sides).
+		best := math.Inf(1)
+		const steps = 400
+		for _, r := range rects {
+			corners := r.Corners()
+			for e := 0; e < 4; e++ {
+				a, b := corners[e], corners[(e+1)%4]
+				for s := 0; s <= steps; s++ {
+					tt := float64(s) / steps
+					q := Pt(a.X+tt*(b.X-a.X), a.Y+tt*(b.Y-a.Y))
+					if isBoundarySample(u, q) {
+						if d := p.Dist(q); d < best {
+							best = d
+						}
+					}
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			continue // all edges interior — cannot happen for finite unions
+		}
+		// The sampled estimate can only overestimate the true distance by
+		// up to one sampling step.
+		if got > best+1e-9 {
+			t.Fatalf("trial %d: BoundaryDist=%v exceeds sampled %v (p=%v rects=%v)",
+				trial, got, best, p, rects)
+		}
+		if best-got > 0.05 {
+			t.Fatalf("trial %d: BoundaryDist=%v far below sampled %v (p=%v rects=%v)",
+				trial, got, best, p, rects)
+		}
+	}
+}
+
+// isBoundarySample reports whether q is (approximately) on the boundary of
+// the union: q is in the closed union but an epsilon-neighborhood pokes
+// outside.
+func isBoundarySample(u *RectUnion, q Point) bool {
+	if !u.Contains(q) {
+		return false
+	}
+	const eps = 1e-7
+	for _, d := range []Point{{eps, 0}, {-eps, 0}, {0, eps}, {0, -eps},
+		{eps, eps}, {eps, -eps}, {-eps, eps}, {-eps, -eps}} {
+		if !u.Contains(q.Add(d)) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCoversRect(t *testing.T) {
+	u := NewRectUnion(NewRect(0, 0, 2, 2), NewRect(2, 0, 4, 2))
+	if !u.CoversRect(NewRect(0.5, 0.5, 3.5, 1.5)) {
+		t.Error("window spanning both rects must be covered")
+	}
+	if u.CoversRect(NewRect(0.5, 0.5, 3.5, 2.5)) {
+		t.Error("window poking above the union must not be covered")
+	}
+	if !u.CoversRect(NewRect(0, 0, 4, 2)) {
+		t.Error("window equal to the union must be covered")
+	}
+}
+
+func TestSubtractRect(t *testing.T) {
+	w := NewRect(0, 0, 4, 4)
+	// Cover left half: remainder is right half.
+	rem := SubtractRect(w, []Rect{NewRect(0, 0, 2, 4)})
+	if len(rem) != 1 || rem[0] != NewRect(2, 0, 4, 4) {
+		t.Fatalf("SubtractRect half = %v", rem)
+	}
+	// Full cover: empty remainder.
+	if rem := SubtractRect(w, []Rect{NewRect(-1, -1, 5, 5)}); len(rem) != 0 {
+		t.Fatalf("SubtractRect full = %v", rem)
+	}
+	// No cover: the window itself.
+	rem = SubtractRect(w, []Rect{NewRect(10, 10, 11, 11)})
+	if len(rem) != 1 || rem[0] != w {
+		t.Fatalf("SubtractRect none = %v", rem)
+	}
+	// Hole in the middle: four pieces around it (strip decomposition
+	// yields 3 rows: bottom strip, two side pieces, top strip).
+	rem = SubtractRect(w, []Rect{NewRect(1, 1, 3, 3)})
+	total := 0.0
+	for _, r := range rem {
+		total += r.Area()
+	}
+	if !almostEqual(total, 16-4, 1e-12) {
+		t.Fatalf("SubtractRect hole area = %v pieces=%v", total, rem)
+	}
+}
+
+// Property: SubtractRect yields disjoint pieces whose area equals
+// area(w) - area(w ∩ union).
+func TestSubtractRectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		w := randomRect(rng, 5)
+		n := rng.Intn(5)
+		covers := make([]Rect, n)
+		for i := range covers {
+			covers[i] = randomRect(rng, 5)
+		}
+		rem := SubtractRect(w, covers)
+		remArea := 0.0
+		for i, r := range rem {
+			remArea += r.Area()
+			if !w.ContainsRect(r) {
+				t.Fatalf("trial %d: piece %v outside window %v", trial, r, w)
+			}
+			for j := i + 1; j < len(rem); j++ {
+				if _, ok := r.Intersect(rem[j]); ok {
+					t.Fatalf("trial %d: overlapping pieces", trial)
+				}
+			}
+		}
+		u := NewRectUnion(covers...)
+		want := w.Area() - u.IntersectRectArea(w)
+		if !almostEqual(remArea, want, 1e-9) {
+			t.Fatalf("trial %d: remainder area %v want %v", trial, remArea, want)
+		}
+	}
+}
+
+func TestIntersectRectArea(t *testing.T) {
+	u := NewRectUnion(NewRect(0, 0, 2, 2), NewRect(1, 1, 3, 3))
+	if got := u.IntersectRectArea(NewRect(0, 0, 3, 3)); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("full overlap area = %v want 7", got)
+	}
+	if got := u.IntersectRectArea(NewRect(10, 10, 11, 11)); got != 0 {
+		t.Errorf("disjoint area = %v want 0", got)
+	}
+	if got := u.IntersectRectArea(NewRect(0, 0, 1, 1)); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("sub-rect area = %v want 1", got)
+	}
+}
+
+func TestUnverifiedAreaFullyCovered(t *testing.T) {
+	// Disk entirely inside the union: unverified area must be ~0.
+	u := NewRectUnion(NewRect(-10, -10, 10, 10))
+	if got := u.UnverifiedArea(Pt(0, 0), 2); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("covered disk unverified area = %v", got)
+	}
+	// Empty union: unverified area is the whole disk.
+	empty := NewRectUnion()
+	want := math.Pi * 4
+	if got := empty.UnverifiedArea(Pt(0, 0), 2); !almostEqual(got, want, 1e-9) {
+		t.Errorf("uncovered disk area = %v want %v", got, want)
+	}
+}
+
+func TestSubtractIntervals(t *testing.T) {
+	base := interval{0, 10}
+	cases := []struct {
+		cov  []interval
+		want []interval
+	}{
+		{nil, []interval{{0, 10}}},
+		{[]interval{{2, 4}}, []interval{{0, 2}, {4, 10}}},
+		{[]interval{{-5, 15}}, nil},
+		{[]interval{{0, 5}, {5, 10}}, nil},
+		{[]interval{{8, 20}, {-3, 1}}, []interval{{1, 8}}},
+		{[]interval{{3, 4}, {1, 2}}, []interval{{0, 1}, {2, 3}, {4, 10}}},
+	}
+	for i, c := range cases {
+		got := subtractIntervals(base, append([]interval(nil), c.cov...))
+		if len(got) != len(c.want) {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+			continue
+		}
+		for j := range got {
+			if !almostEqual(got[j].a, c.want[j].a, 1e-12) ||
+				!almostEqual(got[j].b, c.want[j].b, 1e-12) {
+				t.Errorf("case %d: got %v want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDedupSorted(t *testing.T) {
+	got := dedupSorted([]float64{3, 1, 2, 1, 3, 3})
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("dedupSorted = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("dedupSorted = %v", got)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package hilbert implements the 2-D Hilbert space-filling curve used to
+// order spatial data on the wireless broadcast channel (Zheng et al.,
+// "Spatial Queries in Wireless Broadcast Systems"; Jagadish, "Analysis of
+// the Hilbert Curve for Representing Two-Dimensional Space").
+//
+// The server partitions the service area into a 2^order × 2^order grid and
+// broadcasts data packets in ascending Hilbert value of their grid cell,
+// so consecutive packets are spatially close and a client can translate a
+// spatial search region into a small set of index-value ranges.
+package hilbert
+
+import (
+	"fmt"
+	"sort"
+
+	"lbsq/internal/geom"
+)
+
+// Curve maps between grid coordinates and positions along a Hilbert curve
+// over a square region of the plane.
+type Curve struct {
+	order int       // curve order; grid is side × side with side = 1<<order
+	side  int       // 1 << order
+	area  geom.Rect // region of the plane covered by the grid
+	cellW float64   // width of one grid cell
+	cellH float64   // height of one grid cell
+}
+
+// New returns a Curve of the given order over the area. Order must be in
+// [1, 31].
+func New(order int, area geom.Rect) (*Curve, error) {
+	if order < 1 || order > 31 {
+		return nil, fmt.Errorf("hilbert: order %d out of range [1,31]", order)
+	}
+	if area.Empty() {
+		return nil, fmt.Errorf("hilbert: empty area %v", area)
+	}
+	side := 1 << order
+	return &Curve{
+		order: order,
+		side:  side,
+		area:  area,
+		cellW: area.Width() / float64(side),
+		cellH: area.Height() / float64(side),
+	}, nil
+}
+
+// Order returns the curve order.
+func (c *Curve) Order() int { return c.order }
+
+// Side returns the grid side length (number of cells per axis).
+func (c *Curve) Side() int { return c.side }
+
+// Cells returns the total number of grid cells, side².
+func (c *Curve) Cells() int64 { return int64(c.side) * int64(c.side) }
+
+// Area returns the region of the plane covered by the grid.
+func (c *Curve) Area() geom.Rect { return c.area }
+
+// D computes the Hilbert value of grid cell (x, y). Coordinates outside
+// the grid are clamped.
+func (c *Curve) D(x, y int) int64 {
+	x = clampInt(x, 0, c.side-1)
+	y = clampInt(y, 0, c.side-1)
+	var d int64
+	for s := c.side / 2; s > 0; s /= 2 {
+		var rx, ry int
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += int64(s) * int64(s) * int64((3*rx)^ry)
+		x, y = rotate(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// XY computes the grid cell of Hilbert value d (the inverse of D). Values
+// outside [0, Cells) are clamped.
+func (c *Curve) XY(d int64) (x, y int) {
+	if d < 0 {
+		d = 0
+	} else if max := c.Cells() - 1; d > max {
+		d = max
+	}
+	t := d
+	for s := 1; s < c.side; s *= 2 {
+		rx := int(1 & (t / 2))
+		ry := int(1 & (t ^ int64(rx)))
+		x, y = rotate(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rotate applies the quadrant rotation/reflection of the Hilbert
+// construction.
+func rotate(s, x, y, rx, ry int) (int, int) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// CellOf returns the grid cell containing point p. Points outside the
+// area are clamped to the border cells.
+func (c *Curve) CellOf(p geom.Point) (x, y int) {
+	x = int((p.X - c.area.Min.X) / c.cellW)
+	y = int((p.Y - c.area.Min.Y) / c.cellH)
+	return clampInt(x, 0, c.side-1), clampInt(y, 0, c.side-1)
+}
+
+// ValueOf returns the Hilbert value of the cell containing p.
+func (c *Curve) ValueOf(p geom.Point) int64 {
+	x, y := c.CellOf(p)
+	return c.D(x, y)
+}
+
+// CellRect returns the rectangle covered by grid cell (x, y).
+func (c *Curve) CellRect(x, y int) geom.Rect {
+	minX := c.area.Min.X + float64(x)*c.cellW
+	minY := c.area.Min.Y + float64(y)*c.cellH
+	return geom.Rect{
+		Min: geom.Pt(minX, minY),
+		Max: geom.Pt(minX+c.cellW, minY+c.cellH),
+	}
+}
+
+// CellRectOfValue returns the rectangle of the cell with Hilbert value d.
+func (c *Curve) CellRectOfValue(d int64) geom.Rect {
+	x, y := c.XY(d)
+	return c.CellRect(x, y)
+}
+
+// CellCenter returns the center point of the cell with Hilbert value d.
+func (c *Curve) CellCenter(d int64) geom.Point {
+	return c.CellRectOfValue(d).Center()
+}
+
+// CellsInRect returns the Hilbert values (ascending) of every grid cell
+// whose rectangle intersects r. This is the candidate set a broadcast
+// client must retrieve to resolve a window query over r.
+func (c *Curve) CellsInRect(r geom.Rect) []int64 {
+	x0, y0 := c.CellOf(r.Min)
+	x1, y1 := c.CellOf(r.Max)
+	out := make([]int64, 0, (x1-x0+1)*(y1-y0+1))
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			out = append(out, c.D(x, y))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Range is a closed interval [First, Last] of Hilbert values.
+type Range struct {
+	First, Last int64
+}
+
+// Contains reports whether d lies in the range.
+func (r Range) Contains(d int64) bool { return d >= r.First && d <= r.Last }
+
+// Len returns the number of values the range spans.
+func (r Range) Len() int64 { return r.Last - r.First + 1 }
+
+// RangeOfRect returns the minimal single Hilbert range [first, last]
+// covering every cell that intersects r — the "first point a, last point
+// b" bound of the on-air window query algorithm (Fig. 8 of the paper).
+// ok is false when r misses the grid entirely.
+func (c *Curve) RangeOfRect(r geom.Rect) (Range, bool) {
+	if !c.area.Intersects(r) {
+		return Range{}, false
+	}
+	cells := c.CellsInRect(r)
+	if len(cells) == 0 {
+		return Range{}, false
+	}
+	return Range{First: cells[0], Last: cells[len(cells)-1]}, true
+}
+
+// RangesOfRect returns the exact set of maximal contiguous Hilbert ranges
+// covering the cells that intersect r. Compared with RangeOfRect it skips
+// the curve's detours outside the window, trading a longer index for less
+// data retrieval.
+func (c *Curve) RangesOfRect(r geom.Rect) []Range {
+	cells := c.CellsInRect(r)
+	if len(cells) == 0 {
+		return nil
+	}
+	var out []Range
+	cur := Range{First: cells[0], Last: cells[0]}
+	for _, d := range cells[1:] {
+		if d == cur.Last+1 {
+			cur.Last = d
+			continue
+		}
+		out = append(out, cur)
+		cur = Range{First: d, Last: d}
+	}
+	return append(out, cur)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,101 @@
+// Package ondemand models the point-to-point, on-demand access model the
+// paper contrasts with wireless broadcast (Section 2.1): every client
+// submits its query over a shared uplink to a central server that answers
+// from its spatial index. The model captures the two properties the paper
+// argues from — per-query latency grows with system load (the server and
+// channel are a queueing system), and the client must reveal its location
+// — whereas broadcast latency is independent of the client population.
+//
+// The server is modeled as an M/M/1 queue: queries arrive Poisson at rate
+// λ and are served at rate μ (query processing + downlink transmission).
+// Expected sojourn time is 1/(μ−λ) for λ < μ and diverges at saturation,
+// which is the scalability cliff of the on-demand model.
+package ondemand
+
+import (
+	"fmt"
+	"math"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+// Server is a central spatial-query server reachable point-to-point.
+type Server struct {
+	index *rtree.Tree
+	// ServiceRate is μ: queries the server+downlink can complete per
+	// second.
+	ServiceRate float64
+}
+
+// NewServer builds an on-demand server over the POI set.
+func NewServer(items []rtree.Item, serviceRate float64) (*Server, error) {
+	if serviceRate <= 0 {
+		return nil, fmt.Errorf("ondemand: service rate %v must be positive", serviceRate)
+	}
+	return &Server{
+		index:       rtree.Bulk(items, rtree.DefaultMaxEntries),
+		ServiceRate: serviceRate,
+	}, nil
+}
+
+// KNN answers a k-nearest-neighbor query exactly (the server has random
+// access to its disk-based index, unlike broadcast clients).
+func (s *Server) KNN(q geom.Point, k int) []rtree.Item {
+	return s.index.KNN(q, k)
+}
+
+// Window answers a window query exactly.
+func (s *Server) Window(w geom.Rect) []rtree.Item {
+	return s.index.Window(w)
+}
+
+// ExpectedLatency returns the expected per-query sojourn time (seconds)
+// when queries arrive at the given aggregate rate (per second). It
+// returns +Inf at or beyond saturation — the on-demand model's
+// scalability failure mode.
+func (s *Server) ExpectedLatency(arrivalRate float64) float64 {
+	if arrivalRate < 0 {
+		arrivalRate = 0
+	}
+	if arrivalRate >= s.ServiceRate {
+		return math.Inf(1)
+	}
+	return 1 / (s.ServiceRate - arrivalRate)
+}
+
+// Utilization returns λ/μ for the given arrival rate.
+func (s *Server) Utilization(arrivalRate float64) float64 {
+	return arrivalRate / s.ServiceRate
+}
+
+// ScalabilityRow is one point of the on-demand-vs-broadcast comparison.
+type ScalabilityRow struct {
+	// Clients is the mobile-host population.
+	Clients int
+	// ArrivalRate is the aggregate query rate (per second).
+	ArrivalRate float64
+	// OnDemandLatency is the expected point-to-point latency (seconds);
+	// +Inf past saturation.
+	OnDemandLatency float64
+	// BroadcastLatency is the (population-independent) mean on-air
+	// latency in seconds.
+	BroadcastLatency float64
+}
+
+// ScalabilitySweep reproduces the Section 1/2.1 argument: as the client
+// population grows at a fixed per-client query rate, on-demand latency
+// blows up while broadcast latency stays flat.
+func (s *Server) ScalabilitySweep(populations []int, perClientRate, broadcastLatency float64) []ScalabilityRow {
+	rows := make([]ScalabilityRow, 0, len(populations))
+	for _, n := range populations {
+		rate := float64(n) * perClientRate
+		rows = append(rows, ScalabilityRow{
+			Clients:          n,
+			ArrivalRate:      rate,
+			OnDemandLatency:  s.ExpectedLatency(rate),
+			BroadcastLatency: broadcastLatency,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,121 @@
+package ondemand
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbsq/internal/geom"
+	"lbsq/internal/rtree"
+)
+
+func demoItems(rng *rand.Rand, n int) []rtree.Item {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), Pos: geom.Pt(rng.Float64()*20, rng.Float64()*20)}
+	}
+	return items
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, 0); err == nil {
+		t.Error("zero service rate must be rejected")
+	}
+	if _, err := NewServer(nil, -1); err == nil {
+		t.Error("negative service rate must be rejected")
+	}
+}
+
+func TestQueriesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := demoItems(rng, 400)
+	s, err := NewServer(items, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := geom.Pt(rng.Float64()*20, rng.Float64()*20)
+		got := s.KNN(q, 5)
+		want := append([]rtree.Item(nil), items...)
+		sort.Slice(want, func(i, j int) bool {
+			return want[i].Pos.DistSq(q) < want[j].Pos.DistSq(q)
+		})
+		for i := range got {
+			if got[i].Pos.Dist(q) != want[i].Pos.Dist(q) {
+				t.Fatalf("trial %d: KNN mismatch", trial)
+			}
+		}
+		w := geom.NewRect(q.X-2, q.Y-2, q.X+2, q.Y+2)
+		gotW := s.Window(w)
+		wantN := 0
+		for _, it := range items {
+			if w.Contains(it.Pos) {
+				wantN++
+			}
+		}
+		if len(gotW) != wantN {
+			t.Fatalf("trial %d: window %d want %d", trial, len(gotW), wantN)
+		}
+	}
+}
+
+func TestExpectedLatencyMM1(t *testing.T) {
+	s, err := NewServer(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle server: 1/μ.
+	if got := s.ExpectedLatency(0); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("idle latency = %v", got)
+	}
+	// Half load: 1/(10-5) = 0.2.
+	if got := s.ExpectedLatency(5); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("half-load latency = %v", got)
+	}
+	// Saturation and beyond: infinite.
+	if !math.IsInf(s.ExpectedLatency(10), 1) || !math.IsInf(s.ExpectedLatency(20), 1) {
+		t.Error("saturated latency must be +Inf")
+	}
+	// Negative arrival clamps.
+	if got := s.ExpectedLatency(-3); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("negative arrival latency = %v", got)
+	}
+	if got := s.Utilization(5); got != 0.5 {
+		t.Errorf("utilization = %v", got)
+	}
+}
+
+func TestScalabilitySweep(t *testing.T) {
+	s, err := NewServer(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := s.ScalabilitySweep([]int{100, 1000, 10000, 100000}, 0.01, 2.5)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// On-demand latency is non-decreasing in population and eventually
+	// infinite; broadcast stays flat.
+	prev := 0.0
+	for i, r := range rows {
+		if r.OnDemandLatency < prev {
+			t.Fatalf("row %d: latency decreased", i)
+		}
+		prev = r.OnDemandLatency
+		if r.BroadcastLatency != 2.5 {
+			t.Fatalf("row %d: broadcast latency changed", i)
+		}
+	}
+	if !math.IsInf(rows[3].OnDemandLatency, 1) {
+		t.Error("100k clients at 0.01 q/s (1000 q/s > μ=100) must saturate")
+	}
+	// The crossover exists: small populations beat broadcast, large ones
+	// lose to it.
+	if rows[0].OnDemandLatency >= rows[0].BroadcastLatency {
+		t.Error("lightly loaded on-demand should beat broadcast")
+	}
+	if rows[3].OnDemandLatency <= rows[3].BroadcastLatency {
+		t.Error("saturated on-demand should lose to broadcast")
+	}
+}

@@ -1,0 +1,39 @@
+package p2p
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+func benchNet(b *testing.B, hosts int) (*Network, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n, err := NewNetwork(geom.NewRect(0, 0, 20, 20), 0.125)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < hosts; i++ {
+		n.Update(i, geom.Pt(rng.Float64()*20, rng.Float64()*20))
+	}
+	return n, rng
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	n, rng := benchNet(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Update(i%10000, geom.Pt(rng.Float64()*20, rng.Float64()*20))
+	}
+}
+
+func BenchmarkNeighbors200m(b *testing.B) {
+	n, rng := benchNet(b, 10000)
+	const radius = 200 / 1609.344
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Pt(rng.Float64()*20, rng.Float64()*20)
+		n.Neighbors(q, radius, i%10000)
+	}
+}

@@ -1,0 +1,290 @@
+// Package quadtree implements a point-region (PR) quadtree and linear
+// quadtree (Morton/Z-order) codes. The paper's related-work section cites
+// the quadtree family (Aboulnaga–Aref, "Window Query Processing in Linear
+// Quadtrees") as the classical disk-based access method for window
+// queries; the reproduction uses it as an independent baseline to
+// cross-check window-query results and as a second space-filling-curve
+// ordering for ablation against the Hilbert curve.
+package quadtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lbsq/internal/geom"
+)
+
+// Item is a point object stored in the tree.
+type Item struct {
+	ID  int64
+	Pos geom.Point
+}
+
+// DefaultCapacity is the leaf capacity used when callers pass a
+// non-positive value.
+const DefaultCapacity = 8
+
+// maxDepth bounds subdivision so coincident points cannot recurse forever.
+const maxDepth = 32
+
+// Tree is a PR quadtree over a fixed square region.
+type Tree struct {
+	root     *qnode
+	bounds   geom.Rect
+	capacity int
+	size     int
+}
+
+type qnode struct {
+	bounds   geom.Rect
+	items    []Item
+	children *[4]*qnode // nil for leaves
+	depth    int
+}
+
+// New returns an empty quadtree covering bounds.
+func New(bounds geom.Rect, capacity int) (*Tree, error) {
+	if bounds.Empty() {
+		return nil, fmt.Errorf("quadtree: empty bounds %v", bounds)
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tree{
+		root:     &qnode{bounds: bounds},
+		bounds:   bounds,
+		capacity: capacity,
+	}, nil
+}
+
+// Bounds returns the region the tree covers.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an item. Items outside the tree bounds are rejected.
+func (t *Tree) Insert(it Item) error {
+	if !t.bounds.Contains(it.Pos) {
+		return fmt.Errorf("quadtree: point %v outside bounds %v", it.Pos, t.bounds)
+	}
+	t.root.insert(it, t.capacity)
+	t.size++
+	return nil
+}
+
+func (n *qnode) insert(it Item, capacity int) {
+	if n.children == nil {
+		if len(n.items) < capacity || n.depth >= maxDepth {
+			n.items = append(n.items, it)
+			return
+		}
+		n.subdivide(capacity)
+	}
+	n.childFor(it.Pos).insert(it, capacity)
+}
+
+func (n *qnode) subdivide(capacity int) {
+	c := n.bounds.Center()
+	b := n.bounds
+	var kids [4]*qnode
+	kids[0] = &qnode{bounds: geom.Rect{Min: b.Min, Max: c}, depth: n.depth + 1}            // SW
+	kids[1] = &qnode{bounds: geom.NewRect(c.X, b.Min.Y, b.Max.X, c.Y), depth: n.depth + 1} // SE
+	kids[2] = &qnode{bounds: geom.NewRect(b.Min.X, c.Y, c.X, b.Max.Y), depth: n.depth + 1} // NW
+	kids[3] = &qnode{bounds: geom.Rect{Min: c, Max: b.Max}, depth: n.depth + 1}            // NE
+	n.children = &kids
+	old := n.items
+	n.items = nil
+	for _, it := range old {
+		n.childFor(it.Pos).insert(it, capacity)
+	}
+}
+
+// childFor routes a point to a quadrant; ties on the split lines go to the
+// higher quadrant so every in-bounds point has exactly one home.
+func (n *qnode) childFor(p geom.Point) *qnode {
+	c := n.bounds.Center()
+	idx := 0
+	if p.X >= c.X {
+		idx |= 1
+	}
+	if p.Y >= c.Y {
+		idx |= 2
+	}
+	return n.children[idx]
+}
+
+// Window returns every item inside the closed rectangle r.
+func (t *Tree) Window(r geom.Rect) []Item {
+	var out []Item
+	t.root.window(r, &out)
+	return out
+}
+
+func (n *qnode) window(r geom.Rect, out *[]Item) {
+	if !n.bounds.Intersects(r) {
+		return
+	}
+	for _, it := range n.items {
+		if r.Contains(it.Pos) {
+			*out = append(*out, it)
+		}
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			c.window(r, out)
+		}
+	}
+}
+
+// All returns every stored item.
+func (t *Tree) All() []Item {
+	var out []Item
+	t.root.collect(&out)
+	return out
+}
+
+func (n *qnode) collect(out *[]Item) {
+	*out = append(*out, n.items...)
+	if n.children != nil {
+		for _, c := range n.children {
+			c.collect(out)
+		}
+	}
+}
+
+// NN returns the nearest item to q; ok is false for an empty tree.
+func (t *Tree) NN(q geom.Point) (Item, bool) {
+	if t.size == 0 {
+		return Item{}, false
+	}
+	best := Item{}
+	bestD := -1.0
+	var walk func(n *qnode)
+	walk = func(n *qnode) {
+		if bestD >= 0 && n.bounds.Dist(q) > bestD {
+			return
+		}
+		for _, it := range n.items {
+			if d := it.Pos.Dist(q); bestD < 0 || d < bestD {
+				best, bestD = it, d
+			}
+		}
+		if n.children == nil {
+			return
+		}
+		// Visit nearer quadrants first for tighter pruning.
+		order := []*qnode{n.children[0], n.children[1], n.children[2], n.children[3]}
+		sort.Slice(order, func(i, j int) bool {
+			return order[i].bounds.Dist(q) < order[j].bounds.Dist(q)
+		})
+		for _, c := range order {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return best, true
+}
+
+// KNN returns the k nearest items to q in ascending distance order using
+// best-first traversal over quadrants.
+func (t *Tree) KNN(q geom.Point, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	type result struct {
+		dist float64
+		item Item
+	}
+	var best []result // sorted ascending, at most k
+	worst := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].dist
+	}
+	add := func(d float64, it Item) {
+		i := sort.Search(len(best), func(i int) bool { return best[i].dist > d })
+		best = append(best, result{})
+		copy(best[i+1:], best[i:])
+		best[i] = result{dist: d, item: it}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	var walk func(n *qnode)
+	walk = func(n *qnode) {
+		if n.bounds.Dist(q) > worst() {
+			return
+		}
+		for _, it := range n.items {
+			if d := it.Pos.Dist(q); d < worst() {
+				add(d, it)
+			}
+		}
+		if n.children == nil {
+			return
+		}
+		order := []*qnode{n.children[0], n.children[1], n.children[2], n.children[3]}
+		sort.Slice(order, func(i, j int) bool {
+			return order[i].bounds.Dist(q) < order[j].bounds.Dist(q)
+		})
+		for _, c := range order {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	out := make([]Item, len(best))
+	for i, r := range best {
+		out[i] = r.item
+	}
+	return out
+}
+
+// MortonCode returns the Z-order (linear quadtree) code of the grid cell
+// containing p on a 2^order × 2^order decomposition of bounds — the code
+// a linear quadtree stores in its B+-tree.
+func MortonCode(bounds geom.Rect, order int, p geom.Point) int64 {
+	side := int64(1) << order
+	fx := (p.X - bounds.Min.X) / bounds.Width()
+	fy := (p.Y - bounds.Min.Y) / bounds.Height()
+	x := clamp64(int64(fx*float64(side)), 0, side-1)
+	y := clamp64(int64(fy*float64(side)), 0, side-1)
+	return interleave(x) | interleave(y)<<1
+}
+
+// MortonDecode returns the grid cell (x, y) encoded by code.
+func MortonDecode(code int64) (x, y int64) {
+	return deinterleave(code), deinterleave(code >> 1)
+}
+
+func interleave(v int64) int64 {
+	v &= 0x00000000FFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+func deinterleave(v int64) int64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,257 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+func mustTree(t *testing.T, bounds geom.Rect, capacity int) *Tree {
+	t.Helper()
+	tr, err := New(bounds, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.NewRect(0, 0, 0, 0), 4); err == nil {
+		t.Error("empty bounds must be rejected")
+	}
+	tr := mustTree(t, geom.NewRect(0, 0, 10, 10), 0)
+	if tr.capacity != DefaultCapacity {
+		t.Errorf("default capacity = %d", tr.capacity)
+	}
+	if tr.Bounds() != geom.NewRect(0, 0, 10, 10) {
+		t.Errorf("Bounds = %v", tr.Bounds())
+	}
+}
+
+func TestInsertOutsideBounds(t *testing.T) {
+	tr := mustTree(t, geom.NewRect(0, 0, 10, 10), 4)
+	if err := tr.Insert(Item{ID: 1, Pos: geom.Pt(11, 5)}); err == nil {
+		t.Error("insert outside bounds must fail")
+	}
+	if tr.Len() != 0 {
+		t.Error("failed insert must not change size")
+	}
+}
+
+func TestWindowVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := mustTree(t, geom.NewRect(0, 0, 100, 100), 4)
+	items := make([]Item, 700)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Pos: geom.Pt(rng.Float64()*100, rng.Float64()*100)}
+		if err := tr.Insert(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 700 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 60; trial++ {
+		a := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		b := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		w := geom.NewRect(a.X, a.Y, b.X, b.Y)
+		got := tr.Window(w)
+		wantCount := 0
+		for _, it := range items {
+			if w.Contains(it.Pos) {
+				wantCount++
+			}
+		}
+		if len(got) != wantCount {
+			t.Fatalf("trial %d: Window = %d want %d", trial, len(got), wantCount)
+		}
+		for _, it := range got {
+			if !w.Contains(it.Pos) {
+				t.Fatalf("trial %d: item %v outside window %v", trial, it, w)
+			}
+		}
+	}
+}
+
+func TestNNVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := mustTree(t, geom.NewRect(0, 0, 50, 50), 6)
+	items := make([]Item, 400)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Pos: geom.Pt(rng.Float64()*50, rng.Float64()*50)}
+		if err := tr.Insert(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		q := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		got, ok := tr.NN(q)
+		if !ok {
+			t.Fatal("NN must succeed on non-empty tree")
+		}
+		bestD := -1.0
+		for _, it := range items {
+			if d := it.Pos.Dist(q); bestD < 0 || d < bestD {
+				bestD = d
+			}
+		}
+		if got.Pos.Dist(q) != bestD {
+			t.Fatalf("trial %d: NN dist %v want %v", trial, got.Pos.Dist(q), bestD)
+		}
+	}
+}
+
+func TestNNEmpty(t *testing.T) {
+	tr := mustTree(t, geom.NewRect(0, 0, 1, 1), 4)
+	if _, ok := tr.NN(geom.Pt(0.5, 0.5)); ok {
+		t.Error("NN on empty tree must report ok=false")
+	}
+}
+
+func TestCoincidentPointsDoNotRecurseForever(t *testing.T) {
+	tr := mustTree(t, geom.NewRect(0, 0, 1, 1), 2)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(Item{ID: int64(i), Pos: geom.Pt(0.3, 0.3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Window(geom.NewRect(0, 0, 1, 1))
+	if len(got) != 100 {
+		t.Fatalf("Window = %d", len(got))
+	}
+}
+
+func TestAll(t *testing.T) {
+	tr := mustTree(t, geom.NewRect(0, 0, 10, 10), 2)
+	for i := 0; i < 25; i++ {
+		p := geom.Pt(float64(i%5)*2+0.5, float64(i/5)*2+0.5)
+		if err := tr.Insert(Item{ID: int64(i), Pos: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := tr.All()
+	if len(all) != 25 {
+		t.Fatalf("All = %d", len(all))
+	}
+	seen := map[int64]bool{}
+	for _, it := range all {
+		if seen[it.ID] {
+			t.Fatalf("duplicate id %d", it.ID)
+		}
+		seen[it.ID] = true
+	}
+}
+
+func TestMortonRoundTrip(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 16, 16)
+	for x := int64(0); x < 16; x++ {
+		for y := int64(0); y < 16; y++ {
+			p := geom.Pt(float64(x)+0.5, float64(y)+0.5)
+			code := MortonCode(bounds, 4, p)
+			gx, gy := MortonDecode(code)
+			if gx != x || gy != y {
+				t.Fatalf("Morton round trip (%d,%d) -> %d -> (%d,%d)", x, y, code, gx, gy)
+			}
+		}
+	}
+}
+
+func TestMortonOrderBaseCase(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 2, 2)
+	// Z-order on a 2x2 grid: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3.
+	want := map[[2]float64]int64{
+		{0.5, 0.5}: 0, {1.5, 0.5}: 1, {0.5, 1.5}: 2, {1.5, 1.5}: 3,
+	}
+	for cell, code := range want {
+		if got := MortonCode(bounds, 1, geom.Pt(cell[0], cell[1])); got != code {
+			t.Errorf("MortonCode(%v) = %d want %d", cell, got, code)
+		}
+	}
+}
+
+func TestMortonClamping(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 8, 8)
+	inside := MortonCode(bounds, 3, geom.Pt(7.9, 7.9))
+	outside := MortonCode(bounds, 3, geom.Pt(100, 100))
+	if inside != outside {
+		t.Errorf("out-of-bounds point must clamp to border cell: %d vs %d", inside, outside)
+	}
+}
+
+func TestMortonUniqueness(t *testing.T) {
+	bounds := geom.NewRect(0, 0, 8, 8)
+	seen := map[int64]bool{}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			code := MortonCode(bounds, 3, geom.Pt(float64(x)+0.5, float64(y)+0.5))
+			if seen[code] {
+				t.Fatalf("duplicate Morton code %d", code)
+			}
+			seen[code] = true
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("expected 64 distinct codes, got %d", len(seen))
+	}
+}
+
+func TestKNNVsBruteForceQuadtree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := mustTree(t, geom.NewRect(0, 0, 50, 50), 6)
+	items := make([]Item, 500)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Pos: geom.Pt(rng.Float64()*50, rng.Float64()*50)}
+		if err := tr.Insert(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		k := 1 + rng.Intn(10)
+		got := tr.KNN(q, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), k)
+		}
+		// Brute force.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Pos.Dist(q)
+		}
+		sortFloats(dists)
+		for i := range got {
+			if got[i].Pos.Dist(q) != dists[i] {
+				t.Fatalf("trial %d: rank %d dist %v want %v",
+					trial, i, got[i].Pos.Dist(q), dists[i])
+			}
+		}
+		// Ascending order.
+		for i := 1; i < len(got); i++ {
+			if got[i].Pos.Dist(q) < got[i-1].Pos.Dist(q) {
+				t.Fatalf("trial %d: not ascending", trial)
+			}
+		}
+	}
+	// Over-ask and degenerate cases.
+	if got := tr.KNN(geom.Pt(25, 25), 10000); len(got) != 500 {
+		t.Fatalf("over-ask = %d", len(got))
+	}
+	if got := tr.KNN(geom.Pt(25, 25), 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	empty := mustTree(t, geom.NewRect(0, 0, 1, 1), 4)
+	if got := empty.KNN(geom.Pt(0.5, 0.5), 3); got != nil {
+		t.Fatal("empty tree KNN must return nil")
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

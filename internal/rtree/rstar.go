@@ -1,0 +1,334 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"lbsq/internal/geom"
+)
+
+// The R*-tree (Beckmann, Kriegel, Schneider, Seeger; SIGMOD 1990 — cited
+// as [2] by the paper) improves on Guttman's R-tree with three insertion
+// heuristics: subtree choice by least overlap enlargement at the leaf
+// level, split axis selection by minimum margin sum with the distribution
+// chosen by minimum overlap, and forced reinsertion of the farthest
+// entries on the first overflow of each level. Queries are identical —
+// only the tree quality differs.
+
+// variant selects the insertion algorithm family.
+type variant int
+
+const (
+	guttman variant = iota
+	rstar
+)
+
+// reinsertFraction is the share of entries forced out on first overflow
+// (the canonical p = 30%).
+const reinsertFraction = 0.3
+
+// NewRStar returns an empty tree using R*-tree insertion heuristics.
+func NewRStar(maxEntries int) *Tree {
+	t := New(maxEntries)
+	t.variant = rstar
+	return t
+}
+
+// Variant reports whether the tree uses R* insertion ("rstar") or
+// Guttman's original ("guttman").
+func (t *Tree) Variant() string {
+	if t.variant == rstar {
+		return "rstar"
+	}
+	return "guttman"
+}
+
+// insertRStar is the R* insertion entry point.
+func (t *Tree) insertRStar(it Item) {
+	t.reinserted = map[int]bool{}
+	t.insertAtLeaf(it)
+}
+
+func (t *Tree) insertAtLeaf(it Item) {
+	leaf := t.chooseSubtreeRStar(t.root, it.Pos)
+	leaf.items = append(leaf.items, it)
+	leaf.bounds = extend(leaf, it.Pos)
+	t.size++
+	if len(leaf.items) > t.maxEntries {
+		t.overflowTreatment(leaf)
+	} else {
+		t.adjustUp(leaf.parent)
+	}
+}
+
+// chooseSubtreeRStar descends choosing, at nodes whose children are
+// leaves, the child with least overlap enlargement; elsewhere least area
+// enlargement (the R* CS2 heuristic).
+func (t *Tree) chooseSubtreeRStar(n *node, p geom.Point) *node {
+	for !n.leaf {
+		childrenAreLeaves := n.children[0].leaf
+		best := n.children[0]
+		if childrenAreLeaves {
+			bestOverlap := overlapEnlargement(n.children, 0, p)
+			bestEnl := enlargement(best.bounds, p)
+			for i, c := range n.children[1:] {
+				ov := overlapEnlargement(n.children, i+1, p)
+				enl := enlargement(c.bounds, p)
+				if ov < bestOverlap ||
+					(ov == bestOverlap && enl < bestEnl) ||
+					(ov == bestOverlap && enl == bestEnl && c.bounds.Area() < best.bounds.Area()) {
+					best, bestOverlap, bestEnl = c, ov, enl
+				}
+			}
+		} else {
+			bestEnl := enlargement(best.bounds, p)
+			for _, c := range n.children[1:] {
+				enl := enlargement(c.bounds, p)
+				if enl < bestEnl || (enl == bestEnl && c.bounds.Area() < best.bounds.Area()) {
+					best, bestEnl = c, enl
+				}
+			}
+		}
+		n = best
+	}
+	return n
+}
+
+// overlapEnlargement computes how much inserting p into children[i] would
+// grow its overlap with its siblings.
+func overlapEnlargement(children []*node, i int, p geom.Point) float64 {
+	grown := children[i].bounds.Union(geom.Rect{Min: p, Max: p})
+	var before, after float64
+	for j, s := range children {
+		if j == i {
+			continue
+		}
+		if inter, ok := children[i].bounds.Intersect(s.bounds); ok {
+			before += inter.Area()
+		}
+		if inter, ok := grown.Intersect(s.bounds); ok {
+			after += inter.Area()
+		}
+	}
+	return after - before
+}
+
+// overflowTreatment applies forced reinsertion on the first overflow of a
+// level within one insertion, splitting otherwise (R* OT1). With point
+// data only leaf entries are reinserted; internal overflows split.
+func (t *Tree) overflowTreatment(n *node) {
+	level := t.levelOf(n)
+	if n.leaf && n.parent != nil && !t.reinserted[level] {
+		t.reinserted[level] = true
+		t.forcedReinsert(n)
+		return
+	}
+	t.splitRStar(n)
+}
+
+func (t *Tree) levelOf(n *node) int {
+	l := 0
+	for n.parent != nil {
+		l++
+		n = n.parent
+	}
+	return l
+}
+
+// forcedReinsert removes the reinsertFraction of entries farthest from
+// the node's center and reinserts them from the top.
+func (t *Tree) forcedReinsert(n *node) {
+	center := n.bounds.Center()
+	sort.Slice(n.items, func(i, j int) bool {
+		return n.items[i].Pos.DistSq(center) < n.items[j].Pos.DistSq(center)
+	})
+	p := int(math.Ceil(reinsertFraction * float64(len(n.items))))
+	if p < 1 {
+		p = 1
+	}
+	cut := len(n.items) - p
+	evicted := append([]Item(nil), n.items[cut:]...)
+	n.items = n.items[:cut]
+	n.recomputeBounds()
+	t.adjustUp(n.parent)
+	t.size -= len(evicted)
+	for _, it := range evicted {
+		t.insertAtLeaf(it)
+	}
+}
+
+// splitRStar splits an overflowing node with the R* topological split and
+// propagates upward.
+func (t *Tree) splitRStar(n *node) {
+	var sibling *node
+	if n.leaf {
+		a, b := rstarSplitItems(n.items, t.minEntries)
+		n.items = a
+		sibling = &node{leaf: true, items: b}
+	} else {
+		a, b := rstarSplitNodes(n.children, t.minEntries)
+		n.children = a
+		sibling = &node{children: b}
+		for _, c := range sibling.children {
+			c.parent = sibling
+		}
+	}
+	n.recomputeBounds()
+	sibling.recomputeBounds()
+
+	if n.parent == nil {
+		newRoot := &node{children: []*node{n, sibling}}
+		n.parent = newRoot
+		sibling.parent = newRoot
+		newRoot.recomputeBounds()
+		t.root = newRoot
+		return
+	}
+	p := n.parent
+	sibling.parent = p
+	p.children = append(p.children, sibling)
+	p.recomputeBounds()
+	if len(p.children) > t.maxEntries {
+		t.overflowTreatment(p)
+	} else {
+		t.adjustUp(p.parent)
+	}
+}
+
+// rstarSplitItems chooses the split axis by minimum margin sum over all
+// distributions, then the distribution with minimal overlap (ties by
+// area).
+func rstarSplitItems(items []Item, minFill int) (a, b []Item) {
+	if minFill < 1 {
+		minFill = 1
+	}
+	type dist struct {
+		k    int // left group size
+		axis int // 0 = x, 1 = y
+	}
+	bounds := func(s []Item) geom.Rect {
+		r := geom.Rect{Min: s[0].Pos, Max: s[0].Pos}
+		for _, it := range s[1:] {
+			r = r.Union(geom.Rect{Min: it.Pos, Max: it.Pos})
+		}
+		return r
+	}
+	margin := func(r geom.Rect) float64 { return 2 * (r.Width() + r.Height()) }
+
+	sorted := [2][]Item{}
+	for axis := 0; axis < 2; axis++ {
+		s := append([]Item(nil), items...)
+		if axis == 0 {
+			sort.Slice(s, func(i, j int) bool { return s[i].Pos.X < s[j].Pos.X })
+		} else {
+			sort.Slice(s, func(i, j int) bool { return s[i].Pos.Y < s[j].Pos.Y })
+		}
+		sorted[axis] = s
+	}
+
+	marginSum := [2]float64{}
+	for axis := 0; axis < 2; axis++ {
+		s := sorted[axis]
+		for k := minFill; k <= len(s)-minFill; k++ {
+			marginSum[axis] += margin(bounds(s[:k])) + margin(bounds(s[k:]))
+		}
+	}
+	axis := 0
+	if marginSum[1] < marginSum[0] {
+		axis = 1
+	}
+
+	s := sorted[axis]
+	bestK := minFill
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for k := minFill; k <= len(s)-minFill; k++ {
+		rb1, rb2 := bounds(s[:k]), bounds(s[k:])
+		var ov float64
+		if inter, ok := rb1.Intersect(rb2); ok {
+			ov = inter.Area()
+		}
+		area := rb1.Area() + rb2.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, ov, area
+		}
+	}
+	return append([]Item(nil), s[:bestK]...), append([]Item(nil), s[bestK:]...)
+}
+
+// rstarSplitNodes is the internal-node version of the R* split.
+func rstarSplitNodes(nodes []*node, minFill int) (a, b []*node) {
+	if minFill < 1 {
+		minFill = 1
+	}
+	bounds := func(s []*node) geom.Rect {
+		r := s[0].bounds
+		for _, c := range s[1:] {
+			r = r.Union(c.bounds)
+		}
+		return r
+	}
+	margin := func(r geom.Rect) float64 { return 2 * (r.Width() + r.Height()) }
+
+	sorted := [2][]*node{}
+	for axis := 0; axis < 2; axis++ {
+		s := append([]*node(nil), nodes...)
+		if axis == 0 {
+			sort.Slice(s, func(i, j int) bool { return s[i].bounds.Min.X < s[j].bounds.Min.X })
+		} else {
+			sort.Slice(s, func(i, j int) bool { return s[i].bounds.Min.Y < s[j].bounds.Min.Y })
+		}
+		sorted[axis] = s
+	}
+	marginSum := [2]float64{}
+	for axis := 0; axis < 2; axis++ {
+		s := sorted[axis]
+		for k := minFill; k <= len(s)-minFill; k++ {
+			marginSum[axis] += margin(bounds(s[:k])) + margin(bounds(s[k:]))
+		}
+	}
+	axis := 0
+	if marginSum[1] < marginSum[0] {
+		axis = 1
+	}
+	s := sorted[axis]
+	bestK := minFill
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for k := minFill; k <= len(s)-minFill; k++ {
+		rb1, rb2 := bounds(s[:k]), bounds(s[k:])
+		var ov float64
+		if inter, ok := rb1.Intersect(rb2); ok {
+			ov = inter.Area()
+		}
+		area := rb1.Area() + rb2.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, ov, area
+		}
+	}
+	return append([]*node(nil), s[:bestK]...), append([]*node(nil), s[bestK:]...)
+}
+
+// NodesTouchedByWindow returns how many tree nodes a window query visits
+// — the I/O proxy used to compare tree quality between insertion
+// variants.
+func (t *Tree) NodesTouchedByWindow(r geom.Rect) int {
+	if t.size == 0 {
+		return 0
+	}
+	count := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		count++
+		if n.leaf {
+			return
+		}
+		for _, c := range n.children {
+			if c.bounds.Intersects(r) {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return count
+}

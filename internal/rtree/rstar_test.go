@@ -1,0 +1,174 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+func TestRStarVariantLabel(t *testing.T) {
+	if NewRStar(8).Variant() != "rstar" {
+		t.Error("NewRStar variant label wrong")
+	}
+	if New(8).Variant() != "guttman" {
+		t.Error("New variant label wrong")
+	}
+}
+
+func TestRStarKNNVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 800, 100)
+	tr := NewRStar(8)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if tr.Len() != 800 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		k := 1 + rng.Intn(12)
+		got := tr.KNN(q, k)
+		want := bruteKNN(items, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Pos.Dist(q) != want[i].Pos.Dist(q) {
+				t.Fatalf("trial %d: rank %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestRStarWindowVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomItems(rng, 600, 50)
+	tr := NewRStar(6)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	for trial := 0; trial < 60; trial++ {
+		a := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		b := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		w := geom.NewRect(a.X, a.Y, b.X, b.Y)
+		if !sameIDSet(tr.Window(w), bruteWindow(items, w)) {
+			t.Fatalf("trial %d: window mismatch", trial)
+		}
+	}
+}
+
+func TestRStarDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randomItems(rng, 300, 30)
+	tr := NewRStar(6)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	for _, it := range items[:150] {
+		if !tr.Delete(it.ID, it.Pos) {
+			t.Fatalf("Delete(%d) failed", it.ID)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	q := geom.Pt(15, 15)
+	got := tr.KNN(q, 5)
+	want := bruteKNN(items[150:], q, 5)
+	for i := range got {
+		if got[i].Pos.Dist(q) != want[i].Pos.Dist(q) {
+			t.Fatal("post-delete KNN mismatch")
+		}
+	}
+}
+
+// TestRStarQualityBeatsGuttman: on a clustered workload (where split
+// quality matters), the R* tree touches no more nodes per window query
+// than the Guttman tree, on average.
+func TestRStarQualityBeatsGuttman(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Clustered points: 12 Gaussian blobs.
+	var items []Item
+	for c := 0; c < 12; c++ {
+		cx, cy := rng.Float64()*100, rng.Float64()*100
+		for i := 0; i < 150; i++ {
+			items = append(items, Item{
+				ID:  int64(len(items)),
+				Pos: geom.Pt(cx+rng.NormFloat64()*3, cy+rng.NormFloat64()*3),
+			})
+		}
+	}
+	g := New(8)
+	r := NewRStar(8)
+	for _, it := range items {
+		g.Insert(it)
+		r.Insert(it)
+	}
+	var gTouched, rTouched int
+	probe := rand.New(rand.NewSource(5))
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		cx, cy := probe.Float64()*95, probe.Float64()*95
+		w := geom.NewRect(cx, cy, cx+5, cy+5)
+		gTouched += g.NodesTouchedByWindow(w)
+		rTouched += r.NodesTouchedByWindow(w)
+		// Both must agree with each other on results.
+		if !sameIDSet(g.Window(w), r.Window(w)) {
+			t.Fatalf("trial %d: trees disagree", i)
+		}
+	}
+	if float64(rTouched) > float64(gTouched)*1.05 {
+		t.Errorf("R* touched %d nodes vs Guttman %d (expected no worse)",
+			rTouched, gTouched)
+	}
+	t.Logf("window nodes touched: guttman=%d rstar=%d (%.1f%%)",
+		gTouched, rTouched, 100*float64(rTouched)/float64(gTouched))
+}
+
+func TestRStarMixedWorkloadModelCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := NewRStar(6)
+	model := map[int64]geom.Point{}
+	nextID := int64(0)
+	for step := 0; step < 1500; step++ {
+		if len(model) == 0 || rng.Float64() < 0.6 {
+			p := geom.Pt(rng.Float64()*20, rng.Float64()*20)
+			tr.Insert(Item{ID: nextID, Pos: p})
+			model[nextID] = p
+			nextID++
+		} else {
+			var id int64
+			for k := range model {
+				id = k
+				break
+			}
+			if !tr.Delete(id, model[id]) {
+				t.Fatalf("step %d: delete %d failed", step, id)
+			}
+			delete(model, id)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("size drift: tree=%d model=%d", tr.Len(), len(model))
+	}
+	var items []Item
+	for id, p := range model {
+		items = append(items, Item{ID: id, Pos: p})
+	}
+	q := geom.Pt(10, 10)
+	got := tr.KNN(q, 8)
+	want := bruteKNN(items, q, 8)
+	for i := range got {
+		if got[i].Pos.Dist(q) != want[i].Pos.Dist(q) {
+			t.Fatal("final KNN mismatch")
+		}
+	}
+}
+
+func TestNodesTouchedEmptyTree(t *testing.T) {
+	if NewRStar(8).NodesTouchedByWindow(geom.NewRect(0, 0, 1, 1)) != 0 {
+		t.Error("empty tree touched nodes")
+	}
+}

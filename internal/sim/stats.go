@@ -1,0 +1,125 @@
+package sim
+
+import "fmt"
+
+// Stats aggregates the quantities the paper's figures report.
+type Stats struct {
+	// Queries is the number of (post-warm-up) queries issued.
+	Queries int
+	// Verified counts queries fully resolved by peer sharing with exact
+	// results (SBNN fully verified / SBWQ window covered).
+	Verified int
+	// Approximate counts kNN queries resolved by approximate SBNN
+	// (full heap, unverified correctness above the threshold).
+	Approximate int
+	// Broadcast counts queries that fell back to the broadcast channel.
+	Broadcast int
+
+	// LatencySlots sums the broadcast access latency of channel-resolved
+	// queries, in slots.
+	LatencySlots int64
+	// TuningSlots sums the tuning time of channel-resolved queries.
+	TuningSlots int64
+	// PacketsRead / PacketsSkipped sum data packets downloaded and
+	// packets filtered out by SBNN/SBWQ search bounds.
+	PacketsRead    int64
+	PacketsSkipped int64
+
+	// BaselineLatencySlots / BaselinePackets sum, over the same queries,
+	// the cost the plain on-air algorithms (no sharing) would have paid.
+	// Populated only when World.CompareBaseline is set.
+	BaselineLatencySlots int64
+	BaselinePackets      int64
+	BaselineSampled      int
+
+	// PeerRequests / PeerReplies count P2P traffic.
+	PeerRequests int64
+	PeerReplies  int64
+	// PeerBytes is the total ad-hoc channel traffic in encoded wire-format
+	// bytes (requests plus replies).
+	PeerBytes int64
+
+	// AvgPeersPerQuery tracks mean reachable peers (encounter density).
+	peersSum int64
+}
+
+// VerifiedPct returns the percentage of queries resolved by exact sharing.
+func (s Stats) VerifiedPct() float64 { return pct(s.Verified, s.Queries) }
+
+// ApproximatePct returns the percentage resolved by approximate SBNN.
+func (s Stats) ApproximatePct() float64 { return pct(s.Approximate, s.Queries) }
+
+// BroadcastPct returns the percentage resolved over the channel.
+func (s Stats) BroadcastPct() float64 { return pct(s.Broadcast, s.Queries) }
+
+// SharedPct returns the percentage resolved without the channel.
+func (s Stats) SharedPct() float64 { return pct(s.Verified+s.Approximate, s.Queries) }
+
+// AvgLatencySlots returns the mean channel latency per broadcast-resolved
+// query.
+func (s Stats) AvgLatencySlots() float64 {
+	if s.Broadcast == 0 {
+		return 0
+	}
+	return float64(s.LatencySlots) / float64(s.Broadcast)
+}
+
+// AvgTuningSlots returns the mean tuning time per broadcast-resolved
+// query.
+func (s Stats) AvgTuningSlots() float64 {
+	if s.Broadcast == 0 {
+		return 0
+	}
+	return float64(s.TuningSlots) / float64(s.Broadcast)
+}
+
+// MeanSystemLatencySlots returns the mean access latency over ALL counted
+// queries (peer-resolved queries contribute zero — they are answered
+// immediately from one-hop neighbors). This is the headline latency win.
+func (s Stats) MeanSystemLatencySlots() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.LatencySlots) / float64(s.Queries)
+}
+
+// BaselineMeanLatencySlots returns the mean plain on-air latency over the
+// baseline-sampled queries.
+func (s Stats) BaselineMeanLatencySlots() float64 {
+	if s.BaselineSampled == 0 {
+		return 0
+	}
+	return float64(s.BaselineLatencySlots) / float64(s.BaselineSampled)
+}
+
+// AvgPeerBytes returns the mean ad-hoc traffic per query in bytes.
+func (s Stats) AvgPeerBytes() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.PeerBytes) / float64(s.Queries)
+}
+
+// AvgPeers returns the mean number of peers reachable per query.
+func (s Stats) AvgPeers() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.peersSum) / float64(s.Queries)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"queries=%d verified=%.1f%% approx=%.1f%% broadcast=%.1f%% avgPeers=%.1f avgLatency=%.0f slots",
+		s.Queries, s.VerifiedPct(), s.ApproximatePct(), s.BroadcastPct(),
+		s.AvgPeers(), s.AvgLatencySlots(),
+	)
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

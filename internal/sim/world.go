@@ -1,0 +1,570 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/cache"
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/mobility"
+	"lbsq/internal/p2p"
+	"lbsq/internal/rtree"
+	"lbsq/internal/trace"
+	"lbsq/internal/wire"
+)
+
+// World is one simulation instance: the POI database and its broadcast
+// schedule, the mobile host population, and the sharing layer.
+type World struct {
+	// Params is the active configuration (defaults applied).
+	Params Params
+	// CompareBaseline, when set, additionally prices a sample of queries
+	// with the plain on-air algorithms (no sharing) for the latency
+	// experiments.
+	CompareBaseline bool
+	// BaselineSampleRate is the fraction of queries priced against the
+	// baseline (default 0.2 when CompareBaseline is set).
+	BaselineSampleRate float64
+	// SelfCheck, when set, verifies every exact query result against the
+	// R-tree ground truth and records the first mismatch.
+	SelfCheck bool
+	// Trace, when non-nil, receives one event per counted query (JSONL).
+	Trace *trace.Writer
+
+	rng   *rand.Rand
+	area  geom.Rect
+	types []typeState
+	net   *p2p.Network
+	model *mobility.Waypoint
+	hosts []host
+
+	nowSec      float64
+	durationSec float64
+	warmupSec   float64
+
+	stats        Stats
+	selfCheckErr error
+}
+
+type host struct {
+	mob    mobility.State
+	caches []*cache.Cache // one per POI data type (Table 4: CSize per type)
+}
+
+// typeState is the per-data-type substrate: its POI field, ground truth,
+// and broadcast channel (types are frequency-multiplexed, each with its
+// own cyclic schedule — "the effects of other POI types are expected to
+// be very similar", Section 4).
+type typeState struct {
+	db     []broadcast.POI
+	truth  *rtree.Tree
+	sched  *broadcast.Schedule
+	lambda float64 // POI density (per square mile)
+}
+
+// NewWorld builds a simulation world from the parameter set.
+func NewWorld(p Params) (*World, error) {
+	p.applyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	area := p.Area()
+
+	nTypes := p.POITypes
+	if nTypes < 1 {
+		nTypes = 1
+	}
+	types := make([]typeState, nTypes)
+	for ti := range types {
+		db := generatePOIs(rng, p)
+		items := make([]rtree.Item, len(db))
+		for i, poi := range db {
+			items[i] = rtree.Item{ID: poi.ID, Pos: poi.Pos}
+		}
+		bcfg := p.Broadcast
+		bcfg.Area = area
+		sched, err := broadcast.NewSchedule(db, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		types[ti] = typeState{
+			db:     db,
+			truth:  rtree.Bulk(items, 16),
+			sched:  sched,
+			lambda: p.POIDensity(),
+		}
+	}
+
+	cell := p.TxRangeMiles()
+	if cell <= 0 {
+		cell = p.AreaMiles / 20
+	}
+	net, err := p2p.NewNetwork(area, cell)
+	if err != nil {
+		return nil, err
+	}
+
+	// Vehicle speeds in miles per second.
+	model, err := mobility.NewWaypoint(area,
+		p.MinSpeedMph/3600, p.MaxSpeedMph/3600, p.PauseSec)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &World{
+		Params:      p,
+		rng:         rng,
+		area:        area,
+		types:       types,
+		net:         net,
+		model:       model,
+		durationSec: p.DurationHours * 3600,
+	}
+	w.warmupSec = w.durationSec * p.WarmupFrac
+
+	w.hosts = make([]host, p.MHNumber)
+	for i := range w.hosts {
+		caches := make([]*cache.Cache, nTypes)
+		for ti := range caches {
+			caches[ti] = cache.New(p.CacheSize, p.CachePolicy)
+		}
+		w.hosts[i] = host{
+			mob:    model.Init(rng),
+			caches: caches,
+		}
+		w.net.Update(i, w.hosts[i].mob.Pos)
+	}
+	if p.PrefillQueriesPerHost > 0 {
+		w.prefill()
+	}
+	return w, nil
+}
+
+// generatePOIs draws the POI database: a uniform field (the paper's
+// Poisson assumption), or a Gaussian mixture when POIClusters is set.
+func generatePOIs(rng *rand.Rand, p Params) []broadcast.POI {
+	db := make([]broadcast.POI, p.POINumber)
+	area := p.Area()
+	if p.POIClusters <= 0 {
+		for i := range db {
+			db[i] = broadcast.POI{
+				ID:  int64(i),
+				Pos: geom.Pt(rng.Float64()*p.AreaMiles, rng.Float64()*p.AreaMiles),
+			}
+		}
+		return db
+	}
+	centers := make([]geom.Point, p.POIClusters)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*p.AreaMiles, rng.Float64()*p.AreaMiles)
+	}
+	spread := p.AreaMiles / 20
+	for i := range db {
+		c := centers[rng.Intn(len(centers))]
+		pos := geom.Pt(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread)
+		db[i] = broadcast.POI{ID: int64(i), Pos: area.Clip(pos)}
+	}
+	return db
+}
+
+// prefill seeds every host's cache with the results of simulated
+// historical queries — a steady-state warm start. Each synthetic region
+// is populated directly from the ground-truth database, so the cache
+// soundness invariant (a region's POI list is exactly the database
+// restricted to the region) holds by construction.
+func (w *World) prefill() {
+	radius := w.Params.PrefillRadiusMiles
+	if radius <= 0 {
+		// Default locality: how far knowledge lags behind a host — the
+		// mean travel between queries in the paper's configuration
+		// (~15 min between queries at ~30 mph ≈ 7.5 mi), capped by the
+		// map size for scaled runs.
+		radius = math.Min(7.5, w.Params.AreaMiles/2)
+	}
+	for i := range w.hosts {
+		h := &w.hosts[i]
+		ti := w.rng.Intn(len(w.types))
+		ts := &w.types[ti]
+		n := mobility.Poisson(w.rng, w.Params.PrefillQueriesPerHost)
+		for j := 0; j < n; j++ {
+			if len(w.types) > 1 {
+				ti = w.rng.Intn(len(w.types))
+				ts = &w.types[ti]
+			}
+			angle := w.rng.Float64() * 2 * math.Pi
+			d := w.rng.Float64() * radius
+			center := w.area.Clip(h.mob.Pos.Add(
+				geom.Pt(math.Cos(angle)*d, math.Sin(angle)*d)))
+			var region geom.Rect
+			if w.Params.Kind == WindowQuery {
+				// A historical broadcast window retrieval caches the
+				// collective MBR of its packets, capacity-bounded.
+				area := float64(w.Params.CacheSize) / math.Max(ts.lambda, 1e-9)
+				area *= 0.4 + 0.6*w.rng.Float64()
+				half := math.Sqrt(area) / 2
+				win, ok := geom.RectAround(center, half).Intersect(w.area)
+				if !ok {
+					continue
+				}
+				region = win
+			} else {
+				k := w.drawK()
+				nn := ts.truth.KNN(center, k)
+				if len(nn) == 0 {
+					continue
+				}
+				// The search square a historical on-air kNN would have
+				// verified: the MBR of the k-th NN circle.
+				rk := nn[len(nn)-1].Pos.Dist(center)
+				region = geom.RectAround(center, math.Max(rk, 1e-9))
+			}
+			h.caches[ti].Insert(cache.Region{Rect: region, POIs: w.poisInRect(ti, region)},
+				h.mob.Pos, h.mob.Heading(), 0)
+		}
+	}
+}
+
+// poisInRect returns the database POIs of one type inside r (ground truth).
+func (w *World) poisInRect(ti int, r geom.Rect) []broadcast.POI {
+	items := w.types[ti].truth.Window(r)
+	out := make([]broadcast.POI, len(items))
+	for i, it := range items {
+		out[i] = broadcast.POI{ID: it.ID, Pos: it.Pos}
+	}
+	return out
+}
+
+// Schedule exposes the broadcast schedule of the first data type (for
+// experiments and tools).
+func (w *World) Schedule() *broadcast.Schedule { return w.types[0].sched }
+
+// Database returns the POI database of the first data type.
+func (w *World) Database() []broadcast.POI { return w.types[0].db }
+
+// Stats returns the statistics collected so far.
+func (w *World) Stats() Stats {
+	s := w.stats
+	s.PeerRequests = w.net.Stats.Requests
+	s.PeerReplies = w.net.Stats.Replies
+	return s
+}
+
+// SelfCheckErr returns the first ground-truth mismatch observed, if any.
+func (w *World) SelfCheckErr() error { return w.selfCheckErr }
+
+// Now returns the simulated time in seconds.
+func (w *World) Now() float64 { return w.nowSec }
+
+// slotNow maps simulated time to the broadcast slot clock.
+func (w *World) slotNow() int64 {
+	return int64(w.nowSec / w.Params.SlotSec)
+}
+
+// Run executes the whole configured duration and returns the steady-state
+// statistics.
+func (w *World) Run() Stats {
+	dt := w.Params.TimeStepSec
+	for w.nowSec < w.durationSec {
+		w.Step(dt)
+	}
+	return w.Stats()
+}
+
+// Step advances the world by dt seconds: every host moves, then a
+// Poisson-distributed number of randomly chosen hosts launch queries.
+func (w *World) Step(dt float64) {
+	for i := range w.hosts {
+		w.model.Step(&w.hosts[i].mob, dt, w.rng)
+		w.net.Update(i, w.hosts[i].mob.Pos)
+	}
+	w.nowSec += dt
+
+	mean := w.Params.QueryRate / 60 * dt
+	n := mobility.Poisson(w.rng, mean)
+	for q := 0; q < n; q++ {
+		idx := w.rng.Intn(len(w.hosts))
+		ti := w.rng.Intn(len(w.types))
+		if w.Params.Kind == WindowQuery {
+			w.runWindowQuery(idx, ti)
+		} else {
+			w.runKNNQuery(idx, ti)
+		}
+	}
+}
+
+// record emits a trace event when tracing is enabled.
+func (w *World) record(e trace.Event) {
+	if w.Trace == nil {
+		return
+	}
+	if err := w.Trace.Record(e); err != nil && w.selfCheckErr == nil {
+		w.selfCheckErr = err
+	}
+}
+
+// counted reports whether the warm-up has passed.
+func (w *World) counted() bool { return w.nowSec >= w.warmupSec }
+
+// collectPeers gathers the verified regions of all single-hop peers of
+// host idx that intersect the relevance rectangle, as PeerData for the
+// core algorithms. Dropping irrelevant regions only shrinks the MVR,
+// which keeps verification sound (and the simulation fast).
+func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData, int) {
+	q := w.hosts[idx].mob.Pos
+	hops := w.Params.SharingHops
+	if hops < 1 {
+		hops = 1
+	}
+	ids := w.net.NeighborsMultiHop(q, w.Params.TxRangeMiles(), hops, idx)
+	w.net.RecordExchange(len(ids))
+	count := w.counted() // byte accounting joins the other post-warm-up stats
+	if count {
+		w.stats.PeerBytes += int64(wire.RequestSize) // one broadcast request
+	}
+	var peers []core.PeerData
+	stamp := int64(w.nowSec)
+	if w.Params.UseOwnCache {
+		// The host's own cache is a zero-cost "peer": no wire traffic.
+		for _, r := range w.hosts[idx].caches[ti].Regions() {
+			if r.Rect.Intersects(relevance) {
+				peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+			}
+		}
+	}
+	for _, id := range ids {
+		c := w.hosts[id].caches[ti]
+		replied := false
+		for ri, r := range c.Regions() {
+			if !r.Rect.Intersects(relevance) {
+				continue
+			}
+			peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+			c.Touch(ri, stamp)
+			if count {
+				w.stats.PeerBytes += int64(wire.RegionWireSize(len(r.POIs)))
+			}
+			replied = true
+		}
+		if replied && count {
+			w.stats.PeerBytes += int64(wire.ReplyOverhead)
+		}
+	}
+	return peers, len(ids)
+}
+
+// drawK samples the per-query k around the configured mean.
+func (w *World) drawK() int {
+	k := mobility.Poisson(w.rng, float64(w.Params.K))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// knnRelevanceRadius bounds which peer regions can matter for a k-NN
+// query: several times the expected k-NN distance under the POI density,
+// floored by the transmission range.
+func (w *World) knnRelevanceRadius(ti, k int) float64 {
+	r := 4 * math.Sqrt(float64(k)/(math.Pi*math.Max(w.types[ti].lambda, 1e-9)))
+	if tx := 2 * w.Params.TxRangeMiles(); tx > r {
+		r = tx
+	}
+	return math.Min(r, w.Params.AreaMiles)
+}
+
+func (w *World) runKNNQuery(idx, ti int) {
+	h := &w.hosts[idx]
+	ts := &w.types[ti]
+	q := h.mob.Pos
+	k := w.drawK()
+	relevance := geom.RectAround(q, w.knnRelevanceRadius(ti, k))
+	peers, nPeers := w.collectPeers(idx, ti, relevance)
+
+	cfg := core.SBNNConfig{
+		K:                 k,
+		Lambda:            ts.lambda,
+		AcceptApproximate: w.Params.AcceptApproximate,
+		MinCorrectness:    w.Params.MinCorrectness,
+	}
+	res := core.SBNN(q, peers, cfg, ts.sched, w.slotNow())
+
+	if w.counted() {
+		w.stats.Queries++
+		w.stats.peersSum += int64(nPeers)
+		switch res.Outcome {
+		case core.OutcomeVerified:
+			w.stats.Verified++
+		case core.OutcomeApproximate:
+			w.stats.Approximate++
+		default:
+			w.stats.Broadcast++
+			w.stats.LatencySlots += res.Access.Latency
+			w.stats.TuningSlots += res.Access.Tuning
+			w.stats.PacketsRead += int64(res.Access.PacketsRead)
+			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
+		}
+		w.sampleKNNBaseline(ti, q, k)
+		if w.SelfCheck && res.Outcome != core.OutcomeApproximate {
+			w.checkKNN(ti, q, k, res.POIs)
+		}
+		w.record(trace.Event{
+			TimeSec: w.nowSec, Host: idx, Kind: "knn",
+			Outcome: res.Outcome.String(), K: k, Peers: nPeers,
+			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
+			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
+		})
+	}
+
+	// Store the gained verified knowledge (Section 4.1 cache policies).
+	if !res.KnownRegion.Empty() {
+		h.caches[ti].Insert(cache.Region{Rect: res.KnownRegion, POIs: res.Known},
+			q, h.mob.Heading(), int64(w.nowSec))
+	}
+}
+
+func (w *World) runWindowQuery(idx, ti int) {
+	h := &w.hosts[idx]
+	ts := &w.types[ti]
+	q := h.mob.Pos
+	win, ok := w.drawWindow(q)
+	if !ok {
+		return
+	}
+	peers, nPeers := w.collectPeers(idx, ti, win)
+	// Cap cached retrieval regions at what the cache can hold: CacheSize
+	// POIs cover about CacheSize/lambda square miles.
+	cfg := core.SBWQConfig{
+		MaxKnownArea: 1.5 * float64(w.Params.CacheSize) / math.Max(ts.lambda, 1e-9),
+	}
+	res := core.SBWQWithConfig(q, win, peers, cfg, ts.sched, w.slotNow())
+
+	if w.counted() {
+		w.stats.Queries++
+		w.stats.peersSum += int64(nPeers)
+		if res.Outcome == core.OutcomeVerified {
+			w.stats.Verified++
+		} else {
+			w.stats.Broadcast++
+			w.stats.LatencySlots += res.Access.Latency
+			w.stats.TuningSlots += res.Access.Tuning
+			w.stats.PacketsRead += int64(res.Access.PacketsRead)
+			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
+		}
+		w.sampleWindowBaseline(ti, win)
+		if w.SelfCheck {
+			w.checkWindow(ti, win, res.POIs)
+		}
+		w.record(trace.Event{
+			TimeSec: w.nowSec, Host: idx, Kind: "window",
+			Outcome: res.Outcome.String(), Peers: nPeers,
+			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
+			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
+		})
+	}
+
+	// Cache the gained verified knowledge: the window itself, or the
+	// larger collective MBR of a broadcast retrieval.
+	if !res.KnownRegion.Empty() {
+		h.caches[ti].Insert(cache.Region{Rect: res.KnownRegion, POIs: res.Known},
+			q, h.mob.Heading(), int64(w.nowSec))
+	}
+}
+
+// drawWindow samples a query window: side around the configured mean,
+// center at a normally-distributed distance from the host in a uniform
+// direction, clipped to the service area.
+func (w *World) drawWindow(q geom.Point) (geom.Rect, bool) {
+	side := w.Params.WindowSideMiles() * (0.5 + w.rng.Float64())
+	if side <= 0 {
+		return geom.Rect{}, false
+	}
+	dist := math.Abs(w.rng.NormFloat64()*w.Params.WindowDistMiles/3 +
+		w.Params.WindowDistMiles)
+	angle := w.rng.Float64() * 2 * math.Pi
+	center := q.Add(geom.Pt(math.Cos(angle)*dist, math.Sin(angle)*dist))
+	center = w.area.Clip(center)
+	win, ok := geom.RectAround(center, side/2).Intersect(w.area)
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return win, true
+}
+
+func (w *World) sampleKNNBaseline(ti int, q geom.Point, k int) {
+	if !w.CompareBaseline {
+		return
+	}
+	rate := w.BaselineSampleRate
+	if rate <= 0 {
+		rate = 0.2
+	}
+	if w.rng.Float64() > rate {
+		return
+	}
+	_, acc := w.types[ti].sched.KNN(q, k, w.slotNow())
+	w.stats.BaselineLatencySlots += acc.Latency
+	w.stats.BaselinePackets += int64(acc.PacketsRead)
+	w.stats.BaselineSampled++
+}
+
+func (w *World) sampleWindowBaseline(ti int, win geom.Rect) {
+	if !w.CompareBaseline {
+		return
+	}
+	rate := w.BaselineSampleRate
+	if rate <= 0 {
+		rate = 0.2
+	}
+	if w.rng.Float64() > rate {
+		return
+	}
+	_, acc := w.types[ti].sched.Window(win, w.slotNow())
+	w.stats.BaselineLatencySlots += acc.Latency
+	w.stats.BaselinePackets += int64(acc.PacketsRead)
+	w.stats.BaselineSampled++
+}
+
+func (w *World) checkKNN(ti int, q geom.Point, k int, got []broadcast.POI) {
+	if w.selfCheckErr != nil {
+		return
+	}
+	want := w.types[ti].truth.KNN(q, k)
+	if len(got) != len(want) {
+		w.selfCheckErr = fmt.Errorf("kNN self-check: got %d results want %d", len(got), len(want))
+		return
+	}
+	for i := range want {
+		if math.Abs(got[i].Pos.Dist(q)-want[i].Pos.Dist(q)) > 1e-9 {
+			w.selfCheckErr = fmt.Errorf(
+				"kNN self-check: rank %d distance %v want %v (q=%v k=%d)",
+				i, got[i].Pos.Dist(q), want[i].Pos.Dist(q), q, k)
+			return
+		}
+	}
+}
+
+func (w *World) checkWindow(ti int, win geom.Rect, got []broadcast.POI) {
+	if w.selfCheckErr != nil {
+		return
+	}
+	want := w.types[ti].truth.Window(win)
+	if len(got) != len(want) {
+		w.selfCheckErr = fmt.Errorf(
+			"window self-check: got %d results want %d (w=%v)", len(got), len(want), win)
+		return
+	}
+	ids := make(map[int64]bool, len(got))
+	for _, p := range got {
+		ids[p.ID] = true
+	}
+	for _, p := range want {
+		if !ids[p.ID] {
+			w.selfCheckErr = fmt.Errorf("window self-check: POI %d missing (w=%v)", p.ID, win)
+			return
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package svgplot renders simple line charts as standalone SVG documents
+// using only the standard library. The figure tool uses it to emit the
+// reproduced evaluation figures as plot files next to the text tables.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one polyline of a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y must have equal non-zero length.
+	X, Y []float64
+}
+
+// Chart is a complete line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the canvas size in pixels (defaults 640×420).
+	Width, Height int
+	// FixedY pins the y-axis to [YMin, YMax] instead of auto-scaling —
+	// percentage plots use 0..100.
+	FixedY     bool
+	YMin, YMax float64
+	Series     []Series
+}
+
+// palette holds the series stroke colors, cycled.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 150.0
+	marginTop    = 40.0
+	marginBottom = 48.0
+	tickCount    = 5
+)
+
+// WriteSVG renders the chart.
+func (c Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("svgplot: series %q has %d x values and %d y values",
+				s.Name, len(s.X), len(s.Y))
+		}
+	}
+	width, height := float64(c.Width), float64(c.Height)
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 420
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if c.FixedY {
+		yMin, yMax = c.YMin, c.YMax
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return marginTop + (1-(y-yMin)/(yMax-yMin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%.0f" y="22" text-anchor="middle" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft+plotW/2, escape(c.Title))
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		marginLeft+plotW/2, height-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.0f" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %.0f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+
+	// Ticks and grid.
+	for i := 0; i <= tickCount; i++ {
+		f := float64(i) / tickCount
+		xv := xMin + f*(xMax-xMin)
+		yv := yMin + f*(yMax-yMin)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cccccc" stroke-dasharray="3,3"/>`+"\n",
+			marginLeft, py(yv), marginLeft+plotW, py(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			px(xv), marginTop+plotH+16, formatTick(xv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			marginLeft-6, py(yv)+3, formatTick(yv))
+	}
+
+	// Series polylines, markers, legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(clamp(s.Y[i], yMin, yMax))))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				px(s.X[i]), py(clamp(s.Y[i], yMin, yMax)), color)
+		}
+		ly := marginTop + 14 + float64(si)*18
+		lx := marginLeft + plotW + 12
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+20, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+26, ly, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// escape sanitizes text for inclusion in SVG.
+func escape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,126 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demoChart() Chart {
+	return Chart{
+		Title:  "Demo <figure> & more",
+		XLabel: "x axis",
+		YLabel: "y axis",
+		FixedY: true, YMin: 0, YMax: 100,
+		Series: []Series{
+			{Name: "alpha", X: []float64{0, 1, 2, 3}, Y: []float64{10, 40, 60, 90}},
+			{Name: "beta", X: []float64{0, 1, 2, 3}, Y: []float64{90, 60, 30, 5}},
+		},
+	}
+}
+
+func TestWriteSVGWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestWriteSVGContent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if strings.Count(out, "<circle") != 8 {
+		t.Errorf("expected 8 markers, got %d", strings.Count(out, "<circle"))
+	}
+	for _, want := range []string{"alpha", "beta", "x axis", "y axis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Title characters are escaped.
+	if strings.Contains(out, "<figure>") {
+		t.Error("unescaped markup in title")
+	}
+	if !strings.Contains(out, "&lt;figure&gt; &amp; more") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteSVGDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := demoChart().WriteSVG(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := demoChart().WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("rendering not deterministic")
+	}
+}
+
+func TestWriteSVGValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{Title: "empty"}).WriteSVG(&buf); err == nil {
+		t.Error("chart without series accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := bad.WriteSVG(&buf); err == nil {
+		t.Error("mismatched series lengths accepted")
+	}
+	empty := Chart{Series: []Series{{Name: "none"}}}
+	if err := empty.WriteSVG(&buf); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	c := Chart{
+		Series: []Series{
+			{Name: "point", X: []float64{5}, Y: []float64{5}},
+			{Name: "flat", X: []float64{5, 6}, Y: []float64{5, 5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Error("degenerate range produced non-finite coordinates")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(5) != "5" || formatTick(5.25) != "5.2" || formatTick(-3) != "-3" {
+		t.Error("tick formatting wrong")
+	}
+}
+
+func TestClampedValuesStayInCanvas(t *testing.T) {
+	c := Chart{
+		FixedY: true, YMin: 0, YMax: 10,
+		Series: []Series{{Name: "wild", X: []float64{0, 1}, Y: []float64{-50, 500}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

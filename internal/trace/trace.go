@@ -1,0 +1,111 @@
+// Package trace records per-query simulation events as JSON Lines, so
+// runs can be analyzed offline (latency distributions, per-host behavior,
+// outcome timelines) without re-running the simulator.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one query record.
+type Event struct {
+	// TimeSec is the simulated time of the query.
+	TimeSec float64 `json:"t"`
+	// Host is the querying mobile host's id.
+	Host int `json:"host"`
+	// Kind is "knn" or "window".
+	Kind string `json:"kind"`
+	// Outcome is "verified", "approximate", or "broadcast".
+	Outcome string `json:"outcome"`
+	// K is the requested result cardinality (kNN only).
+	K int `json:"k,omitempty"`
+	// Peers is how many peers were reachable.
+	Peers int `json:"peers"`
+	// LatencySlots / TuningSlots / PacketsRead / PacketsSkipped are the
+	// channel costs (zero for peer-resolved queries).
+	LatencySlots   int64 `json:"latency_slots"`
+	TuningSlots    int64 `json:"tuning_slots"`
+	PacketsRead    int   `json:"packets_read"`
+	PacketsSkipped int   `json:"packets_skipped"`
+}
+
+// Writer appends events as JSON Lines.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record appends one event.
+func (t *Writer) Record(e Event) error {
+	if err := t.enc.Encode(e); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of recorded events.
+func (t *Writer) Count() int { return t.n }
+
+// Flush writes buffered events through to the underlying writer.
+func (t *Writer) Flush() error { return t.bw.Flush() }
+
+// Read parses a JSONL trace.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Events       int
+	ByOutcome    map[string]int
+	MeanLatency  float64 // slots, over broadcast-resolved events
+	MeanPeers    float64
+	TotalPackets int
+}
+
+// Summarize computes aggregate statistics over events.
+func Summarize(events []Event) Summary {
+	s := Summary{ByOutcome: map[string]int{}}
+	var latSum float64
+	var latN int
+	var peerSum float64
+	for _, e := range events {
+		s.Events++
+		s.ByOutcome[e.Outcome]++
+		s.TotalPackets += e.PacketsRead
+		peerSum += float64(e.Peers)
+		if e.Outcome == "broadcast" {
+			latSum += float64(e.LatencySlots)
+			latN++
+		}
+	}
+	if latN > 0 {
+		s.MeanLatency = latSum / float64(latN)
+	}
+	if s.Events > 0 {
+		s.MeanPeers = peerSum / float64(s.Events)
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []Event{
+		{TimeSec: 1.5, Host: 3, Kind: "knn", Outcome: "verified", K: 5, Peers: 7},
+		{TimeSec: 2.0, Host: 9, Kind: "window", Outcome: "broadcast",
+			LatencySlots: 120, TuningSlots: 14, PacketsRead: 6, PacketsSkipped: 2},
+	}
+	for _, e := range events {
+		if err := w.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d events", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"t":1}` + "\n" + `not json`)); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v, %d events", err, len(got))
+	}
+}
+
+func TestKOmittedForWindows(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Record(Event{Kind: "window", Outcome: "verified"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"k"`) {
+		t.Error("k field emitted for a window event")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Outcome: "verified", Peers: 4},
+		{Outcome: "verified", Peers: 2},
+		{Outcome: "broadcast", Peers: 0, LatencySlots: 100, PacketsRead: 5},
+		{Outcome: "broadcast", Peers: 2, LatencySlots: 200, PacketsRead: 7},
+	}
+	s := Summarize(events)
+	if s.Events != 4 {
+		t.Fatalf("Events = %d", s.Events)
+	}
+	if s.ByOutcome["verified"] != 2 || s.ByOutcome["broadcast"] != 2 {
+		t.Fatalf("ByOutcome = %v", s.ByOutcome)
+	}
+	if s.MeanLatency != 150 {
+		t.Fatalf("MeanLatency = %v", s.MeanLatency)
+	}
+	if s.MeanPeers != 2 {
+		t.Fatalf("MeanPeers = %v", s.MeanPeers)
+	}
+	if s.TotalPackets != 12 {
+		t.Fatalf("TotalPackets = %d", s.TotalPackets)
+	}
+	// Empty trace.
+	z := Summarize(nil)
+	if z.Events != 0 || z.MeanLatency != 0 || z.MeanPeers != 0 {
+		t.Error("empty summary not zero")
+	}
+}

@@ -1,0 +1,254 @@
+// Package wire defines the binary on-air message format for peer-to-peer
+// cache sharing: the cache request a querying mobile host broadcasts to
+// its neighbors and the reply carrying verified regions with their POIs.
+// The encoding is little-endian with explicit lengths, rejects truncated
+// or oversized input, and exposes exact message sizes so the simulator
+// can account for ad-hoc channel traffic in bytes.
+//
+// Layout (all integers little-endian):
+//
+//	Request  := magic(2) ver(1) kind(1)=1 queryID(8) origin(16)
+//	            relevance(32) hops(1)
+//	Reply    := magic(2) ver(1) kind(1)=2 queryID(8) nRegions(2)
+//	            Region*
+//	Region   := rect(32) nPOIs(4) POI*
+//	POI      := id(8) pos(16)
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/geom"
+)
+
+const (
+	magic   = 0x5B51 // "[Q"
+	version = 1
+
+	kindRequest = 1
+	kindReply   = 2
+
+	headerSize = 2 + 1 + 1 + 8 // magic, version, kind, queryID
+
+	// MaxRegions bounds regions per reply (a reply larger than this is
+	// malformed or hostile).
+	MaxRegions = 1 << 12
+	// MaxPOIsPerRegion bounds POIs per region.
+	MaxPOIsPerRegion = 1 << 16
+)
+
+// Request is a cache request broadcast to single-hop neighbors.
+type Request struct {
+	// QueryID correlates replies with requests.
+	QueryID uint64
+	// Origin is the querying host's position.
+	Origin geom.Point
+	// Relevance restricts which cached regions are worth returning.
+	Relevance geom.Rect
+	// Hops is the remaining relay budget (multi-hop sharing).
+	Hops uint8
+}
+
+// Region is one shared verified region.
+type Region struct {
+	Rect geom.Rect
+	POIs []broadcast.POI
+}
+
+// Reply carries a peer's matching cache contents.
+type Reply struct {
+	QueryID uint64
+	Regions []Region
+}
+
+// RequestSize is the fixed encoded size of a Request.
+const RequestSize = headerSize + 16 + 32 + 1
+
+// ReplyOverhead is the fixed encoded size of a reply before its regions.
+const ReplyOverhead = headerSize + 2
+
+// RegionWireSize returns the encoded size of one region carrying nPOIs.
+func RegionWireSize(nPOIs int) int { return 32 + 4 + 24*nPOIs }
+
+// ReplySize returns the exact encoded size of a reply with the given
+// regions without encoding it — the simulator's byte accounting.
+func ReplySize(regions []Region) int {
+	n := ReplyOverhead
+	for _, r := range regions {
+		n += RegionWireSize(len(r.POIs))
+	}
+	return n
+}
+
+// EncodeRequest serializes a request.
+func EncodeRequest(r Request) []byte {
+	buf := make([]byte, 0, RequestSize)
+	buf = appendHeader(buf, kindRequest, r.QueryID)
+	buf = appendPoint(buf, r.Origin)
+	buf = appendRect(buf, r.Relevance)
+	buf = append(buf, r.Hops)
+	return buf
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(b []byte) (Request, error) {
+	var out Request
+	rest, queryID, err := parseHeader(b, kindRequest)
+	if err != nil {
+		return out, err
+	}
+	if len(rest) != 16+32+1 {
+		return out, fmt.Errorf("wire: request payload %d bytes, want 49", len(rest))
+	}
+	out.QueryID = queryID
+	out.Origin, rest = parsePoint(rest)
+	out.Relevance, rest = parseRect(rest)
+	out.Hops = rest[0]
+	if err := validRect(out.Relevance); err != nil {
+		return Request{}, err
+	}
+	if err := validPoint(out.Origin); err != nil {
+		return Request{}, err
+	}
+	return out, nil
+}
+
+// EncodeReply serializes a reply.
+func EncodeReply(r Reply) ([]byte, error) {
+	if len(r.Regions) > MaxRegions {
+		return nil, fmt.Errorf("wire: %d regions exceeds limit %d", len(r.Regions), MaxRegions)
+	}
+	buf := make([]byte, 0, ReplySize(r.Regions))
+	buf = appendHeader(buf, kindReply, r.QueryID)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Regions)))
+	for _, reg := range r.Regions {
+		if len(reg.POIs) > MaxPOIsPerRegion {
+			return nil, fmt.Errorf("wire: %d POIs exceeds limit %d", len(reg.POIs), MaxPOIsPerRegion)
+		}
+		buf = appendRect(buf, reg.Rect)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(reg.POIs)))
+		for _, p := range reg.POIs {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(p.ID))
+			buf = appendPoint(buf, p.Pos)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeReply parses a reply.
+func DecodeReply(b []byte) (Reply, error) {
+	var out Reply
+	rest, queryID, err := parseHeader(b, kindReply)
+	if err != nil {
+		return out, err
+	}
+	out.QueryID = queryID
+	if len(rest) < 2 {
+		return out, fmt.Errorf("wire: reply truncated before region count")
+	}
+	n := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	if n > MaxRegions {
+		return out, fmt.Errorf("wire: region count %d exceeds limit", n)
+	}
+	out.Regions = make([]Region, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 32+4 {
+			return Reply{}, fmt.Errorf("wire: reply truncated in region %d header", i)
+		}
+		var reg Region
+		reg.Rect, rest = parseRect(rest)
+		if err := validRect(reg.Rect); err != nil {
+			return Reply{}, fmt.Errorf("wire: region %d: %w", i, err)
+		}
+		c := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if c > MaxPOIsPerRegion {
+			return Reply{}, fmt.Errorf("wire: region %d POI count %d exceeds limit", i, c)
+		}
+		if len(rest) < 24*c {
+			return Reply{}, fmt.Errorf("wire: reply truncated in region %d POIs", i)
+		}
+		reg.POIs = make([]broadcast.POI, c)
+		for j := 0; j < c; j++ {
+			reg.POIs[j].ID = int64(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+			reg.POIs[j].Pos, rest = parsePoint(rest)
+			if err := validPoint(reg.POIs[j].Pos); err != nil {
+				return Reply{}, fmt.Errorf("wire: region %d POI %d: %w", i, j, err)
+			}
+		}
+		out.Regions = append(out.Regions, reg)
+	}
+	if len(rest) != 0 {
+		return Reply{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return out, nil
+}
+
+func appendHeader(buf []byte, kind byte, queryID uint64) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, magic)
+	buf = append(buf, version, kind)
+	return binary.LittleEndian.AppendUint64(buf, queryID)
+}
+
+func parseHeader(b []byte, wantKind byte) ([]byte, uint64, error) {
+	if len(b) < headerSize {
+		return nil, 0, fmt.Errorf("wire: message too short (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint16(b) != magic {
+		return nil, 0, fmt.Errorf("wire: bad magic %#x", binary.LittleEndian.Uint16(b))
+	}
+	if b[2] != version {
+		return nil, 0, fmt.Errorf("wire: unsupported version %d", b[2])
+	}
+	if b[3] != wantKind {
+		return nil, 0, fmt.Errorf("wire: kind %d, want %d", b[3], wantKind)
+	}
+	return b[headerSize:], binary.LittleEndian.Uint64(b[4:]), nil
+}
+
+func appendPoint(buf []byte, p geom.Point) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+}
+
+func parsePoint(b []byte) (geom.Point, []byte) {
+	x := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	y := math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	return geom.Pt(x, y), b[16:]
+}
+
+func appendRect(buf []byte, r geom.Rect) []byte {
+	buf = appendPoint(buf, r.Min)
+	return appendPoint(buf, r.Max)
+}
+
+func parseRect(b []byte) (geom.Rect, []byte) {
+	min, b := parsePoint(b)
+	max, b := parsePoint(b)
+	return geom.Rect{Min: min, Max: max}, b
+}
+
+func validPoint(p geom.Point) error {
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		return fmt.Errorf("non-finite coordinate %v", p)
+	}
+	return nil
+}
+
+func validRect(r geom.Rect) error {
+	if err := validPoint(r.Min); err != nil {
+		return err
+	}
+	if err := validPoint(r.Max); err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return fmt.Errorf("inverted rect %v", r)
+	}
+	return nil
+}
