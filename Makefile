@@ -1,0 +1,31 @@
+# lbsq build/verification entry points. `make verify` is the tier-1 gate
+# (see README.md): vet, build, race-enabled tests, and a fuzz smoke run
+# of the wire decoders. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz-smoke verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short native-fuzzing runs of the wire codecs: the decoders must survive
+# arbitrary bytes (the fault layer's truncation/corruption damage classes)
+# without panicking, and accepted inputs must round-trip canonically.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeReply -fuzztime=5s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/wire
+
+verify: vet build race fuzz-smoke
+	@echo "verify: all gates passed"

@@ -11,6 +11,16 @@
 //	         [-side miles] [-hours h] [-step sec] [-seed n]
 //	         [-policy direction|lru] [-approx] [-baseline] [-selfcheck]
 //	         [-hops n] [-clusters n] [-prefill n]
+//	         [-loss p] [-req-loss p] [-reply-loss p] [-corrupt p]
+//	         [-stale-rate p] [-retries n]
+//
+// The fault flags drive the fault-injection layer (internal/faults):
+// -loss is broadcast packet/index loss, -req-loss and -reply-loss are the
+// ad-hoc request and reply loss rates, -corrupt is the reply
+// damage rate (split evenly between truncation and bit corruption),
+// -stale-rate is the fraction of shared verified regions silently
+// invalidated by the POI-update process, and -retries bounds request
+// re-broadcasts. All fault runs are deterministic under -seed.
 package main
 
 import (
@@ -47,7 +57,12 @@ func main() {
 		prefill   = flag.Float64("prefill", 10, "mean historical queries pre-filling each host cache (0 disables)")
 		traceFile = flag.String("trace", "", "write one JSONL event per counted query to this file")
 		owncache  = flag.Bool("owncache", false, "let hosts consult their own caches (off isolates peer sharing)")
-		loss      = flag.Float64("loss", 0, "broadcast packet loss rate [0, 0.95]")
+		loss      = flag.Float64("loss", 0, "broadcast packet/index loss rate [0, 0.95]")
+		reqLoss   = flag.Float64("req-loss", 0, "P2P request loss rate per peer [0, 0.95]")
+		replyLoss = flag.Float64("reply-loss", 0, "P2P reply loss rate [0, 0.95]")
+		corrupt   = flag.Float64("corrupt", 0, "P2P reply damage rate, half truncation half bit flips [0, 0.95]")
+		staleRate = flag.Float64("stale-rate", 0, "fraction of shared verified regions silently invalidated [0, 0.95]")
+		retries   = flag.Int("retries", 0, "request re-broadcast budget (0 = default when faults are on)")
 	)
 	flag.Parse()
 
@@ -97,8 +112,13 @@ func main() {
 	p.POITypes = *types
 	p.PrefillQueriesPerHost = *prefill
 	p.UseOwnCache = *owncache
-	p.Broadcast.LossRate = *loss
-	p.Broadcast.LossSeed = *seed
+	p.Faults.BroadcastLoss = *loss
+	p.Faults.RequestLoss = *reqLoss
+	p.Faults.ReplyLoss = *replyLoss
+	p.Faults.ReplyTruncate = *corrupt / 2
+	p.Faults.ReplyCorrupt = *corrupt / 2
+	p.Faults.StaleRate = *staleRate
+	p.Faults.MaxRetries = *retries
 
 	w, err := sim.NewWorld(p)
 	if err != nil {
@@ -150,6 +170,16 @@ func main() {
 			stats.PacketsRead, stats.PacketsSkipped)
 	}
 	fmt.Printf("mean system latency over all queries: %.1f slots\n", stats.MeanSystemLatencySlots())
+	if stats.FaultEvents() > 0 || stats.PeerRetries > 0 {
+		fmt.Printf("\nfault injection (deterministic under -seed %d):\n", p.Seed)
+		fmt.Printf("  requests unheard:              %d (retries: %d)\n",
+			stats.RequestsUnheard, stats.PeerRetries)
+		fmt.Printf("  replies dropped / rejected:    %d / %d (CRC or structure)\n",
+			stats.RepliesDropped, stats.RepliesRejected)
+		fmt.Printf("  stale regions discarded:       %d\n", stats.StaleVRs)
+		fmt.Printf("  packet / index re-receptions:  %d / %d (extra cycle or replica waits)\n",
+			stats.Retransmissions, stats.IndexRetries)
+	}
 	if *baseline && stats.BaselineSampled > 0 {
 		base := stats.BaselineMeanLatencySlots()
 		fmt.Printf("\nplain on-air baseline: %.1f slots/query (%d sampled)\n",

@@ -97,9 +97,10 @@ type Config struct {
 	// The flat default reads the full segment, as the (1, m) scheme of
 	// Figure 2 implies.
 	TreeIndex bool
-	// LossRate is the probability that a packet reception fails and the
-	// client must wait for the packet's next cycle occurrence — the
-	// wireless error model. Zero (default) is a lossless channel; values
+	// LossRate is the probability that a reception fails — the wireless
+	// error model. A lost data packet defers the client to the packet's
+	// next cycle occurrence; a lost index segment defers it to the next
+	// (1, m) index replica. Zero (default) is a lossless channel; values
 	// are clamped to [0, 0.95].
 	LossRate float64
 	// LossSeed seeds the reception-loss process.
@@ -185,6 +186,10 @@ type Access struct {
 	// Retransmissions counts packet receptions lost to channel errors
 	// (the client waited a further cycle for each).
 	Retransmissions int
+	// IndexRetries counts index-segment receptions lost to channel
+	// errors; the client waited for the next (1, m) index replica (or the
+	// next cycle when only one remains) for each.
+	IndexRetries int
 }
 
 // add accumulates another access (used when a query needs two passes).
@@ -195,6 +200,7 @@ func (a *Access) add(b Access) {
 	a.PacketsSkipped += b.PacketsSkipped
 	a.IndexReads += b.IndexReads
 	a.Retransmissions += b.Retransmissions
+	a.IndexRetries += b.IndexRetries
 }
 
 // NewSchedule builds the broadcast cycle for the given POIs.
@@ -388,18 +394,30 @@ func mod(a, b int64) int64 {
 // a flat index the whole segment is tuned; with a tree index only the
 // directory is tuned here and indexTuning adds the visited leaf slots
 // once the candidate set is known.
+//
+// Under channel errors an index-segment reception can fail like any other
+// packet; the client then stays tuned through the wasted segment and
+// waits for the next (1, m) index replica — one of m per cycle — before
+// it can resolve any packet addresses. Each such wait is counted in
+// Access.IndexRetries and widens both latency and tuning time.
 func (s *Schedule) probeIndex(start int64) (int64, Access) {
 	is := s.nextIndexStart(start)
-	done := is + int64(s.indexSlots)
-	tuning := 1 + int64(s.indexSlots) // initial probe + full index read
+	segTuning := int64(s.indexSlots) // slots tuned per segment read
 	if s.treeIndex {
-		tuning = 1 + 1 // initial probe + directory slot
+		segTuning = 1 // directory slot only
 	}
-	return done, Access{
-		Latency:    done - start,
-		Tuning:     tuning,
-		IndexReads: 1,
+	acc := Access{Tuning: 1, IndexReads: 1} // the initial probe
+	for s.lossRate > 0 && s.lossRng.Float64() < s.lossRate {
+		// Reception failed: the tuned slots are wasted and the client
+		// retunes at the next index replica.
+		acc.Tuning += segTuning
+		acc.IndexRetries++
+		is = s.nextIndexStart(is + int64(s.indexSlots))
 	}
+	acc.Tuning += segTuning
+	done := is + int64(s.indexSlots)
+	acc.Latency = done - start
+	return done, acc
 }
 
 // indexTuning returns the extra index slots a tree-index client tunes:

@@ -1,0 +1,317 @@
+// Package faults is the fault-injection layer of the simulator: a seeded,
+// deterministic source of substrate misbehavior for every channel the
+// paper's sharing architecture depends on.
+//
+// The seed reproduces Ku–Zimmermann–Wang under an idealized radio model:
+// every ad-hoc frame arrives intact and every shared verified region is
+// fresh. Real 802.11 links lose and corrupt frames, broadcast downlinks
+// drop packets, and — as the cache-consistency literature on mobile
+// broadcast (Tabassum et al.) stresses — peer caches silently go stale
+// when the POI database changes underneath them. The Injector models all
+// of these as independent Bernoulli processes drawn from its own seeded
+// stream, so fault runs are exactly reproducible and a zero Profile makes
+// no random draws at all (the no-fault path is bit-identical to the ideal
+// simulator).
+//
+// What is injected where:
+//
+//   - P2P request loss: a neighbor fails to hear the broadcast cache
+//     request (per peer, per attempt). The querying host re-broadcasts
+//     within a bounded retry budget.
+//   - P2P reply loss / truncation / bit corruption: a peer's reply is
+//     dropped in flight, cut short, or bit-flipped. Corrupted replies are
+//     detected by the wire CRC and rejected; the query degrades (the MVR
+//     shrinks) instead of failing.
+//   - Broadcast packet loss: a data-packet or index-segment reception
+//     fails; the client waits for the packet's next cycle occurrence or
+//     the next (1, m) index replica, widening latency and tuning time.
+//   - Peer-cache staleness: a POI-update process silently invalidates a
+//     fraction of shared verified regions. The consistency layer
+//     (modeled as a broadcast invalidation report) discards stale regions
+//     before they enter verification, so exact results stay exact; the
+//     TrustStale test knob disables the discard to demonstrate that a
+//     trusted stale region poisons Lemma 3.1 verification exactly like
+//     the byzantine peer of the core package's trust-model tests.
+//
+// Soundness argument: every injected fault removes information from the
+// querying host (fewer peers heard, fewer regions survive, packets arrive
+// later) and never fabricates it. SBNN/SBWQ verification is monotone in
+// the peer set — shrinking the MVR can only demote answers from verified
+// to broadcast-fallback — so degradation keeps the paper's Lemma 3.1
+// guarantee: whatever is still reported as exact is exact.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MaxRate caps every loss probability; a channel losing more than 95% of
+// its frames is indistinguishable from no channel, and capping keeps the
+// retry loops bounded.
+const MaxRate = 0.95
+
+// DefaultMaxRetries is the request re-broadcast budget used when a
+// Profile enables faults but leaves MaxRetries at zero.
+const DefaultMaxRetries = 2
+
+// Profile configures the per-channel fault rates. The zero value is the
+// ideal substrate: no faults, no random draws, no behavioral change.
+type Profile struct {
+	// RequestLoss is the probability that one neighbor fails to hear one
+	// broadcast cache request (independently per peer and per attempt).
+	RequestLoss float64
+	// ReplyLoss is the probability a peer reply is dropped in flight.
+	ReplyLoss float64
+	// ReplyTruncate is the probability a reply arrives cut short.
+	ReplyTruncate float64
+	// ReplyCorrupt is the probability a reply arrives with flipped bits.
+	ReplyCorrupt float64
+	// BroadcastLoss is the probability one broadcast packet (or index
+	// segment) reception fails and the client waits a further cycle (or
+	// index replica).
+	BroadcastLoss float64
+	// StaleRate is the probability that a shared verified region has been
+	// silently invalidated by the POI-update process since the peer
+	// cached it.
+	StaleRate float64
+	// MaxRetries bounds how many times a querying host re-broadcasts its
+	// cache request when no neighbor heard it. Zero selects
+	// DefaultMaxRetries when any fault rate is set.
+	MaxRetries int
+	// TrustStale disables the consistency layer's stale-region discard:
+	// stale regions are served with silently diverged contents and enter
+	// verification. This is a test knob demonstrating the soundness
+	// hazard; production configurations leave it false.
+	TrustStale bool
+}
+
+// Enabled reports whether any fault process is active.
+func (p Profile) Enabled() bool {
+	return p.RequestLoss > 0 || p.ReplyLoss > 0 || p.ReplyTruncate > 0 ||
+		p.ReplyCorrupt > 0 || p.BroadcastLoss > 0 || p.StaleRate > 0
+}
+
+// Normalized returns the profile with every rate clamped to [0, MaxRate]
+// and the retry budget defaulted.
+func (p Profile) Normalized() Profile {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > MaxRate {
+			return MaxRate
+		}
+		return v
+	}
+	out := p
+	out.RequestLoss = clamp(p.RequestLoss)
+	out.ReplyLoss = clamp(p.ReplyLoss)
+	out.ReplyTruncate = clamp(p.ReplyTruncate)
+	out.ReplyCorrupt = clamp(p.ReplyCorrupt)
+	out.BroadcastLoss = clamp(p.BroadcastLoss)
+	out.StaleRate = clamp(p.StaleRate)
+	if out.MaxRetries < 0 {
+		out.MaxRetries = 0
+	}
+	if out.MaxRetries == 0 && out.Enabled() {
+		out.MaxRetries = DefaultMaxRetries
+	}
+	return out
+}
+
+// Validate reports profile configuration errors (NaN or negative rates,
+// unbounded retry budgets).
+func (p Profile) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"RequestLoss", p.RequestLoss},
+		{"ReplyLoss", p.ReplyLoss},
+		{"ReplyTruncate", p.ReplyTruncate},
+		{"ReplyCorrupt", p.ReplyCorrupt},
+		{"BroadcastLoss", p.BroadcastLoss},
+		{"StaleRate", p.StaleRate},
+	}
+	for _, r := range rates {
+		if r.v != r.v { // NaN
+			return fmt.Errorf("faults: %s is NaN", r.name)
+		}
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v out of [0, 1]", r.name, r.v)
+		}
+	}
+	if p.MaxRetries < 0 || p.MaxRetries > 16 {
+		return fmt.Errorf("faults: MaxRetries %d out of [0, 16]", p.MaxRetries)
+	}
+	return nil
+}
+
+// ReplyFate classifies what the channel did to one peer reply.
+type ReplyFate int
+
+const (
+	// FateDeliver: the reply arrived intact.
+	FateDeliver ReplyFate = iota
+	// FateDrop: the reply was lost in flight.
+	FateDrop
+	// FateTruncate: the reply arrived cut short.
+	FateTruncate
+	// FateCorrupt: the reply arrived with flipped bits.
+	FateCorrupt
+)
+
+// String implements fmt.Stringer.
+func (f ReplyFate) String() string {
+	switch f {
+	case FateDrop:
+		return "drop"
+	case FateTruncate:
+		return "truncate"
+	case FateCorrupt:
+		return "corrupt"
+	default:
+		return "deliver"
+	}
+}
+
+// Counters tallies every injected fault so the degradation paths are
+// visible in the experiment reports.
+type Counters struct {
+	// RequestsUnheard counts per-peer request receptions lost.
+	RequestsUnheard int64
+	// RepliesDropped counts replies lost in flight.
+	RepliesDropped int64
+	// RepliesTruncated counts replies delivered cut short.
+	RepliesTruncated int64
+	// RepliesCorrupted counts replies delivered with flipped bits.
+	RepliesCorrupted int64
+	// StaleVRs counts shared verified regions the POI-update process had
+	// silently invalidated.
+	StaleVRs int64
+}
+
+// Injector is a seeded, deterministic fault source. A nil *Injector is
+// valid and injects nothing, so consumers may thread it through without
+// nil checks. All decision methods draw from the injector's own stream —
+// never the simulation's — so enabling faults does not perturb the world's
+// randomness, and a zero profile makes no draws at all.
+type Injector struct {
+	prof Profile
+	rng  *rand.Rand
+	// Counters tallies the injected faults.
+	Counters Counters
+}
+
+// New creates an injector for the (normalized) profile, seeded
+// independently of the simulation stream.
+func New(seed int64, p Profile) *Injector {
+	return &Injector{
+		prof: p.Normalized(),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Profile returns the active (normalized) profile. Safe on nil.
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{}
+	}
+	return in.prof
+}
+
+// Enabled reports whether any fault process is active. Safe on nil.
+func (in *Injector) Enabled() bool { return in != nil && in.prof.Enabled() }
+
+// RequestHeard draws whether one neighbor heard one broadcast cache
+// request. Safe on nil (always heard).
+func (in *Injector) RequestHeard() bool {
+	if in == nil || in.prof.RequestLoss <= 0 {
+		return true
+	}
+	if in.rng.Float64() < in.prof.RequestLoss {
+		in.Counters.RequestsUnheard++
+		return false
+	}
+	return true
+}
+
+// StaleVR draws whether one shared verified region has been silently
+// invalidated by the POI-update process. Safe on nil (always fresh).
+func (in *Injector) StaleVR() bool {
+	if in == nil || in.prof.StaleRate <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.prof.StaleRate {
+		in.Counters.StaleVRs++
+		return true
+	}
+	return false
+}
+
+// ReplyFate draws what the ad-hoc channel does to one peer reply. The
+// three failure modes are disjoint (loss, then truncation, then
+// corruption). Safe on nil (always delivered).
+func (in *Injector) ReplyFate() ReplyFate {
+	if in == nil {
+		return FateDeliver
+	}
+	p := in.prof
+	if p.ReplyLoss <= 0 && p.ReplyTruncate <= 0 && p.ReplyCorrupt <= 0 {
+		return FateDeliver
+	}
+	u := in.rng.Float64()
+	switch {
+	case u < p.ReplyLoss:
+		in.Counters.RepliesDropped++
+		return FateDrop
+	case u < p.ReplyLoss+p.ReplyTruncate:
+		in.Counters.RepliesTruncated++
+		return FateTruncate
+	case u < p.ReplyLoss+p.ReplyTruncate+p.ReplyCorrupt:
+		in.Counters.RepliesCorrupted++
+		return FateCorrupt
+	default:
+		return FateDeliver
+	}
+}
+
+// Pick draws a uniform index in [0, n) from the injector's stream — used
+// to choose which POI a trusted stale region silently lost. Safe on nil
+// (returns 0).
+func (in *Injector) Pick(n int) int {
+	if in == nil || n <= 1 {
+		return 0
+	}
+	return in.rng.Intn(n)
+}
+
+// Mangle applies the drawn fate to an encoded message: truncation cuts it
+// at a random interior point, corruption flips one to four random bits.
+// FateDeliver and FateDrop return the input unchanged. The input slice is
+// never modified; mangled output is a copy. Safe on nil (identity).
+func (in *Injector) Mangle(b []byte, fate ReplyFate) []byte {
+	if in == nil || len(b) == 0 {
+		return b
+	}
+	switch fate {
+	case FateTruncate:
+		// Cut strictly inside the message so something, but not
+		// everything, arrives.
+		cut := 1 + in.rng.Intn(len(b))
+		if cut >= len(b) {
+			cut = len(b) - 1
+		}
+		return append([]byte(nil), b[:cut]...)
+	case FateCorrupt:
+		out := append([]byte(nil), b...)
+		flips := 1 + in.rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			out[in.rng.Intn(len(out))] ^= byte(1) << in.rng.Intn(8)
+		}
+		return out
+	default:
+		return b
+	}
+}

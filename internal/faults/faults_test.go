@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestZeroProfileIsInert(t *testing.T) {
+	var p Profile
+	if p.Enabled() {
+		t.Fatal("zero profile reports enabled")
+	}
+	in := New(1, p)
+	if in.Enabled() {
+		t.Fatal("zero-profile injector reports enabled")
+	}
+	for i := 0; i < 1000; i++ {
+		if !in.RequestHeard() {
+			t.Fatal("zero profile lost a request")
+		}
+		if in.StaleVR() {
+			t.Fatal("zero profile staled a region")
+		}
+		if f := in.ReplyFate(); f != FateDeliver {
+			t.Fatalf("zero profile fate %v", f)
+		}
+	}
+	if in.Counters != (Counters{}) {
+		t.Fatalf("zero profile counters %+v", in.Counters)
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	if !in.RequestHeard() || in.StaleVR() || in.ReplyFate() != FateDeliver {
+		t.Fatal("nil injector injected a fault")
+	}
+	if in.Pick(5) != 0 {
+		t.Fatal("nil Pick nonzero")
+	}
+	b := []byte{1, 2, 3}
+	if got := in.Mangle(b, FateCorrupt); !bytes.Equal(got, b) {
+		t.Fatal("nil Mangle changed bytes")
+	}
+	if in.Profile() != (Profile{}) {
+		t.Fatal("nil Profile non-zero")
+	}
+}
+
+func TestNormalizedClampsAndDefaults(t *testing.T) {
+	p := Profile{RequestLoss: 2, ReplyLoss: -1, StaleRate: 0.5}
+	n := p.Normalized()
+	if n.RequestLoss != MaxRate {
+		t.Errorf("RequestLoss clamped to %v", n.RequestLoss)
+	}
+	if n.ReplyLoss != 0 {
+		t.Errorf("negative ReplyLoss -> %v", n.ReplyLoss)
+	}
+	if n.StaleRate != 0.5 {
+		t.Errorf("in-range rate changed: %v", n.StaleRate)
+	}
+	if n.MaxRetries != DefaultMaxRetries {
+		t.Errorf("MaxRetries defaulted to %d", n.MaxRetries)
+	}
+	// A zero profile gains no retry budget.
+	if z := (Profile{}).Normalized(); z.MaxRetries != 0 {
+		t.Errorf("zero profile MaxRetries %d", z.MaxRetries)
+	}
+	// An explicit budget survives normalization.
+	if e := (Profile{ReplyLoss: 0.1, MaxRetries: 5}).Normalized(); e.MaxRetries != 5 {
+		t.Errorf("explicit MaxRetries %d", e.MaxRetries)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Profile{RequestLoss: 0.1, ReplyLoss: 0.2, BroadcastLoss: 0.3, StaleRate: 0.05, MaxRetries: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good profile rejected: %v", err)
+	}
+	bad := []Profile{
+		{RequestLoss: -0.1},
+		{ReplyLoss: 1.5},
+		{ReplyTruncate: math.NaN()},
+		{ReplyCorrupt: 2},
+		{BroadcastLoss: -1},
+		{StaleRate: 1.01},
+		{MaxRetries: -1},
+		{MaxRetries: 17},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Profile{RequestLoss: 0.3, ReplyLoss: 0.2, ReplyTruncate: 0.1, ReplyCorrupt: 0.1, StaleRate: 0.2}
+	a, b := New(7, p), New(7, p)
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	for i := 0; i < 500; i++ {
+		if a.RequestHeard() != b.RequestHeard() {
+			t.Fatal("RequestHeard diverged")
+		}
+		if a.StaleVR() != b.StaleVR() {
+			t.Fatal("StaleVR diverged")
+		}
+		fa, fb := a.ReplyFate(), b.ReplyFate()
+		if fa != fb {
+			t.Fatal("ReplyFate diverged")
+		}
+		if !bytes.Equal(a.Mangle(msg, fa), b.Mangle(msg, fb)) {
+			t.Fatal("Mangle diverged")
+		}
+	}
+	if a.Counters != b.Counters {
+		t.Fatalf("counters diverged: %+v vs %+v", a.Counters, b.Counters)
+	}
+	if a.Counters.RequestsUnheard == 0 || a.Counters.RepliesDropped == 0 ||
+		a.Counters.StaleVRs == 0 {
+		t.Fatalf("fault processes never fired: %+v", a.Counters)
+	}
+}
+
+func TestReplyFateRates(t *testing.T) {
+	p := Profile{ReplyLoss: 0.2, ReplyTruncate: 0.1, ReplyCorrupt: 0.1}
+	in := New(11, p)
+	const n = 20000
+	var fates [4]int
+	for i := 0; i < n; i++ {
+		fates[in.ReplyFate()]++
+	}
+	check := func(fate ReplyFate, want float64) {
+		got := float64(fates[fate]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v rate %.3f want %.2f", fate, got, want)
+		}
+	}
+	check(FateDeliver, 0.6)
+	check(FateDrop, 0.2)
+	check(FateTruncate, 0.1)
+	check(FateCorrupt, 0.1)
+	if in.Counters.RepliesDropped != int64(fates[FateDrop]) ||
+		in.Counters.RepliesTruncated != int64(fates[FateTruncate]) ||
+		in.Counters.RepliesCorrupted != int64(fates[FateCorrupt]) {
+		t.Errorf("counters disagree with drawn fates: %+v", in.Counters)
+	}
+}
+
+func TestMangle(t *testing.T) {
+	in := New(13, Profile{ReplyTruncate: 0.5, ReplyCorrupt: 0.5})
+	msg := make([]byte, 128)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	for trial := 0; trial < 200; trial++ {
+		tr := in.Mangle(msg, FateTruncate)
+		if len(tr) >= len(msg) || len(tr) < 0 {
+			t.Fatalf("truncation produced %d of %d bytes", len(tr), len(msg))
+		}
+		if !bytes.Equal(tr, msg[:len(tr)]) {
+			t.Fatal("truncation changed surviving bytes")
+		}
+		co := in.Mangle(msg, FateCorrupt)
+		if len(co) != len(msg) {
+			t.Fatalf("corruption changed length: %d", len(co))
+		}
+		if bytes.Equal(co, msg) {
+			t.Fatal("corruption flipped no bits")
+		}
+	}
+	// Delivery and drop leave the frame untouched.
+	if !bytes.Equal(in.Mangle(msg, FateDeliver), msg) ||
+		!bytes.Equal(in.Mangle(msg, FateDrop), msg) {
+		t.Fatal("deliver/drop mangled the frame")
+	}
+	// The input is never modified in place.
+	for i := range msg {
+		if msg[i] != byte(i*7) {
+			t.Fatal("Mangle modified its input")
+		}
+	}
+}
+
+func TestFateStrings(t *testing.T) {
+	if FateDeliver.String() != "deliver" || FateDrop.String() != "drop" ||
+		FateTruncate.String() != "truncate" || FateCorrupt.String() != "corrupt" {
+		t.Error("fate strings wrong")
+	}
+}

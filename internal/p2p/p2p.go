@@ -26,14 +26,26 @@ type Network struct {
 	pos      []geom.Point // host id -> position
 	present  []bool       // host id -> registered?
 	cellOf   []int        // host id -> cell index
+	live     int          // registered host count (keeps Len O(1))
 	// Stats counts sharing traffic for the experiment reports.
 	Stats TrafficStats
 }
 
-// TrafficStats tallies the P2P messages exchanged.
+// TrafficStats tallies the P2P messages exchanged, including the fault
+// paths: retries are the bounded request re-broadcasts a querying host
+// pays when no neighbor heard it, and the reply-failure counters record
+// degradation that consumed channel bytes without delivering data.
 type TrafficStats struct {
-	Requests int64 // broadcast cache requests issued
-	Replies  int64 // peer replies delivered
+	Requests int64 // broadcast cache requests issued (every attempt)
+	Replies  int64 // peer replies delivered intact
+	// Retries counts request re-broadcasts beyond each query's first
+	// attempt (the retry-with-timeout budget of the fault layer).
+	Retries int64
+	// RepliesLost counts peer replies dropped in flight.
+	RepliesLost int64
+	// RepliesRejected counts peer replies delivered truncated or
+	// corrupted and refused by the wire decoder's CRC/structure checks.
+	RepliesRejected int64
 }
 
 // NewNetwork creates a network over the service area with the given index
@@ -62,16 +74,9 @@ func NewNetwork(area geom.Rect, cellSize float64) (*Network, error) {
 	}, nil
 }
 
-// Len returns the number of registered hosts.
-func (n *Network) Len() int {
-	c := 0
-	for _, p := range n.present {
-		if p {
-			c++
-		}
-	}
-	return c
-}
+// Len returns the number of registered hosts in O(1): a live-host counter
+// is maintained by Update/Remove instead of scanning the presence table.
+func (n *Network) Len() int { return n.live }
 
 func (n *Network) cellIndex(p geom.Point) int {
 	cx := int((p.X - n.area.Min.X) / n.cellSize)
@@ -106,6 +111,9 @@ func (n *Network) Update(id int, p geom.Point) {
 		}
 		n.removeFromCell(id, oldCell)
 	}
+	if !n.present[id] {
+		n.live++
+	}
 	n.pos[id] = p
 	n.present[id] = true
 	n.cellOf[id] = newCell
@@ -120,6 +128,7 @@ func (n *Network) Remove(id int) {
 	n.removeFromCell(id, n.cellOf[id])
 	n.present[id] = false
 	n.cellOf[id] = -1
+	n.live--
 }
 
 func (n *Network) removeFromCell(id, cell int) {

@@ -225,3 +225,33 @@ func TestNeighborsMultiHopNoDuplicates(t *testing.T) {
 		}
 	}
 }
+
+// TestLenChurn: Len must stay exact — O(1) via the live-host counter —
+// through arbitrary interleavings of registrations, moves, removals,
+// double-removals and re-registrations.
+func TestLenChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := mustNetwork(t, geom.NewRect(0, 0, 10, 10), 1)
+	alive := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		id := rng.Intn(60)
+		switch rng.Intn(3) {
+		case 0, 1: // register or move
+			n.Update(id, geom.Pt(rng.Float64()*10, rng.Float64()*10))
+			alive[id] = true
+		case 2: // remove (possibly already absent)
+			n.Remove(id)
+			delete(alive, id)
+		}
+		if n.Len() != len(alive) {
+			t.Fatalf("op %d: Len = %d, want %d", op, n.Len(), len(alive))
+		}
+	}
+	// Drain completely, including ids never registered.
+	for id := 0; id < 70; id++ {
+		n.Remove(id)
+	}
+	if n.Len() != 0 {
+		t.Fatalf("Len after drain = %d", n.Len())
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"lbsq/internal/broadcast"
 	"lbsq/internal/cache"
+	"lbsq/internal/faults"
 	"lbsq/internal/geom"
 )
 
@@ -148,8 +149,16 @@ type Params struct {
 	// paper's experiments count answers with correctness above 50%).
 	MinCorrectness float64
 
+	// Faults configures the fault-injection layer: P2P request/reply
+	// loss, reply truncation and bit corruption, broadcast packet loss,
+	// and peer-cache staleness (see the faults package). The zero value
+	// is the ideal substrate the paper assumes — no faults are drawn and
+	// behavior is identical to a build without the layer.
+	Faults faults.Profile
+
 	// Broadcast configures the air index; the Area field is filled in by
-	// the simulator.
+	// the simulator. Faults.BroadcastLoss, when set, overrides
+	// Broadcast.LossRate so one profile drives every channel.
 	Broadcast broadcast.Config
 }
 
@@ -209,6 +218,9 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("sim: WindowPct %v must be positive for window runs", p.WindowPct)
 	case p.WarmupFrac < 0 || p.WarmupFrac >= 1:
 		return fmt.Errorf("sim: WarmupFrac %v out of [0,1)", p.WarmupFrac)
+	}
+	if err := p.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }

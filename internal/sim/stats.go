@@ -32,12 +32,39 @@ type Stats struct {
 	BaselinePackets      int64
 	BaselineSampled      int
 
-	// PeerRequests / PeerReplies count P2P traffic.
+	// PeerRequests / PeerReplies count P2P traffic. With faults enabled
+	// PeerRequests includes every re-broadcast attempt.
 	PeerRequests int64
 	PeerReplies  int64
 	// PeerBytes is the total ad-hoc channel traffic in encoded wire-format
-	// bytes (requests plus replies).
+	// bytes (requests plus replies, lost frames included — they occupied
+	// the channel even when nothing arrived).
 	PeerBytes int64
+
+	// Fault-injection visibility. All of these are zero on an ideal
+	// substrate (fault profile zero); each counts one degradation path of
+	// the fault model.
+	//
+	// PeerRetries counts request re-broadcasts beyond each query's first
+	// attempt (the bounded retry budget).
+	PeerRetries int64
+	// RequestsUnheard counts per-peer request receptions lost.
+	RequestsUnheard int64
+	// RepliesDropped counts peer replies lost in flight.
+	RepliesDropped int64
+	// RepliesRejected counts truncated or bit-corrupted peer replies the
+	// wire decoder's CRC/structure checks refused.
+	RepliesRejected int64
+	// StaleVRs counts shared verified regions the POI-update process had
+	// silently invalidated (discarded by the consistency layer unless the
+	// TrustStale test knob is set).
+	StaleVRs int64
+	// Retransmissions counts broadcast data-packet receptions lost to
+	// channel errors; the client waited a further cycle for each.
+	Retransmissions int64
+	// IndexRetries counts index-segment receptions lost; the client
+	// waited for the next (1, m) index replica for each.
+	IndexRetries int64
 
 	// AvgPeersPerQuery tracks mean reachable peers (encounter density).
 	peersSum int64
@@ -108,13 +135,28 @@ func (s Stats) AvgPeers() float64 {
 	return float64(s.peersSum) / float64(s.Queries)
 }
 
+// FaultEvents returns the total number of injected faults visible in the
+// statistics — zero exactly when the run saw an ideal substrate.
+func (s Stats) FaultEvents() int64 {
+	return s.RequestsUnheard + s.RepliesDropped + s.RepliesRejected +
+		s.StaleVRs + s.Retransmissions + s.IndexRetries
+}
+
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"queries=%d verified=%.1f%% approx=%.1f%% broadcast=%.1f%% avgPeers=%.1f avgLatency=%.0f slots",
 		s.Queries, s.VerifiedPct(), s.ApproximatePct(), s.BroadcastPct(),
 		s.AvgPeers(), s.AvgLatencySlots(),
 	)
+	if s.FaultEvents() > 0 {
+		out += fmt.Sprintf(
+			" faults[unheard=%d dropped=%d rejected=%d stale=%d retries=%d rexmit=%d idxretry=%d]",
+			s.RequestsUnheard, s.RepliesDropped, s.RepliesRejected,
+			s.StaleVRs, s.PeerRetries, s.Retransmissions, s.IndexRetries,
+		)
+	}
+	return out
 }
 
 func pct(part, whole int) float64 {

@@ -8,6 +8,7 @@ import (
 	"lbsq/internal/broadcast"
 	"lbsq/internal/cache"
 	"lbsq/internal/core"
+	"lbsq/internal/faults"
 	"lbsq/internal/geom"
 	"lbsq/internal/mobility"
 	"lbsq/internal/p2p"
@@ -15,6 +16,12 @@ import (
 	"lbsq/internal/trace"
 	"lbsq/internal/wire"
 )
+
+// faultSeedSalt decorrelates the fault-injection stream from the
+// simulation stream: both derive from Params.Seed, but the injector never
+// shares draws with the world, so enabling faults does not perturb
+// movement, query launching, or the POI field.
+const faultSeedSalt = 0x6661756c74 // "fault"
 
 // World is one simulation instance: the POI database and its broadcast
 // schedule, the mobile host population, and the sharing layer.
@@ -34,12 +41,14 @@ type World struct {
 	// Trace, when non-nil, receives one event per counted query (JSONL).
 	Trace *trace.Writer
 
-	rng   *rand.Rand
-	area  geom.Rect
-	types []typeState
-	net   *p2p.Network
-	model *mobility.Waypoint
-	hosts []host
+	rng     *rand.Rand
+	area    geom.Rect
+	types   []typeState
+	net     *p2p.Network
+	model   *mobility.Waypoint
+	hosts   []host
+	inj     *faults.Injector
+	queryID uint64 // wire correlation IDs for encoded replies
 
 	nowSec      float64
 	durationSec float64
@@ -78,6 +87,7 @@ func NewWorld(p Params) (*World, error) {
 	if nTypes < 1 {
 		nTypes = 1
 	}
+	prof := p.Faults.Normalized()
 	types := make([]typeState, nTypes)
 	for ti := range types {
 		db := generatePOIs(rng, p)
@@ -87,6 +97,13 @@ func NewWorld(p Params) (*World, error) {
 		}
 		bcfg := p.Broadcast
 		bcfg.Area = area
+		if prof.BroadcastLoss > 0 {
+			// One fault profile drives every channel: the broadcast loss
+			// rate feeds the schedule's reception-error model, seeded per
+			// type so the channels stay independent but reproducible.
+			bcfg.LossRate = prof.BroadcastLoss
+			bcfg.LossSeed = p.Seed ^ faultSeedSalt ^ int64(ti+1)
+		}
 		sched, err := broadcast.NewSchedule(db, bcfg)
 		if err != nil {
 			return nil, err
@@ -122,6 +139,7 @@ func NewWorld(p Params) (*World, error) {
 		types:       types,
 		net:         net,
 		model:       model,
+		inj:         faults.New(p.Seed^faultSeedSalt, p.Faults),
 		durationSec: p.DurationHours * 3600,
 	}
 	w.warmupSec = w.durationSec * p.WarmupFrac
@@ -250,8 +268,17 @@ func (w *World) Stats() Stats {
 	s := w.stats
 	s.PeerRequests = w.net.Stats.Requests
 	s.PeerReplies = w.net.Stats.Replies
+	s.PeerRetries = w.net.Stats.Retries
+	c := w.inj.Counters
+	s.RequestsUnheard = c.RequestsUnheard
+	s.RepliesDropped = c.RepliesDropped
+	s.RepliesRejected = c.RepliesTruncated + c.RepliesCorrupted
+	s.StaleVRs = c.StaleVRs
 	return s
 }
+
+// FaultCounters exposes the injector's raw tallies (testing and tools).
+func (w *World) FaultCounters() faults.Counters { return w.inj.Counters }
 
 // SelfCheckErr returns the first ground-truth mismatch observed, if any.
 func (w *World) SelfCheckErr() error { return w.selfCheckErr }
@@ -313,6 +340,16 @@ func (w *World) counted() bool { return w.nowSec >= w.warmupSec }
 // host idx that intersect the relevance rectangle, as PeerData for the
 // core algorithms. Dropping irrelevant regions only shrinks the MVR,
 // which keeps verification sound (and the simulation fast).
+//
+// The fault layer sits between the two hosts: each neighbor hears the
+// broadcast request independently (re-broadcast within the retry budget
+// when nobody heard), each reply can be lost, truncated, or bit-corrupted
+// in flight (damaged frames run through the real wire codec and are
+// rejected by its CRC trailer), and each shared region can be stale
+// (discarded by the consistency layer before it enters verification).
+// Every fault strictly removes information, so degradation stays sound:
+// the MVR shrinks and the query falls back to the channel instead of
+// trusting damaged or outdated data.
 func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData, int) {
 	q := w.hosts[idx].mob.Pos
 	hops := w.Params.SharingHops
@@ -320,40 +357,160 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 		hops = 1
 	}
 	ids := w.net.NeighborsMultiHop(q, w.Params.TxRangeMiles(), hops, idx)
-	w.net.RecordExchange(len(ids))
+
+	// Request phase: who heard the broadcast? Without faults everyone
+	// does, in one attempt, exactly as the ideal model.
+	heard := ids
+	attempts := 1
+	if w.inj.Enabled() && len(ids) > 0 {
+		maxAttempts := 1 + w.inj.Profile().MaxRetries
+		for {
+			var h []int
+			for _, id := range ids {
+				if w.inj.RequestHeard() {
+					h = append(h, id)
+				}
+			}
+			heard = h
+			if len(heard) > 0 || attempts >= maxAttempts {
+				break
+			}
+			attempts++
+			w.net.Stats.Retries++
+		}
+	}
+	w.net.RecordExchange(len(heard))
+	w.net.Stats.Requests += int64(attempts - 1) // re-broadcasts are requests too
+
 	count := w.counted() // byte accounting joins the other post-warm-up stats
 	if count {
-		w.stats.PeerBytes += int64(wire.RequestSize) // one broadcast request
+		w.stats.PeerBytes += int64(attempts) * int64(wire.RequestSize)
 	}
+
 	var peers []core.PeerData
 	stamp := int64(w.nowSec)
 	if w.Params.UseOwnCache {
-		// The host's own cache is a zero-cost "peer": no wire traffic.
+		// The host's own cache is a zero-cost "peer": no wire traffic, no
+		// transport faults, and no staleness (the host maintains it).
 		for _, r := range w.hosts[idx].caches[ti].Regions() {
 			if r.Rect.Intersects(relevance) {
 				peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
 			}
 		}
 	}
-	for _, id := range ids {
-		c := w.hosts[id].caches[ti]
-		replied := false
-		for ri, r := range c.Regions() {
-			if !r.Rect.Intersects(relevance) {
-				continue
-			}
-			peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
-			c.Touch(ri, stamp)
-			if count {
-				w.stats.PeerBytes += int64(wire.RegionWireSize(len(r.POIs)))
-			}
-			replied = true
-		}
-		if replied && count {
-			w.stats.PeerBytes += int64(wire.ReplyOverhead)
-		}
+	for _, id := range heard {
+		peers = w.receiveReply(peers, id, ti, relevance, stamp, count)
 	}
 	return peers, len(ids)
+}
+
+// receiveReply models one peer answering a cache request: the peer serves
+// every cached region intersecting the relevance rectangle, the channel
+// applies a transport fate to the reply, and the client's consistency
+// layer discards regions the POI-update process invalidated. Surviving
+// regions are appended to peers. With a zero fault profile this is
+// byte-for-byte the ideal exchange.
+func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.Rect, stamp int64, count bool) []core.PeerData {
+	c := w.hosts[id].caches[ti]
+	type sharedRegion struct {
+		region cache.Region
+		stale  bool
+	}
+	var shared []sharedRegion
+	for ri, r := range c.Regions() {
+		if !r.Rect.Intersects(relevance) {
+			continue
+		}
+		// The peer serves the region regardless of freshness — it cannot
+		// know the POI-update process invalidated it.
+		c.Touch(ri, stamp)
+		shared = append(shared, sharedRegion{region: r, stale: w.inj.StaleVR()})
+	}
+	if len(shared) == 0 {
+		return peers // nothing relevant: the peer stays silent
+	}
+
+	wireBytes := wire.ReplyOverhead
+	for _, s := range shared {
+		wireBytes += wire.RegionWireSize(len(s.region.POIs))
+	}
+
+	trustStale := w.inj.Profile().TrustStale
+	deliver := func() []core.PeerData {
+		for _, s := range shared {
+			if s.stale && !trustStale {
+				continue // consistency layer: stale region discarded
+			}
+			pd := core.PeerData{VR: s.region.Rect, POIs: s.region.POIs}
+			if s.stale && trustStale {
+				pd = w.poisonRegion(pd)
+			}
+			peers = append(peers, pd)
+		}
+		return peers
+	}
+
+	switch fate := w.inj.ReplyFate(); fate {
+	case faults.FateDeliver:
+		if count {
+			w.stats.PeerBytes += int64(wireBytes)
+		}
+		return deliver()
+	case faults.FateDrop:
+		// Lost in flight: the frame occupied the channel, nothing arrived.
+		w.net.Stats.RepliesLost++
+		if count {
+			w.stats.PeerBytes += int64(wireBytes)
+		}
+		return peers
+	default: // FateTruncate, FateCorrupt
+		// Damaged in flight: run the real codec end to end. The CRC
+		// trailer rejects the frame and the query degrades; in the
+		// astronomically unlikely event the damage passes every check,
+		// the decoded content is used like any delivered reply.
+		regs := make([]wire.Region, len(shared))
+		for i, s := range shared {
+			regs[i] = wire.Region{Rect: s.region.Rect, POIs: s.region.POIs}
+		}
+		w.queryID++
+		enc, err := wire.EncodeReply(wire.Reply{QueryID: w.queryID, Regions: regs})
+		if err != nil {
+			// A cache region exceeding wire limits cannot be encoded;
+			// treat the reply as undeliverable.
+			return peers
+		}
+		mangled := w.inj.Mangle(enc, fate)
+		if count {
+			w.stats.PeerBytes += int64(len(mangled))
+		}
+		dec, err := wire.DecodeReply(mangled)
+		if err != nil {
+			w.net.Stats.RepliesRejected++
+			return peers // rejected: sound degradation, already counted
+		}
+		for i, reg := range dec.Regions {
+			if i < len(shared) && shared[i].stale && !trustStale {
+				continue
+			}
+			peers = append(peers, core.PeerData{VR: reg.Rect, POIs: reg.POIs})
+		}
+		return peers
+	}
+}
+
+// poisonRegion returns a silently diverged copy of a trusted stale
+// region: the verified-region promise stands while one POI is missing —
+// exactly the byzantine hazard of the core package's trust-model tests.
+// Only reachable under the TrustStale test knob.
+func (w *World) poisonRegion(pd core.PeerData) core.PeerData {
+	if len(pd.POIs) == 0 {
+		return pd
+	}
+	drop := w.inj.Pick(len(pd.POIs))
+	pois := make([]broadcast.POI, 0, len(pd.POIs)-1)
+	pois = append(pois, pd.POIs[:drop]...)
+	pois = append(pois, pd.POIs[drop+1:]...)
+	return core.PeerData{VR: pd.VR, POIs: pois}
 }
 
 // drawK samples the per-query k around the configured mean.
@@ -406,6 +563,8 @@ func (w *World) runKNNQuery(idx, ti int) {
 			w.stats.TuningSlots += res.Access.Tuning
 			w.stats.PacketsRead += int64(res.Access.PacketsRead)
 			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
+			w.stats.Retransmissions += int64(res.Access.Retransmissions)
+			w.stats.IndexRetries += int64(res.Access.IndexRetries)
 		}
 		w.sampleKNNBaseline(ti, q, k)
 		if w.SelfCheck && res.Outcome != core.OutcomeApproximate {
@@ -453,6 +612,8 @@ func (w *World) runWindowQuery(idx, ti int) {
 			w.stats.TuningSlots += res.Access.Tuning
 			w.stats.PacketsRead += int64(res.Access.PacketsRead)
 			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
+			w.stats.Retransmissions += int64(res.Access.Retransmissions)
+			w.stats.IndexRetries += int64(res.Access.IndexRetries)
 		}
 		w.sampleWindowBaseline(ti, win)
 		if w.SelfCheck {

@@ -2,15 +2,18 @@
 // cache sharing: the cache request a querying mobile host broadcasts to
 // its neighbors and the reply carrying verified regions with their POIs.
 // The encoding is little-endian with explicit lengths, rejects truncated
-// or oversized input, and exposes exact message sizes so the simulator
-// can account for ad-hoc channel traffic in bytes.
+// or oversized input, carries a CRC32C integrity trailer so bit errors on
+// the ad-hoc channel are detected rather than trusted, and exposes exact
+// message sizes so the simulator can account for ad-hoc channel traffic
+// in bytes.
 //
-// Layout (all integers little-endian):
+// Layout (all integers little-endian; crc is CRC32C/Castagnoli over every
+// preceding byte of the message):
 //
 //	Request  := magic(2) ver(1) kind(1)=1 queryID(8) origin(16)
-//	            relevance(32) hops(1)
+//	            relevance(32) hops(1) crc(4)
 //	Reply    := magic(2) ver(1) kind(1)=2 queryID(8) nRegions(2)
-//	            Region*
+//	            Region* crc(4)
 //	Region   := rect(32) nPOIs(4) POI*
 //	POI      := id(8) pos(16)
 package wire
@@ -18,6 +21,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"lbsq/internal/broadcast"
@@ -32,6 +36,10 @@ const (
 	kindReply   = 2
 
 	headerSize = 2 + 1 + 1 + 8 // magic, version, kind, queryID
+
+	// TrailerSize is the CRC32C integrity trailer appended to every
+	// message.
+	TrailerSize = 4
 
 	// MaxRegions bounds regions per reply (a reply larger than this is
 	// malformed or hostile).
@@ -64,11 +72,16 @@ type Reply struct {
 	Regions []Region
 }
 
-// RequestSize is the fixed encoded size of a Request.
-const RequestSize = headerSize + 16 + 32 + 1
+// castagnoli is the CRC32C table; the Castagnoli polynomial detects all
+// 1–3 bit errors and is what iSCSI/ext4 use for frame integrity.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// ReplyOverhead is the fixed encoded size of a reply before its regions.
-const ReplyOverhead = headerSize + 2
+// RequestSize is the fixed encoded size of a Request, trailer included.
+const RequestSize = headerSize + 16 + 32 + 1 + TrailerSize
+
+// ReplyOverhead is the fixed encoded size of a reply outside its regions:
+// the header, the region count, and the CRC trailer.
+const ReplyOverhead = headerSize + 2 + TrailerSize
 
 // RegionWireSize returns the encoded size of one region carrying nPOIs.
 func RegionWireSize(nPOIs int) int { return 32 + 4 + 24*nPOIs }
@@ -90,7 +103,7 @@ func EncodeRequest(r Request) []byte {
 	buf = appendPoint(buf, r.Origin)
 	buf = appendRect(buf, r.Relevance)
 	buf = append(buf, r.Hops)
-	return buf
+	return appendTrailer(buf)
 }
 
 // DecodeRequest parses a request.
@@ -135,7 +148,7 @@ func EncodeReply(r Reply) ([]byte, error) {
 			buf = appendPoint(buf, p.Pos)
 		}
 	}
-	return buf, nil
+	return appendTrailer(buf), nil
 }
 
 // DecodeReply parses a reply.
@@ -195,20 +208,34 @@ func appendHeader(buf []byte, kind byte, queryID uint64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, queryID)
 }
 
+// appendTrailer seals the message with a CRC32C over everything so far.
+func appendTrailer(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// parseHeader validates the CRC trailer and the fixed header, returning
+// the payload between them. Magic and version alone are not trusted: a
+// bit-flipped message with an intact header is rejected here, before any
+// structural parsing.
 func parseHeader(b []byte, wantKind byte) ([]byte, uint64, error) {
-	if len(b) < headerSize {
+	if len(b) < headerSize+TrailerSize {
 		return nil, 0, fmt.Errorf("wire: message too short (%d bytes)", len(b))
 	}
-	if binary.LittleEndian.Uint16(b) != magic {
-		return nil, 0, fmt.Errorf("wire: bad magic %#x", binary.LittleEndian.Uint16(b))
+	body := b[:len(b)-TrailerSize]
+	want := binary.LittleEndian.Uint32(b[len(b)-TrailerSize:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("wire: CRC mismatch (got %#x want %#x)", got, want)
 	}
-	if b[2] != version {
-		return nil, 0, fmt.Errorf("wire: unsupported version %d", b[2])
+	if binary.LittleEndian.Uint16(body) != magic {
+		return nil, 0, fmt.Errorf("wire: bad magic %#x", binary.LittleEndian.Uint16(body))
 	}
-	if b[3] != wantKind {
-		return nil, 0, fmt.Errorf("wire: kind %d, want %d", b[3], wantKind)
+	if body[2] != version {
+		return nil, 0, fmt.Errorf("wire: unsupported version %d", body[2])
 	}
-	return b[headerSize:], binary.LittleEndian.Uint64(b[4:]), nil
+	if body[3] != wantKind {
+		return nil, 0, fmt.Errorf("wire: kind %d, want %d", body[3], wantKind)
+	}
+	return body[headerSize:], binary.LittleEndian.Uint64(body[4:]), nil
 }
 
 func appendPoint(buf []byte, p geom.Point) []byte {

@@ -233,3 +233,32 @@ func TestReplySizeFormula(t *testing.T) {
 		}
 	}
 }
+
+// TestCRCRejectsEveryBitFlip: the CRC32C trailer must reject any
+// single-bit corruption of an otherwise valid frame — the exact damage
+// class the fault injector's corrupt fate produces.
+func TestCRCRejectsEveryBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rep, err := EncodeReply(sampleReply(rng, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := EncodeRequest(sampleRequest())
+	for name, frame := range map[string][]byte{"reply": rep, "request": req} {
+		for i := range frame {
+			for bit := 0; bit < 8; bit++ {
+				b := append([]byte(nil), frame...)
+				b[i] ^= 1 << bit
+				var derr error
+				if name == "reply" {
+					_, derr = DecodeReply(b)
+				} else {
+					_, derr = DecodeRequest(b)
+				}
+				if derr == nil {
+					t.Fatalf("%s: flip of byte %d bit %d accepted", name, i, bit)
+				}
+			}
+		}
+	}
+}

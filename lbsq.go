@@ -27,6 +27,7 @@ import (
 	"lbsq/internal/broadcast"
 	"lbsq/internal/cache"
 	"lbsq/internal/core"
+	"lbsq/internal/faults"
 	"lbsq/internal/geom"
 	"lbsq/internal/sim"
 )
@@ -66,6 +67,10 @@ type (
 	BroadcastConfig = broadcast.Config
 	// Params is a full simulation parameter set (Table 4).
 	Params = sim.Params
+	// FaultProfile configures the fault-injection layer (lossy ad-hoc
+	// channels, broadcast packet loss, stale peer caches). The zero value
+	// is the paper's ideal substrate.
+	FaultProfile = faults.Profile
 	// Stats aggregates simulation statistics.
 	Stats = sim.Stats
 	// World is a running simulation.
