@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke verify
+.PHONY: all build vet test race fuzz-smoke verify soak bench
 
 all: build
 
@@ -29,3 +29,27 @@ fuzz-smoke:
 
 verify: vet build race fuzz-smoke
 	@echo "verify: all gates passed"
+
+# Chaos soak sweep: randomized fault/churn/resilience schedules with
+# metamorphic invariants after every run (see internal/sim/soak_test.go).
+# SOAK_SCHEDULES widens the sweep beyond the 20-schedule acceptance floor.
+soak:
+	SOAK_SCHEDULES=32 $(GO) test -run='Soak' -count=1 -v ./internal/sim
+
+# Fault/resilience benchmark grid: one JSON line per cell (lbsq-sim -json)
+# into results/BENCH_faults.json. Sweeps request-loss with and without the
+# resilient lifecycle so the two degradation curves can be compared.
+bench:
+	@mkdir -p results
+	@: > results/BENCH_faults.json
+	@for p in 0 0.05 0.1 0.2; do \
+		$(GO) run ./cmd/lbsq-sim -side 2 -hours 0.1 -selfcheck -json \
+			-req-loss $$p -reply-loss $$p >> results/BENCH_faults.json; \
+	done
+	@for p in 0 0.05 0.1 0.2; do \
+		$(GO) run ./cmd/lbsq-sim -side 2 -hours 0.1 -selfcheck -json \
+			-req-loss $$p -reply-loss $$p -retries 4 -churn-rate 0.1 \
+			-deadline-slots 16 -breaker-threshold 3 -breaker-cooldown 8 \
+			>> results/BENCH_faults.json; \
+	done
+	@echo "bench: wrote results/BENCH_faults.json"

@@ -13,6 +13,8 @@
 //	         [-hops n] [-clusters n] [-prefill n]
 //	         [-loss p] [-req-loss p] [-reply-loss p] [-corrupt p]
 //	         [-stale-rate p] [-retries n]
+//	         [-deadline-slots n] [-breaker-threshold n]
+//	         [-breaker-cooldown n] [-churn-rate p] [-json]
 //
 // The fault flags drive the fault-injection layer (internal/faults):
 // -loss is broadcast packet/index loss, -req-loss and -reply-loss are the
@@ -21,9 +23,23 @@
 // -stale-rate is the fraction of shared verified regions silently
 // invalidated by the POI-update process, and -retries bounds request
 // re-broadcasts. All fault runs are deterministic under -seed.
+//
+// The resilience flags drive the adaptive query lifecycle (DESIGN.md §8):
+// -deadline-slots is the per-query P2P slot budget (exceeding it abandons
+// peer collection and falls back to the channel), -breaker-threshold and
+// -breaker-cooldown configure the per-peer circuit breakers (consecutive
+// failures to trip; quarantine cycles), and -churn-rate lets peers power
+// off/on and drift out of range mid-collection. Any nonzero resilience
+// flag replaces the blind retry loop with capped exponential backoff plus
+// seeded jitter, retrying only unanswered peers; all-zero resilience
+// flags reproduce the seed behavior bit-identically.
+//
+// -json suppresses the human-readable report and emits one machine-
+// readable JSON object (configuration + full statistics) on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +79,11 @@ func main() {
 		corrupt   = flag.Float64("corrupt", 0, "P2P reply damage rate, half truncation half bit flips [0, 0.95]")
 		staleRate = flag.Float64("stale-rate", 0, "fraction of shared verified regions silently invalidated [0, 0.95]")
 		retries   = flag.Int("retries", 0, "request re-broadcast budget (0 = default when faults are on)")
+		deadline  = flag.Int("deadline-slots", 0, "per-query P2P slot budget; exceeding it falls back to the channel (0 = no deadline)")
+		brThresh  = flag.Int("breaker-threshold", 0, "consecutive peer failures that trip its circuit breaker (0 = breakers off)")
+		brCool    = flag.Int64("breaker-cooldown", 0, "breaker quarantine in collection cycles (0 = default 8 when breakers on)")
+		churn     = flag.Float64("churn-rate", 0, "per-peer per-round probability of powering off/on mid-collection [0, 0.95]")
+		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
 	)
 	flag.Parse()
 
@@ -119,6 +140,10 @@ func main() {
 	p.Faults.ReplyCorrupt = *corrupt / 2
 	p.Faults.StaleRate = *staleRate
 	p.Faults.MaxRetries = *retries
+	p.Faults.ChurnRate = *churn
+	p.DeadlineSlots = *deadline
+	p.BreakerThreshold = *brThresh
+	p.BreakerCooldown = *brCool
 
 	w, err := sim.NewWorld(p)
 	if err != nil {
@@ -139,10 +164,12 @@ func main() {
 		defer w.Trace.Flush()
 	}
 
-	fmt.Printf("%s — %s queries, %.1f-mile area, %d hosts, %d POIs, %.0f queries/min\n",
-		p.Name, p.Kind, p.AreaMiles, p.MHNumber, p.POINumber, p.QueryRate)
-	fmt.Printf("tx=%.0fm cache=%d k=%d window=%.1f%% policy=%v duration=%.2fh seed=%d\n\n",
-		p.TxRangeMeters, p.CacheSize, p.K, p.WindowPct, p.CachePolicy, p.DurationHours, p.Seed)
+	if !*jsonOut {
+		fmt.Printf("%s — %s queries, %.1f-mile area, %d hosts, %d POIs, %.0f queries/min\n",
+			p.Name, p.Kind, p.AreaMiles, p.MHNumber, p.POINumber, p.QueryRate)
+		fmt.Printf("tx=%.0fm cache=%d k=%d window=%.1f%% policy=%v duration=%.2fh seed=%d\n\n",
+			p.TxRangeMeters, p.CacheSize, p.K, p.WindowPct, p.CachePolicy, p.DurationHours, p.Seed)
+	}
 
 	start := time.Now()
 	stats := w.Run()
@@ -151,6 +178,11 @@ func main() {
 	if err := w.SelfCheckErr(); err != nil {
 		fmt.Fprintf(os.Stderr, "SELF-CHECK FAILED: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		emitJSON(p, stats, *selfcheck, elapsed)
+		return
 	}
 
 	fmt.Printf("queries counted (post warm-up): %d\n", stats.Queries)
@@ -180,6 +212,16 @@ func main() {
 		fmt.Printf("  packet / index re-receptions:  %d / %d (extra cycle or replica waits)\n",
 			stats.Retransmissions, stats.IndexRetries)
 	}
+	if stats.ResilienceEvents() > 0 {
+		fmt.Printf("\nresilient lifecycle (deadline=%d slots, breaker=%d/%d, churn=%.2f):\n",
+			p.DeadlineSlots, p.BreakerThreshold, p.BreakerCooldown, p.Faults.ChurnRate)
+		fmt.Printf("  deadline aborts:               %d (backoff spent: %d slots)\n",
+			stats.DeadlineAborts, stats.BackoffSlots)
+		fmt.Printf("  breaker trips / short-circuits / recoveries: %d / %d / %d\n",
+			stats.BreakerTrips, stats.BreakerShortCircuits, stats.BreakerRecoveries)
+		fmt.Printf("  churn departures / returns:    %d / %d (wasted retries: %d)\n",
+			stats.ChurnDepartures, stats.ChurnReturns, stats.WastedRetries)
+	}
 	if *baseline && stats.BaselineSampled > 0 {
 		base := stats.BaselineMeanLatencySlots()
 		fmt.Printf("\nplain on-air baseline: %.1f slots/query (%d sampled)\n",
@@ -196,4 +238,85 @@ func main() {
 		fmt.Printf("trace: %d events written to %s\n", w.Trace.Count(), *traceFile)
 	}
 	fmt.Printf("\nwall time %.1fs\n", elapsed.Seconds())
+}
+
+// jsonReport is the machine-readable run record `-json` emits: the
+// resolved configuration, the full Stats struct, and the derived rates
+// the human report prints. One compact object per line, so appending runs
+// produces valid JSONL (see `make bench`).
+type jsonReport struct {
+	Set             string    `json:"set"`
+	Kind            string    `json:"kind"`
+	Seed            int64     `json:"seed"`
+	AreaMiles       float64   `json:"area_miles"`
+	DurationHours   float64   `json:"duration_hours"`
+	MHNumber        int       `json:"mh_number"`
+	POINumber       int       `json:"poi_number"`
+	QueryRate       float64   `json:"query_rate"`
+	TxRangeMeters   float64   `json:"tx_range_meters"`
+	CacheSize       int       `json:"cache_size"`
+	K               int       `json:"k"`
+	WindowPct       float64   `json:"window_pct"`
+	Faults          any       `json:"faults"`
+	DeadlineSlots   int       `json:"deadline_slots"`
+	BreakerThresh   int       `json:"breaker_threshold"`
+	BreakerCooldown int64     `json:"breaker_cooldown"`
+	SelfCheck       bool      `json:"self_check_passed"`
+	Stats           sim.Stats `json:"stats"`
+	Derived         derived   `json:"derived"`
+	WallSeconds     float64   `json:"wall_seconds"`
+}
+
+type derived struct {
+	VerifiedPct            float64 `json:"verified_pct"`
+	ApproximatePct         float64 `json:"approximate_pct"`
+	BroadcastPct           float64 `json:"broadcast_pct"`
+	AvgPeers               float64 `json:"avg_peers"`
+	AvgLatencySlots        float64 `json:"avg_latency_slots"`
+	AvgTuningSlots         float64 `json:"avg_tuning_slots"`
+	MeanSystemLatencySlots float64 `json:"mean_system_latency_slots"`
+	AvgPeerBytes           float64 `json:"avg_peer_bytes"`
+	FaultEvents            int64   `json:"fault_events"`
+	ResilienceEvents       int64   `json:"resilience_events"`
+}
+
+func emitJSON(p sim.Params, stats sim.Stats, selfChecked bool, elapsed time.Duration) {
+	rep := jsonReport{
+		Set:             p.Name,
+		Kind:            p.Kind.String(),
+		Seed:            p.Seed,
+		AreaMiles:       p.AreaMiles,
+		DurationHours:   p.DurationHours,
+		MHNumber:        p.MHNumber,
+		POINumber:       p.POINumber,
+		QueryRate:       p.QueryRate,
+		TxRangeMeters:   p.TxRangeMeters,
+		CacheSize:       p.CacheSize,
+		K:               p.K,
+		WindowPct:       p.WindowPct,
+		Faults:          p.Faults,
+		DeadlineSlots:   p.DeadlineSlots,
+		BreakerThresh:   p.BreakerThreshold,
+		BreakerCooldown: p.BreakerCooldown,
+		SelfCheck:       selfChecked,
+		Stats:           stats,
+		Derived: derived{
+			VerifiedPct:            stats.VerifiedPct(),
+			ApproximatePct:         stats.ApproximatePct(),
+			BroadcastPct:           stats.BroadcastPct(),
+			AvgPeers:               stats.AvgPeers(),
+			AvgLatencySlots:        stats.AvgLatencySlots(),
+			AvgTuningSlots:         stats.AvgTuningSlots(),
+			MeanSystemLatencySlots: stats.MeanSystemLatencySlots(),
+			AvgPeerBytes:           stats.AvgPeerBytes(),
+			FaultEvents:            stats.FaultEvents(),
+			ResilienceEvents:       stats.ResilienceEvents(),
+		},
+		WallSeconds: elapsed.Seconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,231 @@
+package faults
+
+// Edge-case coverage for the fault primitives: degenerate frame sizes,
+// single-element picks, validation boundaries, and backoff arithmetic.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMangleEmptyFrame(t *testing.T) {
+	in := New(1, Profile{ReplyTruncate: 0.5, ReplyCorrupt: 0.5})
+	for _, fate := range []ReplyFate{FateDeliver, FateDrop, FateTruncate, FateCorrupt} {
+		if got := in.Mangle(nil, fate); len(got) != 0 {
+			t.Errorf("Mangle(nil, %v) = %v, want empty", fate, got)
+		}
+		if got := in.Mangle([]byte{}, fate); len(got) != 0 {
+			t.Errorf("Mangle(empty, %v) = %v, want empty", fate, got)
+		}
+	}
+}
+
+func TestMangleOneByteFrame(t *testing.T) {
+	in := New(2, Profile{ReplyTruncate: 0.5, ReplyCorrupt: 0.5})
+
+	// Truncating a 1-byte frame can only cut to zero bytes: the cut point
+	// is strictly interior, and a 1-byte message has no interior.
+	orig := []byte{0xA5}
+	if got := in.Mangle(orig, FateTruncate); len(got) != 0 {
+		t.Errorf("truncated 1-byte frame has %d bytes, want 0", len(got))
+	}
+	if orig[0] != 0xA5 {
+		t.Error("Mangle modified its input")
+	}
+
+	// Corrupting a 1-byte frame must flip at least one bit of that byte
+	// and leave the length (and the input) alone.
+	got := in.Mangle(orig, FateCorrupt)
+	if len(got) != 1 {
+		t.Fatalf("corrupted 1-byte frame has %d bytes, want 1", len(got))
+	}
+	if got[0] == orig[0] {
+		t.Error("corruption flipped an even number of identical bits back — no observable damage")
+	}
+	if orig[0] != 0xA5 {
+		t.Error("Mangle modified its input")
+	}
+}
+
+func TestMangleIdentityFatesShareStorage(t *testing.T) {
+	// Deliver and drop are identities: no copy, no draw.
+	in := New(3, Profile{ReplyCorrupt: 0.5})
+	msg := []byte{1, 2, 3}
+	if got := in.Mangle(msg, FateDeliver); &got[0] != &msg[0] {
+		t.Error("FateDeliver copied the frame")
+	}
+	if got := in.Mangle(msg, FateDrop); &got[0] != &msg[0] {
+		t.Error("FateDrop copied the frame")
+	}
+}
+
+func TestPickSingleElement(t *testing.T) {
+	// Pick from a 1-element (or degenerate) set is deterministic zero and
+	// must not consume randomness: two injectors that differ only in
+	// interleaved Pick(1)/Pick(0) calls stay in lockstep.
+	a := New(4, Profile{StaleRate: 0.5})
+	b := New(4, Profile{StaleRate: 0.5})
+	for i := 0; i < 10; i++ {
+		if got := a.Pick(1); got != 0 {
+			t.Fatalf("Pick(1) = %d, want 0", got)
+		}
+		if got := a.Pick(0); got != 0 {
+			t.Fatalf("Pick(0) = %d, want 0", got)
+		}
+		if got := a.Pick(-3); got != 0 {
+			t.Fatalf("Pick(-3) = %d, want 0", got)
+		}
+		if pa, pb := a.Pick(1000), b.Pick(1000); pa != pb {
+			t.Fatalf("degenerate Picks consumed randomness: %d vs %d", pa, pb)
+		}
+	}
+}
+
+func TestValidateBoundaries(t *testing.T) {
+	// Exactly MaxRate (0.95) and exactly 1 are valid rates; Normalized
+	// clamping to MaxRate is a separate concern from validation.
+	for _, v := range []float64{0, MaxRate, 1} {
+		p := Profile{RequestLoss: v, ChurnRate: v}
+		if err := p.Validate(); err != nil {
+			t.Errorf("rate %v rejected: %v", v, err)
+		}
+	}
+	// Negative, above-one, and NaN rates are rejected for every field.
+	bad := []Profile{
+		{RequestLoss: -0.001},
+		{ReplyLoss: 1.001},
+		{ReplyTruncate: -1},
+		{ReplyCorrupt: math.NaN()},
+		{BroadcastLoss: math.Inf(1)},
+		{StaleRate: -0.5},
+		{ChurnRate: -0.001},
+		{ChurnRate: 1.5},
+		{MaxRetries: -1},
+		{MaxRetries: 17},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted: %+v", i, p)
+		}
+	}
+	// Retry budget boundaries: 0 and 16 are the inclusive limits.
+	if err := (Profile{MaxRetries: 16}).Validate(); err != nil {
+		t.Errorf("MaxRetries 16 rejected: %v", err)
+	}
+}
+
+func TestNormalizedClampsChurn(t *testing.T) {
+	got := Profile{ChurnRate: 2}.Normalized()
+	if got.ChurnRate != MaxRate {
+		t.Errorf("churn 2 normalized to %v, want %v", got.ChurnRate, MaxRate)
+	}
+	got = Profile{ChurnRate: -1}.Normalized()
+	if got.ChurnRate != 0 {
+		t.Errorf("churn -1 normalized to %v, want 0", got.ChurnRate)
+	}
+	// Churn alone enables the profile, so the retry budget defaults.
+	got = Profile{ChurnRate: 0.1}.Normalized()
+	if got.MaxRetries != DefaultMaxRetries {
+		t.Errorf("churn-only profile got MaxRetries %d, want default %d",
+			got.MaxRetries, DefaultMaxRetries)
+	}
+}
+
+func TestReplyFateStringAllVariants(t *testing.T) {
+	cases := map[ReplyFate]string{
+		FateDeliver:   "deliver",
+		FateDrop:      "drop",
+		FateTruncate:  "truncate",
+		FateCorrupt:   "corrupt",
+		ReplyFate(99): "deliver", // unknown fates read as harmless delivery
+		ReplyFate(-1): "deliver",
+	}
+	for fate, want := range cases {
+		if got := fate.String(); got != want {
+			t.Errorf("ReplyFate(%d).String() = %q, want %q", fate, got, want)
+		}
+	}
+}
+
+func TestBackoffSlotsTable(t *testing.T) {
+	cases := []struct {
+		attempt int
+		want    int64
+	}{
+		{-1, 0}, {0, 0}, {1, 0}, // no wait before the first attempt
+		{2, 2}, {3, 4}, {4, 8}, {5, 16}, // exponential ramp
+		{6, 16}, {10, 16}, {64, 16}, {1 << 20, 16}, // capped, no overflow
+	}
+	for _, c := range cases {
+		if got := BackoffSlots(c.attempt); got != c.want {
+			t.Errorf("BackoffSlots(%d) = %d, want %d", c.attempt, got, c.want)
+		}
+	}
+}
+
+func TestJitterBoundsAndNilSafety(t *testing.T) {
+	var nilIn *Injector
+	if got := nilIn.Jitter(10); got != 0 {
+		t.Errorf("nil Jitter = %d, want 0", got)
+	}
+	in := New(5, Profile{RequestLoss: 0.5})
+	if got := in.Jitter(0); got != 0 {
+		t.Errorf("Jitter(0) = %d, want 0", got)
+	}
+	if got := in.Jitter(-4); got != 0 {
+		t.Errorf("Jitter(-4) = %d, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		if got := in.Jitter(8); got < 0 || got >= 8 {
+			t.Fatalf("Jitter(8) = %d outside [0, 8)", got)
+		}
+	}
+}
+
+func TestChurnDrawsAreCountedAndSeeded(t *testing.T) {
+	a := New(6, Profile{ChurnRate: 0.5})
+	b := New(6, Profile{ChurnRate: 0.5})
+	var departsA, departsB []bool
+	for i := 0; i < 50; i++ {
+		departsA = append(departsA, a.ChurnDeparts())
+		departsB = append(departsB, b.ChurnDeparts())
+	}
+	if !boolsEqual(departsA, departsB) {
+		t.Fatal("identical seeds drew different churn sequences")
+	}
+	ca := a.Counters
+	if ca.ChurnDepartures == 0 {
+		t.Error("50 draws at 50% churn counted zero departures")
+	}
+	want := int64(0)
+	for _, d := range departsA {
+		if d {
+			want++
+		}
+	}
+	if ca.ChurnDepartures != want {
+		t.Errorf("counted %d departures, drew %d", ca.ChurnDepartures, want)
+	}
+
+	// Zero churn: no draws, no counters, nil-safe.
+	z := New(7, Profile{})
+	if z.ChurnDeparts() || z.ChurnReturns() {
+		t.Error("zero profile churned")
+	}
+	var nilIn *Injector
+	if nilIn.ChurnDeparts() || nilIn.ChurnReturns() {
+		t.Error("nil injector churned")
+	}
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -75,6 +75,15 @@ type Profile struct {
 	// silently invalidated by the POI-update process since the peer
 	// cached it.
 	StaleRate float64
+	// ChurnRate is the per-peer, per-collection-round probability that a
+	// neighbor powers off or drifts out of transmission range while a
+	// query's peer collection is in flight — and, symmetrically, that a
+	// departed neighbor powers back on / drifts back into range. Churn is
+	// drawn between the request broadcast and the reply deliveries of
+	// every round, so a reply can arrive from a peer that has since
+	// departed (it was in flight) and a retry can target a peer that is
+	// no longer there (wasted, counted). Zero disables churn entirely.
+	ChurnRate float64
 	// MaxRetries bounds how many times a querying host re-broadcasts its
 	// cache request when no neighbor heard it. Zero selects
 	// DefaultMaxRetries when any fault rate is set.
@@ -89,7 +98,8 @@ type Profile struct {
 // Enabled reports whether any fault process is active.
 func (p Profile) Enabled() bool {
 	return p.RequestLoss > 0 || p.ReplyLoss > 0 || p.ReplyTruncate > 0 ||
-		p.ReplyCorrupt > 0 || p.BroadcastLoss > 0 || p.StaleRate > 0
+		p.ReplyCorrupt > 0 || p.BroadcastLoss > 0 || p.StaleRate > 0 ||
+		p.ChurnRate > 0
 }
 
 // Normalized returns the profile with every rate clamped to [0, MaxRate]
@@ -111,6 +121,7 @@ func (p Profile) Normalized() Profile {
 	out.ReplyCorrupt = clamp(p.ReplyCorrupt)
 	out.BroadcastLoss = clamp(p.BroadcastLoss)
 	out.StaleRate = clamp(p.StaleRate)
+	out.ChurnRate = clamp(p.ChurnRate)
 	if out.MaxRetries < 0 {
 		out.MaxRetries = 0
 	}
@@ -133,6 +144,7 @@ func (p Profile) Validate() error {
 		{"ReplyCorrupt", p.ReplyCorrupt},
 		{"BroadcastLoss", p.BroadcastLoss},
 		{"StaleRate", p.StaleRate},
+		{"ChurnRate", p.ChurnRate},
 	}
 	for _, r := range rates {
 		if r.v != r.v { // NaN
@@ -190,6 +202,12 @@ type Counters struct {
 	// StaleVRs counts shared verified regions the POI-update process had
 	// silently invalidated.
 	StaleVRs int64
+	// ChurnDepartures counts peers that powered off or drifted out of
+	// range while a query's peer collection was in flight.
+	ChurnDepartures int64
+	// ChurnReturns counts departed peers that powered back on or drifted
+	// back into range before the same collection finished.
+	ChurnReturns int64
 }
 
 // Injector is a seeded, deterministic fault source. A nil *Injector is
@@ -275,6 +293,74 @@ func (in *Injector) ReplyFate() ReplyFate {
 	default:
 		return FateDeliver
 	}
+}
+
+// ChurnDeparts draws whether one present peer powers off or drifts out of
+// range during the current collection round. Safe on nil (never departs).
+func (in *Injector) ChurnDeparts() bool {
+	if in == nil || in.prof.ChurnRate <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.prof.ChurnRate {
+		in.Counters.ChurnDepartures++
+		return true
+	}
+	return false
+}
+
+// ChurnReturns draws whether one departed peer powers back on or drifts
+// back into range during the current collection round. Safe on nil (never
+// returns — but a nil injector never departs a peer either).
+func (in *Injector) ChurnReturns() bool {
+	if in == nil || in.prof.ChurnRate <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.prof.ChurnRate {
+		in.Counters.ChurnReturns++
+		return true
+	}
+	return false
+}
+
+// Backoff parameters of the resilient query lifecycle: the deterministic
+// base delay before retry round a (the first retry is round 2) is
+// BackoffBaseSlots << (a-2), capped at BackoffCapSlots; seeded jitter in
+// [0, base) is added on top, so the total wait for one retry lies in
+// [base, 2*base). Everything is measured in broadcast slots — the only
+// clock a broadcast client owns.
+const (
+	// BackoffBaseSlots is the delay before the first retry.
+	BackoffBaseSlots = 2
+	// BackoffCapSlots caps the exponential growth of the base delay.
+	BackoffCapSlots = 16
+)
+
+// BackoffSlots returns the deterministic base backoff delay (in broadcast
+// slots) paid before retry round `attempt` (attempt 2 is the first
+// retry). Attempts below 2 cost nothing.
+func BackoffSlots(attempt int) int64 {
+	if attempt < 2 {
+		return 0
+	}
+	shift := attempt - 2
+	if shift > 30 {
+		shift = 30
+	}
+	d := int64(BackoffBaseSlots) << shift
+	if d > BackoffCapSlots {
+		d = BackoffCapSlots
+	}
+	return d
+}
+
+// Jitter draws a uniform delay in [0, n) from the injector's stream — the
+// seeded jitter added to each backoff wait so colliding retry schedules
+// de-synchronize deterministically. Safe on nil (returns 0).
+func (in *Injector) Jitter(n int64) int64 {
+	if in == nil || n <= 0 {
+		return 0
+	}
+	return in.rng.Int63n(n)
 }
 
 // Pick draws a uniform index in [0, n) from the injector's stream — used

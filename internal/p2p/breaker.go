@@ -1,0 +1,305 @@
+// Per-peer circuit breakers: a reputation record per host that trips open
+// after repeated misbehavior (CRC-rejected replies, stale-region
+// discards, reply timeouts), quarantines the peer for a cooldown measured
+// in collection cycles, and half-opens to probe recovery — the classical
+// closed → open → half-open machine of resilient RPC stacks, applied to
+// ad-hoc cache sharing so one flaky or byzantine neighbor cannot burn a
+// querying host's whole retry budget on every query.
+//
+// State machine (see DESIGN.md §8):
+//
+//	closed ──(Threshold consecutive failures)──▶ open
+//	open ──(Cooldown cycles elapse)──▶ half-open
+//	half-open ──(probe reply delivered)──▶ closed
+//	half-open ──(probe fails)──▶ open (re-trip, fresh cooldown)
+//
+// Liveness: an open breaker always carries a finite reopen cycle
+// (cycle + Cooldown at trip time), and every Allow call on or after that
+// cycle transitions it to half-open, so no peer is quarantined forever —
+// the machine cannot deadlock.
+package p2p
+
+import "fmt"
+
+// DefaultBreakerCooldown is the quarantine length (in collection cycles)
+// used when a BreakerConfig enables breakers but leaves Cooldown at zero.
+const DefaultBreakerCooldown = 8
+
+// BreakerState is one peer's circuit-breaker state.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: the peer is trusted; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer is quarantined; requests short-circuit.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; the next request is a probe.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig configures the per-peer breakers. The zero value disables
+// them entirely (no records kept, no behavioral change).
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that trips a
+	// peer's breaker open. Zero disables breakers.
+	Threshold int
+	// Cooldown is the quarantine length in collection cycles after a
+	// trip. Zero selects DefaultBreakerCooldown when Threshold is set.
+	Cooldown int64
+}
+
+// Enabled reports whether breakers are active.
+func (c BreakerConfig) Enabled() bool { return c.Threshold > 0 }
+
+// Normalized returns the config with the cooldown defaulted.
+func (c BreakerConfig) Normalized() BreakerConfig {
+	out := c
+	if out.Threshold < 0 {
+		out.Threshold = 0
+	}
+	if out.Cooldown < 0 {
+		out.Cooldown = 0
+	}
+	if out.Enabled() && out.Cooldown == 0 {
+		out.Cooldown = DefaultBreakerCooldown
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (c BreakerConfig) Validate() error {
+	if c.Threshold < 0 {
+		return fmt.Errorf("p2p: breaker threshold %d negative", c.Threshold)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("p2p: breaker cooldown %d negative", c.Cooldown)
+	}
+	return nil
+}
+
+// BreakerStats tallies breaker activity for the experiment reports.
+type BreakerStats struct {
+	// Trips counts closed→open and half-open→open transitions.
+	Trips int64
+	// ShortCircuits counts requests skipped because the target peer's
+	// breaker was open (the saved retry traffic).
+	ShortCircuits int64
+	// Probes counts half-open probe requests allowed through.
+	Probes int64
+	// Recoveries counts half-open→closed transitions (probe delivered).
+	Recoveries int64
+}
+
+// breakerRec is one peer's reputation record. Records are created lazily:
+// a peer that never fails never allocates one.
+type breakerRec struct {
+	state    BreakerState
+	failures int   // consecutive failures while closed
+	reopenAt int64 // cycle at which an open breaker half-opens
+}
+
+// BreakerSet tracks one breaker per peer host. A nil *BreakerSet is valid
+// and allows everything (breakers disabled), so the simulator threads it
+// through without nil checks. The set is deterministic: its map is never
+// iterated on a behavioral path, and all transitions are driven by the
+// caller's (deterministic) request/outcome sequence.
+type BreakerSet struct {
+	cfg   BreakerConfig
+	peers map[int]*breakerRec
+	cycle int64
+	stats BreakerStats
+}
+
+// NewBreakerSet creates a breaker set for the (normalized) config, or
+// returns nil when the config disables breakers.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	cfg = cfg.Normalized()
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &BreakerSet{cfg: cfg, peers: make(map[int]*breakerRec)}
+}
+
+// Config returns the active (normalized) config. Safe on nil.
+func (bs *BreakerSet) Config() BreakerConfig {
+	if bs == nil {
+		return BreakerConfig{}
+	}
+	return bs.cfg
+}
+
+// Stats returns the breaker tallies. Safe on nil (zero).
+func (bs *BreakerSet) Stats() BreakerStats {
+	if bs == nil {
+		return BreakerStats{}
+	}
+	return bs.stats
+}
+
+// Cycle returns the current collection cycle. Safe on nil.
+func (bs *BreakerSet) Cycle() int64 {
+	if bs == nil {
+		return 0
+	}
+	return bs.cycle
+}
+
+// Tick advances the collection-cycle clock; the simulator calls it once
+// per peer collection (one query's P2P phase = one cycle). Safe on nil.
+func (bs *BreakerSet) Tick() {
+	if bs == nil {
+		return
+	}
+	bs.cycle++
+}
+
+// Allow reports whether a request to peer id should be sent. An open
+// breaker whose cooldown has elapsed transitions to half-open and lets
+// one probe through; an open breaker inside its cooldown short-circuits
+// the request. Safe on nil (always allowed).
+func (bs *BreakerSet) Allow(id int) bool {
+	if bs == nil {
+		return true
+	}
+	rec, ok := bs.peers[id]
+	if !ok {
+		return true // no record: closed by construction
+	}
+	switch rec.state {
+	case BreakerOpen:
+		if bs.cycle < rec.reopenAt {
+			bs.stats.ShortCircuits++
+			return false
+		}
+		rec.state = BreakerHalfOpen
+		fallthrough
+	case BreakerHalfOpen:
+		bs.stats.Probes++
+		return true
+	default:
+		return true
+	}
+}
+
+// RecordSuccess reports that peer id delivered a sound reply: a closed
+// breaker forgets accumulated failures, a half-open breaker closes
+// (recovery). Safe on nil.
+func (bs *BreakerSet) RecordSuccess(id int) {
+	if bs == nil {
+		return
+	}
+	rec, ok := bs.peers[id]
+	if !ok {
+		return
+	}
+	if rec.state == BreakerHalfOpen {
+		bs.stats.Recoveries++
+	}
+	rec.state = BreakerClosed
+	rec.failures = 0
+}
+
+// RecordFailure reports one misbehavior of peer id (CRC-rejected reply,
+// stale-region discard, or reply timeout). Threshold consecutive failures
+// trip the breaker open for Cooldown cycles; a failed half-open probe
+// re-trips immediately. Safe on nil.
+func (bs *BreakerSet) RecordFailure(id int) {
+	if bs == nil {
+		return
+	}
+	rec, ok := bs.peers[id]
+	if !ok {
+		rec = &breakerRec{}
+		bs.peers[id] = rec
+	}
+	switch rec.state {
+	case BreakerHalfOpen:
+		bs.trip(rec)
+	case BreakerClosed:
+		rec.failures++
+		if rec.failures >= bs.cfg.Threshold {
+			bs.trip(rec)
+		}
+	}
+	// BreakerOpen: failures cannot be recorded against a quarantined peer
+	// (no request was sent); ignore defensively.
+}
+
+func (bs *BreakerSet) trip(rec *breakerRec) {
+	rec.state = BreakerOpen
+	rec.failures = 0
+	rec.reopenAt = bs.cycle + bs.cfg.Cooldown
+	bs.stats.Trips++
+}
+
+// State returns peer id's breaker state (without side effects — an open
+// breaker past its cooldown still reports open until Allow probes it).
+// Safe on nil (closed).
+func (bs *BreakerSet) State(id int) BreakerState {
+	if bs == nil {
+		return BreakerClosed
+	}
+	if rec, ok := bs.peers[id]; ok {
+		return rec.state
+	}
+	return BreakerClosed
+}
+
+// Tracked returns how many peers have reputation records. Safe on nil.
+func (bs *BreakerSet) Tracked() int {
+	if bs == nil {
+		return 0
+	}
+	return len(bs.peers)
+}
+
+// CheckInvariants verifies the state-machine invariants the chaos soak
+// harness asserts after every run (map iteration here is diagnostic only
+// and never reaches a behavioral path):
+//
+//   - every record is in a valid state;
+//   - a closed record's consecutive-failure count is below the trip
+//     threshold (it would have tripped otherwise);
+//   - an open record's reopen cycle is finite and at most one cooldown
+//     in the future (no unbounded quarantine — the no-deadlock property);
+//   - half-open records carry no stale failure count.
+//
+// Safe on nil.
+func (bs *BreakerSet) CheckInvariants() error {
+	if bs == nil {
+		return nil
+	}
+	for id, rec := range bs.peers {
+		switch rec.state {
+		case BreakerClosed:
+			if rec.failures >= bs.cfg.Threshold {
+				return fmt.Errorf("p2p: peer %d closed with %d failures (threshold %d)",
+					id, rec.failures, bs.cfg.Threshold)
+			}
+		case BreakerOpen:
+			if rec.reopenAt > bs.cycle+bs.cfg.Cooldown {
+				return fmt.Errorf("p2p: peer %d open past one cooldown (reopen %d, cycle %d, cooldown %d)",
+					id, rec.reopenAt, bs.cycle, bs.cfg.Cooldown)
+			}
+		case BreakerHalfOpen:
+			if rec.failures != 0 {
+				return fmt.Errorf("p2p: peer %d half-open with %d stale failures", id, rec.failures)
+			}
+		default:
+			return fmt.Errorf("p2p: peer %d in unknown state %d", id, rec.state)
+		}
+	}
+	return nil
+}

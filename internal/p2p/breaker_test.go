@@ -1,0 +1,271 @@
+package p2p
+
+import "testing"
+
+func newTestBreakers(t *testing.T, threshold int, cooldown int64) *BreakerSet {
+	t.Helper()
+	bs := NewBreakerSet(BreakerConfig{Threshold: threshold, Cooldown: cooldown})
+	if bs == nil {
+		t.Fatalf("breaker set nil for threshold=%d cooldown=%d", threshold, cooldown)
+	}
+	return bs
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	bs := newTestBreakers(t, 3, 5)
+	const peer = 7
+
+	// Two failures: still closed, still allowed.
+	bs.RecordFailure(peer)
+	bs.RecordFailure(peer)
+	if got := bs.State(peer); got != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	if !bs.Allow(peer) {
+		t.Fatal("closed breaker denied a request")
+	}
+
+	// Third consecutive failure trips.
+	bs.RecordFailure(peer)
+	if got := bs.State(peer); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if got := bs.Stats().Trips; got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	bs := newTestBreakers(t, 3, 5)
+	const peer = 1
+
+	// failure, failure, success, failure, failure: never trips — the
+	// threshold counts *consecutive* failures.
+	bs.RecordFailure(peer)
+	bs.RecordFailure(peer)
+	bs.RecordSuccess(peer)
+	bs.RecordFailure(peer)
+	bs.RecordFailure(peer)
+	if got := bs.State(peer); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (success resets streak)", got)
+	}
+	if got := bs.Stats().Trips; got != 0 {
+		t.Fatalf("trips = %d, want 0", got)
+	}
+}
+
+func TestBreakerShortCircuitsDuringCooldown(t *testing.T) {
+	bs := newTestBreakers(t, 1, 3)
+	const peer = 2
+	bs.RecordFailure(peer) // threshold 1: trips immediately at cycle 0
+
+	// Cycles 1 and 2 are inside the cooldown (reopenAt = 3).
+	for i := 0; i < 2; i++ {
+		bs.Tick()
+		if bs.Allow(peer) {
+			t.Fatalf("open breaker allowed a request at cycle %d", bs.Cycle())
+		}
+	}
+	if got := bs.Stats().ShortCircuits; got != 2 {
+		t.Fatalf("short-circuits = %d, want 2", got)
+	}
+
+	// Cycle 3 reaches reopenAt: the breaker half-opens and probes.
+	bs.Tick()
+	if !bs.Allow(peer) {
+		t.Fatal("breaker denied the probe after cooldown")
+	}
+	if got := bs.State(peer); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown Allow = %v, want half-open", got)
+	}
+	if got := bs.Stats().Probes; got != 1 {
+		t.Fatalf("probes = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	bs := newTestBreakers(t, 1, 1)
+	const peer = 4
+	bs.RecordFailure(peer)
+	bs.Tick()
+	if !bs.Allow(peer) {
+		t.Fatal("probe denied")
+	}
+	bs.RecordSuccess(peer)
+	if got := bs.State(peer); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if got := bs.Stats().Recoveries; got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReTrips(t *testing.T) {
+	bs := newTestBreakers(t, 2, 4)
+	const peer = 9
+	bs.RecordFailure(peer)
+	bs.RecordFailure(peer) // trip at cycle 0, reopenAt 4
+	for bs.Cycle() < 4 {
+		bs.Tick()
+	}
+	if !bs.Allow(peer) {
+		t.Fatal("probe denied after cooldown")
+	}
+	bs.RecordFailure(peer) // failed probe: immediate re-trip
+	if got := bs.State(peer); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if got := bs.Stats().Trips; got != 2 {
+		t.Fatalf("trips = %d, want 2 (initial + re-trip)", got)
+	}
+	// Fresh cooldown: quarantined again until cycle 8.
+	bs.Tick()
+	if bs.Allow(peer) {
+		t.Fatal("re-tripped breaker allowed a request inside its fresh cooldown")
+	}
+	if got := bs.Stats().Recoveries; got != 0 {
+		t.Fatalf("recoveries = %d, want 0", got)
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBreakerLiveness pins the no-deadlock property: however many times a
+// peer fails, the breaker always lets a probe through after each cooldown.
+func TestBreakerLiveness(t *testing.T) {
+	bs := newTestBreakers(t, 1, 2)
+	const peer = 3
+	probes := 0
+	for round := 0; round < 50; round++ {
+		bs.Tick()
+		if bs.Allow(peer) {
+			probes++
+			bs.RecordFailure(peer) // every contact fails
+		}
+	}
+	if probes < 10 {
+		t.Fatalf("only %d probes in 50 cycles — quarantine is not bounded", probes)
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerSuccessWithoutRecordAllocatesNothing(t *testing.T) {
+	bs := newTestBreakers(t, 2, 4)
+	bs.RecordSuccess(42)
+	if got := bs.Tracked(); got != 0 {
+		t.Fatalf("tracked = %d after success on unknown peer, want 0", got)
+	}
+	if !bs.Allow(42) {
+		t.Fatal("unknown peer denied")
+	}
+}
+
+func TestBreakerIndependentPeers(t *testing.T) {
+	bs := newTestBreakers(t, 1, 10)
+	bs.RecordFailure(1)
+	bs.Tick()
+	if bs.Allow(1) {
+		t.Fatal("tripped peer 1 allowed")
+	}
+	if !bs.Allow(2) {
+		t.Fatal("healthy peer 2 denied because peer 1 tripped")
+	}
+	if got := bs.Tracked(); got != 1 {
+		t.Fatalf("tracked = %d, want 1 (records are lazy)", got)
+	}
+}
+
+func TestBreakerNilSafety(t *testing.T) {
+	var bs *BreakerSet
+	if !bs.Allow(1) {
+		t.Fatal("nil set denied a request")
+	}
+	bs.RecordSuccess(1)
+	bs.RecordFailure(1)
+	bs.Tick()
+	if got := bs.State(1); got != BreakerClosed {
+		t.Fatalf("nil state = %v, want closed", got)
+	}
+	if got := bs.Stats(); got != (BreakerStats{}) {
+		t.Fatalf("nil stats = %+v, want zero", got)
+	}
+	if bs.Tracked() != 0 || bs.Cycle() != 0 {
+		t.Fatal("nil set reports tracked peers or cycles")
+	}
+	if got := bs.Config(); got != (BreakerConfig{}) {
+		t.Fatalf("nil config = %+v, want zero", got)
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBreakerSetDisabled(t *testing.T) {
+	if bs := NewBreakerSet(BreakerConfig{}); bs != nil {
+		t.Fatal("zero config built a breaker set")
+	}
+	if bs := NewBreakerSet(BreakerConfig{Cooldown: 5}); bs != nil {
+		t.Fatal("cooldown without threshold built a breaker set")
+	}
+	if bs := NewBreakerSet(BreakerConfig{Threshold: -1}); bs != nil {
+		t.Fatal("negative threshold built a breaker set")
+	}
+}
+
+func TestBreakerConfigNormalized(t *testing.T) {
+	got := BreakerConfig{Threshold: 3}.Normalized()
+	if got.Cooldown != DefaultBreakerCooldown {
+		t.Fatalf("cooldown = %d, want default %d", got.Cooldown, DefaultBreakerCooldown)
+	}
+	got = BreakerConfig{Threshold: 3, Cooldown: 2}.Normalized()
+	if got.Cooldown != 2 {
+		t.Fatalf("explicit cooldown rewritten to %d", got.Cooldown)
+	}
+	got = BreakerConfig{Threshold: -4, Cooldown: -2}.Normalized()
+	if got.Threshold != 0 || got.Cooldown != 0 {
+		t.Fatalf("negatives not clamped: %+v", got)
+	}
+	// Disabled config keeps cooldown zero (no phantom default).
+	got = BreakerConfig{Cooldown: 0}.Normalized()
+	if got.Cooldown != 0 {
+		t.Fatalf("disabled config picked up a cooldown: %+v", got)
+	}
+}
+
+func TestBreakerConfigValidate(t *testing.T) {
+	if err := (BreakerConfig{Threshold: 3, Cooldown: 8}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (BreakerConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := (BreakerConfig{Threshold: -1}).Validate(); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if err := (BreakerConfig{Cooldown: -1}).Validate(); err == nil {
+		t.Fatal("negative cooldown accepted")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "closed", // unknown defaults to closed
+	}
+	for state, want := range cases {
+		if got := state.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -46,6 +46,10 @@ type TrafficStats struct {
 	// RepliesRejected counts peer replies delivered truncated or
 	// corrupted and refused by the wire decoder's CRC/structure checks.
 	RepliesRejected int64
+	// WastedRetries counts retry transmissions addressed at peers that
+	// had already departed (powered off or drifted out of range) — the
+	// querying host cannot know, so the frame is spent for nothing.
+	WastedRetries int64
 }
 
 // NewNetwork creates a network over the service area with the given index

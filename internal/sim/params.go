@@ -15,6 +15,7 @@ import (
 	"lbsq/internal/cache"
 	"lbsq/internal/faults"
 	"lbsq/internal/geom"
+	"lbsq/internal/p2p"
 )
 
 // MetersPerMile converts the paper's transmission ranges (meters) into
@@ -151,10 +152,29 @@ type Params struct {
 
 	// Faults configures the fault-injection layer: P2P request/reply
 	// loss, reply truncation and bit corruption, broadcast packet loss,
-	// and peer-cache staleness (see the faults package). The zero value
-	// is the ideal substrate the paper assumes — no faults are drawn and
-	// behavior is identical to a build without the layer.
+	// peer-cache staleness, and peer churn (see the faults package). The
+	// zero value is the ideal substrate the paper assumes — no faults are
+	// drawn and behavior is identical to a build without the layer.
 	Faults faults.Profile
+
+	// DeadlineSlots is the per-query slot budget of the resilient P2P
+	// lifecycle: when a query's retry backoff would spend more broadcast
+	// slots than this, peer collection abandons its remaining targets and
+	// the query falls back to the channel with the spent slots priced
+	// into its access latency. Zero disables the deadline. Any nonzero
+	// resilience knob (DeadlineSlots, BreakerThreshold, Faults.ChurnRate)
+	// switches peer collection from the seed's blind re-broadcast loop to
+	// the adaptive lifecycle: capped exponential backoff with seeded
+	// jitter, retrying only peers that have not yet replied.
+	DeadlineSlots int
+	// BreakerThreshold is the consecutive-failure count (CRC rejections,
+	// stale discards, reply timeouts) that trips a peer's circuit breaker
+	// open. Zero disables per-peer breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the quarantine length of a tripped breaker in
+	// collection cycles (one query's P2P phase = one cycle). Zero selects
+	// p2p.DefaultBreakerCooldown when BreakerThreshold is set.
+	BreakerCooldown int64
 
 	// Broadcast configures the air index; the Area field is filled in by
 	// the simulator. Faults.BroadcastLoss, when set, overrides
@@ -222,7 +242,25 @@ func (p *Params) Validate() error {
 	if err := p.Faults.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
+	if p.DeadlineSlots < 0 {
+		return fmt.Errorf("sim: negative DeadlineSlots %d", p.DeadlineSlots)
+	}
+	if err := p.BreakerConfig().Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
+}
+
+// BreakerConfig assembles the per-peer circuit-breaker configuration.
+func (p *Params) BreakerConfig() p2p.BreakerConfig {
+	return p2p.BreakerConfig{Threshold: p.BreakerThreshold, Cooldown: p.BreakerCooldown}
+}
+
+// ResilienceEnabled reports whether any resilient-lifecycle knob is set.
+// When false, peer collection runs the seed's blind re-broadcast loop
+// bit-identically (the adaptive path is never entered).
+func (p *Params) ResilienceEnabled() bool {
+	return p.DeadlineSlots > 0 || p.BreakerThreshold > 0 || p.Faults.ChurnRate > 0
 }
 
 // Area returns the square service area in miles.

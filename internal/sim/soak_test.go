@@ -1,0 +1,254 @@
+package sim
+
+// Chaos soak harness: randomized fault/churn/resilience schedules across
+// many seeds, with metamorphic invariants asserted after every run.
+//
+//	make soak            # the full sweep (SOAK_SCHEDULES=32)
+//	go test -run Soak    # the default 20-schedule acceptance sweep
+//
+// Each schedule draws a random fault profile (loss, damage, staleness,
+// churn) and random resilience knobs (slot deadline, breaker threshold
+// and cooldown, retry budget) from its own seeded stream, runs a small
+// dense world with SelfCheck on, and asserts:
+//
+//   - soundness: every exact result matched the R-tree ground truth, and
+//     approximate results are only reported when the run accepts them;
+//   - termination: every counted query ended in exactly one of
+//     Verified / Approximate / Broadcast;
+//   - breaker liveness: the per-peer state machines satisfy their
+//     invariants (no unbounded quarantine, no stuck states);
+//   - counter causality: resilience counters are zero exactly when their
+//     knob is zero, and recoveries never exceed trips;
+//   - determinism: an identical-seed re-run produces identical Stats,
+//     breaker state included.
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"lbsq/internal/faults"
+)
+
+// soakSchedules returns how many randomized schedules to run: the
+// SOAK_SCHEDULES environment variable, or 20 (the acceptance floor),
+// trimmed in -short mode.
+func soakSchedules(t *testing.T) int {
+	n := 20
+	if v := os.Getenv("SOAK_SCHEDULES"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			t.Fatalf("bad SOAK_SCHEDULES %q", v)
+		}
+		n = parsed
+	}
+	if testing.Short() && n > 6 {
+		n = 6
+	}
+	return n
+}
+
+// soakParams derives one randomized fault/churn/resilience schedule. The
+// schedule index seeds both the knob draws and the world, so every
+// schedule is reproducible in isolation.
+func soakParams(schedule int) Params {
+	rng := rand.New(rand.NewSource(0x50414b + int64(schedule)))
+	p := LACity().Scaled(1.5).WithDuration(0.1)
+	p.Seed = 7000 + int64(schedule)
+	p.TimeStepSec = 10
+	if schedule%3 == 2 {
+		p.Kind = WindowQuery
+	} else {
+		p.Kind = KNNQuery
+		p.AcceptApproximate = rng.Intn(2) == 0
+	}
+
+	p.Faults = faults.Profile{
+		RequestLoss:   rng.Float64() * 0.5,
+		ReplyLoss:     rng.Float64() * 0.3,
+		ReplyTruncate: rng.Float64() * 0.15,
+		ReplyCorrupt:  rng.Float64() * 0.15,
+		BroadcastLoss: rng.Float64() * 0.2,
+		StaleRate:     rng.Float64() * 0.2,
+		ChurnRate:     0.05 + rng.Float64()*0.3,
+		MaxRetries:    1 + rng.Intn(6),
+	}
+	p.DeadlineSlots = 4 + rng.Intn(24)
+	p.BreakerThreshold = 2 + rng.Intn(4)
+	p.BreakerCooldown = int64(2 + rng.Intn(12))
+
+	// A slice of the schedules zeroes individual resilience knobs so the
+	// harness also soaks the partial configurations (and their "counter
+	// is zero when the knob is zero" contracts).
+	switch schedule % 5 {
+	case 1:
+		p.Faults.ChurnRate = 0
+	case 2:
+		p.DeadlineSlots = 0
+	case 3:
+		p.BreakerThreshold = 0
+		p.BreakerCooldown = 0
+	}
+	return p
+}
+
+// runSoakWorld builds and runs one schedule with self-checking on.
+func runSoakWorld(t *testing.T, p Params) (*World, Stats) {
+	t.Helper()
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatalf("schedule world: %v", err)
+	}
+	w.SelfCheck = true
+	s := w.Run()
+	return w, s
+}
+
+// checkSoakInvariants asserts the metamorphic invariants one soak run
+// must satisfy regardless of its schedule.
+func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
+	t.Helper()
+
+	// Soundness: exact results match ground truth under every schedule.
+	if err := w.SelfCheckErr(); err != nil {
+		t.Errorf("self-check failed: %v", err)
+	}
+	// Termination: every counted query ended in exactly one outcome.
+	if got := s.Verified + s.Approximate + s.Broadcast; got != s.Queries {
+		t.Errorf("outcomes %d != queries %d (verified=%d approx=%d broadcast=%d)",
+			got, s.Queries, s.Verified, s.Approximate, s.Broadcast)
+	}
+	if s.Queries == 0 {
+		t.Error("schedule ran zero queries")
+	}
+	// Approximate answers only appear when the run accepts them (and
+	// never for window queries).
+	if (p.Kind == WindowQuery || !p.AcceptApproximate) && s.Approximate != 0 {
+		t.Errorf("unaccepted approximate answers reported: %d", s.Approximate)
+	}
+
+	// Breaker liveness and bookkeeping.
+	if err := w.Breakers().CheckInvariants(); err != nil {
+		t.Errorf("breaker invariants: %v", err)
+	}
+	if s.BreakerRecoveries > s.BreakerTrips {
+		t.Errorf("recoveries %d exceed trips %d", s.BreakerRecoveries, s.BreakerTrips)
+	}
+	if s.BreakerShortCircuits > 0 && s.BreakerTrips == 0 {
+		t.Errorf("short-circuits %d without any trip", s.BreakerShortCircuits)
+	}
+
+	// Counter causality: a zero knob must leave its counters at zero.
+	if p.Faults.ChurnRate == 0 &&
+		(s.ChurnDepartures != 0 || s.ChurnReturns != 0 || s.WastedRetries != 0) {
+		t.Errorf("churn counters fired with churn off: %d/%d wasted=%d",
+			s.ChurnDepartures, s.ChurnReturns, s.WastedRetries)
+	}
+	if p.DeadlineSlots == 0 && s.DeadlineAborts != 0 {
+		t.Errorf("deadline aborts %d with no deadline", s.DeadlineAborts)
+	}
+	if p.BreakerThreshold == 0 &&
+		(s.BreakerTrips != 0 || s.BreakerShortCircuits != 0 || s.BreakerRecoveries != 0) {
+		t.Errorf("breaker counters fired with breakers off: %d/%d/%d",
+			s.BreakerTrips, s.BreakerShortCircuits, s.BreakerRecoveries)
+	}
+	if s.WastedRetries > 0 && s.ChurnDepartures == 0 {
+		t.Errorf("wasted retries %d without departures", s.WastedRetries)
+	}
+}
+
+// TestChaosSoak is the acceptance harness: randomized fault/churn
+// schedules across seeds, invariants after every run, and identical-seed
+// determinism (Stats, fault counters, and breaker state included).
+func TestChaosSoak(t *testing.T) {
+	n := soakSchedules(t)
+	var agg Stats
+	for schedule := 0; schedule < n; schedule++ {
+		schedule := schedule
+		t.Run("schedule"+strconv.Itoa(schedule), func(t *testing.T) {
+			p := soakParams(schedule)
+			w, s := runSoakWorld(t, p)
+			checkSoakInvariants(t, p, w, s)
+
+			// Identical seed ⇒ identical Stats, breaker state included.
+			w2, s2 := runSoakWorld(t, p)
+			if s != s2 {
+				t.Errorf("stats diverged under identical seed:\n%+v\nvs\n%+v", s, s2)
+			}
+			if w.FaultCounters() != w2.FaultCounters() {
+				t.Errorf("fault counters diverged: %+v vs %+v",
+					w.FaultCounters(), w2.FaultCounters())
+			}
+			if w.Breakers().Stats() != w2.Breakers().Stats() {
+				t.Errorf("breaker stats diverged: %+v vs %+v",
+					w.Breakers().Stats(), w2.Breakers().Stats())
+			}
+			if w.Breakers().Tracked() != w2.Breakers().Tracked() ||
+				w.Breakers().Cycle() != w2.Breakers().Cycle() {
+				t.Errorf("breaker state diverged: tracked %d/%d cycle %d/%d",
+					w.Breakers().Tracked(), w2.Breakers().Tracked(),
+					w.Breakers().Cycle(), w2.Breakers().Cycle())
+			}
+
+			agg.DeadlineAborts += s.DeadlineAborts
+			agg.BreakerTrips += s.BreakerTrips
+			agg.BreakerShortCircuits += s.BreakerShortCircuits
+			agg.ChurnDepartures += s.ChurnDepartures
+			agg.WastedRetries += s.WastedRetries
+		})
+	}
+
+	// Across a full sweep every headline resilience mechanism must have
+	// exercised at least once — otherwise the harness is soaking nothing.
+	if n >= 20 {
+		if agg.DeadlineAborts == 0 {
+			t.Error("no schedule ever aborted on deadline")
+		}
+		if agg.BreakerTrips == 0 {
+			t.Error("no schedule ever tripped a breaker")
+		}
+		if agg.BreakerShortCircuits == 0 {
+			t.Error("no schedule ever short-circuited a request")
+		}
+		if agg.ChurnDepartures == 0 {
+			t.Error("no schedule ever churned a peer")
+		}
+		if agg.WastedRetries == 0 {
+			t.Error("no schedule ever wasted a retry on a departed peer")
+		}
+	}
+}
+
+// TestSoakZeroKnobIdentity pins the bit-identity contract: with every
+// resilience knob zero the world must select the seed's legacy collection
+// path — resilience counters stay zero and runs are reproducible — even
+// when the PR-1 fault knobs are active.
+func TestSoakZeroKnobIdentity(t *testing.T) {
+	p := LACity().Scaled(1.5).WithDuration(0.1)
+	p.Seed = 4242
+	p.TimeStepSec = 10
+	p.Kind = KNNQuery
+	p.AcceptApproximate = true
+	p.Faults = faults.Profile{ // PR-1 knobs only: legacy loop must run
+		RequestLoss: 0.2, ReplyLoss: 0.1, ReplyTruncate: 0.05,
+		ReplyCorrupt: 0.05, BroadcastLoss: 0.1, StaleRate: 0.05,
+	}
+	if p.ResilienceEnabled() {
+		t.Fatal("zero resilience knobs report enabled")
+	}
+	a, sa := runSoakWorld(t, p)
+	b, sb := runSoakWorld(t, p)
+	if sa != sb {
+		t.Fatalf("legacy path not deterministic:\n%+v\nvs\n%+v", sa, sb)
+	}
+	if err := a.SelfCheckErr(); err != nil {
+		t.Fatal(err)
+	}
+	if sa.ResilienceEvents() != 0 {
+		t.Fatalf("legacy path produced resilience events: %+v", sa)
+	}
+	if a.Breakers() != nil || b.Breakers() != nil {
+		t.Fatal("breaker set allocated with breakers disabled")
+	}
+}

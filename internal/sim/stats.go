@@ -66,6 +66,34 @@ type Stats struct {
 	// waited for the next (1, m) index replica for each.
 	IndexRetries int64
 
+	// Resilient-lifecycle visibility. All of these are zero when the
+	// resilience knobs (DeadlineSlots, BreakerThreshold, ChurnRate) are
+	// zero — the seed's blind retry loop runs bit-identically then.
+	//
+	// DeadlineAborts counts queries whose P2P phase exceeded its slot
+	// budget and abandoned the remaining retry targets.
+	DeadlineAborts int64
+	// BackoffSlots sums the broadcast slots spent waiting in retry
+	// backoff across all queries (the adaptive-retry price).
+	BackoffSlots int64
+	// BreakerTrips counts circuit-breaker closed→open and
+	// half-open→open transitions.
+	BreakerTrips int64
+	// BreakerShortCircuits counts requests skipped because the target
+	// peer's breaker was open (retry traffic saved).
+	BreakerShortCircuits int64
+	// BreakerRecoveries counts half-open→closed transitions (a probe
+	// reply was delivered sound).
+	BreakerRecoveries int64
+	// ChurnDepartures counts peers that powered off or drifted out of
+	// range mid-collection; ChurnReturns counts departed peers that came
+	// back before the same collection finished.
+	ChurnDepartures int64
+	ChurnReturns    int64
+	// WastedRetries counts retry transmissions addressed at departed
+	// peers (spent channel time that could not possibly be answered).
+	WastedRetries int64
+
 	// AvgPeersPerQuery tracks mean reachable peers (encounter density).
 	peersSum int64
 }
@@ -139,7 +167,15 @@ func (s Stats) AvgPeers() float64 {
 // statistics — zero exactly when the run saw an ideal substrate.
 func (s Stats) FaultEvents() int64 {
 	return s.RequestsUnheard + s.RepliesDropped + s.RepliesRejected +
-		s.StaleVRs + s.Retransmissions + s.IndexRetries
+		s.StaleVRs + s.Retransmissions + s.IndexRetries + s.ChurnDepartures
+}
+
+// ResilienceEvents returns the total activity of the resilient query
+// lifecycle — zero exactly when every resilience knob was zero.
+func (s Stats) ResilienceEvents() int64 {
+	return s.DeadlineAborts + s.BackoffSlots + s.BreakerTrips +
+		s.BreakerShortCircuits + s.BreakerRecoveries +
+		s.ChurnDepartures + s.ChurnReturns + s.WastedRetries
 }
 
 // String renders a one-line summary.
@@ -154,6 +190,14 @@ func (s Stats) String() string {
 			" faults[unheard=%d dropped=%d rejected=%d stale=%d retries=%d rexmit=%d idxretry=%d]",
 			s.RequestsUnheard, s.RepliesDropped, s.RepliesRejected,
 			s.StaleVRs, s.PeerRetries, s.Retransmissions, s.IndexRetries,
+		)
+	}
+	if s.ResilienceEvents() > 0 {
+		out += fmt.Sprintf(
+			" resilience[aborts=%d backoff=%d trips=%d shortcircuits=%d recoveries=%d churn=%d/%d wasted=%d]",
+			s.DeadlineAborts, s.BackoffSlots, s.BreakerTrips,
+			s.BreakerShortCircuits, s.BreakerRecoveries,
+			s.ChurnDepartures, s.ChurnReturns, s.WastedRetries,
 		)
 	}
 	return out

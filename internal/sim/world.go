@@ -50,6 +50,12 @@ type World struct {
 	inj     *faults.Injector
 	queryID uint64 // wire correlation IDs for encoded replies
 
+	// resilient selects the adaptive query lifecycle (deadline, backoff,
+	// breakers, churn); false runs the seed's blind collection loop
+	// bit-identically. breakers is nil unless BreakerThreshold is set.
+	resilient bool
+	breakers  *p2p.BreakerSet
+
 	nowSec      float64
 	durationSec float64
 	warmupSec   float64
@@ -141,6 +147,8 @@ func NewWorld(p Params) (*World, error) {
 		model:       model,
 		inj:         faults.New(p.Seed^faultSeedSalt, p.Faults),
 		durationSec: p.DurationHours * 3600,
+		resilient:   p.ResilienceEnabled(),
+		breakers:    p2p.NewBreakerSet(p.BreakerConfig()),
 	}
 	w.warmupSec = w.durationSec * p.WarmupFrac
 
@@ -274,8 +282,19 @@ func (w *World) Stats() Stats {
 	s.RepliesDropped = c.RepliesDropped
 	s.RepliesRejected = c.RepliesTruncated + c.RepliesCorrupted
 	s.StaleVRs = c.StaleVRs
+	s.ChurnDepartures = c.ChurnDepartures
+	s.ChurnReturns = c.ChurnReturns
+	s.WastedRetries = w.net.Stats.WastedRetries
+	b := w.breakers.Stats()
+	s.BreakerTrips = b.Trips
+	s.BreakerShortCircuits = b.ShortCircuits
+	s.BreakerRecoveries = b.Recoveries
 	return s
 }
+
+// Breakers exposes the per-peer circuit-breaker set (nil when disabled) —
+// the chaos soak harness asserts its state-machine invariants.
+func (w *World) Breakers() *p2p.BreakerSet { return w.breakers }
 
 // FaultCounters exposes the injector's raw tallies (testing and tools).
 func (w *World) FaultCounters() faults.Counters { return w.inj.Counters }
@@ -399,9 +418,220 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 		}
 	}
 	for _, id := range heard {
-		peers = w.receiveReply(peers, id, ti, relevance, stamp, count)
+		peers, _ = w.receiveReply(peers, id, ti, relevance, stamp, count)
 	}
 	return peers, len(ids)
+}
+
+// gatherPeers dispatches between the seed's blind collection loop and the
+// resilient lifecycle. The third return value is the number of broadcast
+// slots the query spent waiting in retry backoff — always zero on the
+// legacy path, so zero-knob runs stay bit-identical to the seed.
+func (w *World) gatherPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData, int, int64) {
+	if w.resilient {
+		return w.collectPeersResilient(idx, ti, relevance)
+	}
+	peers, nPeers := w.collectPeers(idx, ti, relevance)
+	return peers, nPeers, 0
+}
+
+// collectPeersResilient is the resilient query lifecycle (active whenever
+// any of DeadlineSlots / BreakerThreshold / ChurnRate is nonzero):
+//
+//  1. Peers with open circuit breakers are short-circuited before any
+//     traffic is spent on them.
+//  2. The request is re-broadcast under capped exponential backoff with
+//     seeded jitter, and each round addresses only the peers that have
+//     not yet replied (a delivered reply, a CRC-rejected frame the
+//     querier can re-request, and a null "nothing relevant" ack are the
+//     three observable responses; silence keeps a peer pending).
+//  3. Backoff waits accumulate against the per-query slot deadline; when
+//     the next wait would exceed it, the P2P phase abandons its
+//     remaining targets (DeadlineAborts) and the spent slots are priced
+//     into the query's channel latency.
+//  4. Between the request and the reply deliveries of every round, peers
+//     may churn: power off / drift out of range (a reply already in
+//     flight still arrives; later retries to the departed peer are
+//     wasted) or power back on and rejoin.
+//  5. Reply outcomes feed the per-peer breakers: CRC rejections, stale
+//     discards, and end-of-collection timeouts are failures; sound
+//     deliveries are successes.
+//
+// Every random draw (loss, fates, churn, jitter) comes from the seeded
+// injector stream, so identical seeds yield identical collections.
+func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.PeerData, int, int64) {
+	q := w.hosts[idx].mob.Pos
+	hops := w.Params.SharingHops
+	if hops < 1 {
+		hops = 1
+	}
+	ids := w.net.NeighborsMultiHop(q, w.Params.TxRangeMiles(), hops, idx)
+	nPeers := len(ids)
+
+	// One query's P2P phase is one breaker cycle.
+	w.breakers.Tick()
+
+	count := w.counted()
+	stamp := int64(w.nowSec)
+	var peers []core.PeerData
+	if w.Params.UseOwnCache {
+		// The host's own cache is a zero-cost "peer": no wire traffic, no
+		// transport faults, no staleness, no breaker.
+		for _, r := range w.hosts[idx].caches[ti].Regions() {
+			if r.Rect.Intersects(relevance) {
+				peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+			}
+		}
+	}
+
+	// Breaker gate: quarantined peers cost nothing this query.
+	type target struct {
+		id       int
+		departed bool // churned away (the querier cannot know)
+		resolved bool // replied with content or a null ack
+	}
+	targets := make([]target, 0, len(ids))
+	for _, id := range ids {
+		if w.breakers.Allow(id) {
+			targets = append(targets, target{id: id})
+		}
+	}
+
+	maxAttempts := 1 + w.inj.Profile().MaxRetries
+	deadline := int64(w.Params.DeadlineSlots)
+	var spent int64
+	remaining := len(targets)
+
+	for attempt := 1; remaining > 0 && attempt <= maxAttempts; attempt++ {
+		if attempt > 1 {
+			// Adaptive backoff before each retry round: capped
+			// exponential base plus seeded jitter, charged against the
+			// per-query slot deadline.
+			base := faults.BackoffSlots(attempt)
+			delay := base + w.inj.Jitter(base)
+			if deadline > 0 && spent+delay > deadline {
+				w.stats.DeadlineAborts++
+				break
+			}
+			spent += delay
+			w.net.Stats.Retries++
+		}
+		// One broadcast frame addresses every still-pending peer.
+		w.net.Stats.Requests++
+		if count {
+			w.stats.PeerBytes += int64(wire.RequestSize)
+		}
+
+		var heard []int // indices into targets
+		for i := range targets {
+			t := &targets[i]
+			if t.resolved {
+				continue
+			}
+			if t.departed {
+				if attempt > 1 {
+					// The retry addressed a peer that is no longer
+					// there — spent channel time, no possible answer.
+					w.net.Stats.WastedRetries++
+				}
+				continue
+			}
+			if w.inj.RequestHeard() {
+				heard = append(heard, i)
+			}
+		}
+
+		// Churn window between the request and the reply deliveries:
+		// present peers may power off or drift away, departed peers may
+		// come back.
+		for i := range targets {
+			t := &targets[i]
+			if t.resolved {
+				continue
+			}
+			if !t.departed {
+				t.departed = w.inj.ChurnDeparts()
+			} else if w.inj.ChurnReturns() {
+				t.departed = false
+			}
+		}
+
+		// Reply deliveries. A peer that heard the request and departed
+		// during the churn window still delivers — its reply was already
+		// in flight on the single-hop link.
+		for _, i := range heard {
+			t := &targets[i]
+			var out replyOutcome
+			peers, out = w.receiveReply(peers, t.id, ti, relevance, stamp, count)
+			switch out.kind {
+			case replyDelivered:
+				t.resolved = true
+				remaining--
+				w.net.Stats.Replies++
+				if out.staleDiscards > 0 {
+					// The peer served outdated regions the consistency
+					// layer had to throw away.
+					w.breakers.RecordFailure(t.id)
+				} else {
+					w.breakers.RecordSuccess(t.id)
+				}
+			case replySilent, replyUnencodable:
+				// Null ack: nothing relevant — no reason to retry, no
+				// reputation signal either way.
+				t.resolved = true
+				remaining--
+			case replyRejected:
+				// The querier received garbage and knows it: the peer
+				// stays pending (a retry may fetch a clean copy) and its
+				// breaker records the CRC failure.
+				w.breakers.RecordFailure(t.id)
+			case replyDropped:
+				// Pure silence — indistinguishable from an unheard
+				// request; the peer stays pending.
+			}
+		}
+	}
+
+	// Reply timeouts: every targeted peer that never produced an
+	// observable response within the budget/deadline strikes its breaker
+	// once (the querier cannot distinguish departure, deafness, and
+	// drop — all look like a peer that did not answer).
+	for i := range targets {
+		if !targets[i].resolved {
+			w.breakers.RecordFailure(targets[i].id)
+		}
+	}
+	w.stats.BackoffSlots += spent
+	return peers, nPeers, spent
+}
+
+// replyKind classifies what the querying host learned from one peer's
+// reply attempt — the signal the resilient lifecycle feeds its breakers
+// and retry scheduler. The legacy (blind-loop) path ignores it.
+type replyKind int
+
+const (
+	// replySilent: the peer had nothing relevant (modeled as a free null
+	// ack, so the resilient path does not retry it).
+	replySilent replyKind = iota
+	// replyDelivered: reply content arrived and passed the wire checks.
+	replyDelivered
+	// replyDropped: the reply was lost in flight — pure silence to the
+	// querier, indistinguishable from an unheard request.
+	replyDropped
+	// replyRejected: a damaged frame arrived and the CRC/structure
+	// checks refused it (the querier knows this peer sent garbage).
+	replyRejected
+	// replyUnencodable: the peer's region set exceeded wire limits and
+	// could not be sent at all (treated like silence).
+	replyUnencodable
+)
+
+// replyOutcome is one reply attempt's classification plus how many of its
+// delivered regions the consistency layer discarded as stale.
+type replyOutcome struct {
+	kind          replyKind
+	staleDiscards int
 }
 
 // receiveReply models one peer answering a cache request: the peer serves
@@ -410,7 +640,7 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 // layer discards regions the POI-update process invalidated. Surviving
 // regions are appended to peers. With a zero fault profile this is
 // byte-for-byte the ideal exchange.
-func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.Rect, stamp int64, count bool) []core.PeerData {
+func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.Rect, stamp int64, count bool) ([]core.PeerData, replyOutcome) {
 	c := w.hosts[id].caches[ti]
 	type sharedRegion struct {
 		region cache.Region
@@ -427,7 +657,7 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 		shared = append(shared, sharedRegion{region: r, stale: w.inj.StaleVR()})
 	}
 	if len(shared) == 0 {
-		return peers // nothing relevant: the peer stays silent
+		return peers, replyOutcome{kind: replySilent} // nothing relevant: the peer stays silent
 	}
 
 	wireBytes := wire.ReplyOverhead
@@ -436,9 +666,11 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 	}
 
 	trustStale := w.inj.Profile().TrustStale
+	var staleDiscards int
 	deliver := func() []core.PeerData {
 		for _, s := range shared {
 			if s.stale && !trustStale {
+				staleDiscards++
 				continue // consistency layer: stale region discarded
 			}
 			pd := core.PeerData{VR: s.region.Rect, POIs: s.region.POIs}
@@ -455,14 +687,15 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 		if count {
 			w.stats.PeerBytes += int64(wireBytes)
 		}
-		return deliver()
+		peers = deliver()
+		return peers, replyOutcome{kind: replyDelivered, staleDiscards: staleDiscards}
 	case faults.FateDrop:
 		// Lost in flight: the frame occupied the channel, nothing arrived.
 		w.net.Stats.RepliesLost++
 		if count {
 			w.stats.PeerBytes += int64(wireBytes)
 		}
-		return peers
+		return peers, replyOutcome{kind: replyDropped}
 	default: // FateTruncate, FateCorrupt
 		// Damaged in flight: run the real codec end to end. The CRC
 		// trailer rejects the frame and the query degrades; in the
@@ -477,7 +710,7 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 		if err != nil {
 			// A cache region exceeding wire limits cannot be encoded;
 			// treat the reply as undeliverable.
-			return peers
+			return peers, replyOutcome{kind: replyUnencodable}
 		}
 		mangled := w.inj.Mangle(enc, fate)
 		if count {
@@ -486,15 +719,16 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 		dec, err := wire.DecodeReply(mangled)
 		if err != nil {
 			w.net.Stats.RepliesRejected++
-			return peers // rejected: sound degradation, already counted
+			return peers, replyOutcome{kind: replyRejected} // sound degradation, already counted
 		}
 		for i, reg := range dec.Regions {
 			if i < len(shared) && shared[i].stale && !trustStale {
+				staleDiscards++
 				continue
 			}
 			peers = append(peers, core.PeerData{VR: reg.Rect, POIs: reg.POIs})
 		}
-		return peers
+		return peers, replyOutcome{kind: replyDelivered, staleDiscards: staleDiscards}
 	}
 }
 
@@ -539,7 +773,7 @@ func (w *World) runKNNQuery(idx, ti int) {
 	q := h.mob.Pos
 	k := w.drawK()
 	relevance := geom.RectAround(q, w.knnRelevanceRadius(ti, k))
-	peers, nPeers := w.collectPeers(idx, ti, relevance)
+	peers, nPeers, spent := w.gatherPeers(idx, ti, relevance)
 
 	cfg := core.SBNNConfig{
 		K:                 k,
@@ -547,7 +781,9 @@ func (w *World) runKNNQuery(idx, ti int) {
 		AcceptApproximate: w.Params.AcceptApproximate,
 		MinCorrectness:    w.Params.MinCorrectness,
 	}
-	res := core.SBNN(q, peers, cfg, ts.sched, w.slotNow())
+	// Slots spent in retry backoff delay the client's arrival on the
+	// broadcast channel (spent is zero on the legacy path).
+	res := core.SBNN(q, peers, cfg, ts.sched, w.slotNow()+spent)
 
 	if w.counted() {
 		w.stats.Queries++
@@ -559,7 +795,9 @@ func (w *World) runKNNQuery(idx, ti int) {
 			w.stats.Approximate++
 		default:
 			w.stats.Broadcast++
-			w.stats.LatencySlots += res.Access.Latency
+			// The backoff slots the P2P phase burned are part of this
+			// query's end-to-end access latency.
+			w.stats.LatencySlots += res.Access.Latency + spent
 			w.stats.TuningSlots += res.Access.Tuning
 			w.stats.PacketsRead += int64(res.Access.PacketsRead)
 			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
@@ -593,13 +831,13 @@ func (w *World) runWindowQuery(idx, ti int) {
 	if !ok {
 		return
 	}
-	peers, nPeers := w.collectPeers(idx, ti, win)
+	peers, nPeers, spent := w.gatherPeers(idx, ti, win)
 	// Cap cached retrieval regions at what the cache can hold: CacheSize
 	// POIs cover about CacheSize/lambda square miles.
 	cfg := core.SBWQConfig{
 		MaxKnownArea: 1.5 * float64(w.Params.CacheSize) / math.Max(ts.lambda, 1e-9),
 	}
-	res := core.SBWQWithConfig(q, win, peers, cfg, ts.sched, w.slotNow())
+	res := core.SBWQWithConfig(q, win, peers, cfg, ts.sched, w.slotNow()+spent)
 
 	if w.counted() {
 		w.stats.Queries++
@@ -608,7 +846,7 @@ func (w *World) runWindowQuery(idx, ti int) {
 			w.stats.Verified++
 		} else {
 			w.stats.Broadcast++
-			w.stats.LatencySlots += res.Access.Latency
+			w.stats.LatencySlots += res.Access.Latency + spent
 			w.stats.TuningSlots += res.Access.Tuning
 			w.stats.PacketsRead += int64(res.Access.PacketsRead)
 			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
