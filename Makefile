@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke verify soak bench
+.PHONY: all build vet test race fuzz-smoke verify soak bench bench-hot bench-smoke
 
 all: build
 
@@ -17,8 +17,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiments suite alone takes minutes under race instrumentation on
+# slow runners, so give the package-level timeout explicit headroom instead
+# of relying on go test's 10-minute default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # Short native-fuzzing runs of the wire codecs: the decoders must survive
 # arbitrary bytes (the fault layer's truncation/corruption damage classes)
@@ -36,20 +39,31 @@ verify: vet build race fuzz-smoke
 soak:
 	SOAK_SCHEDULES=32 $(GO) test -run='Soak' -count=1 -v ./internal/sim
 
-# Fault/resilience benchmark grid: one JSON line per cell (lbsq-sim -json)
-# into results/BENCH_faults.json. Sweeps request-loss with and without the
+# Fault/resilience benchmark grid: one JSON line per cell into
+# results/BENCH_faults.json. Sweeps request-loss with and without the
 # resilient lifecycle so the two degradation curves can be compared.
+# Runs in one process through the sweep engine (internal/perf.FaultGrid);
+# rows are value-identical to the former go-run-per-cell shell loop, in
+# the same order, plus the bench_schema version field.
 bench:
 	@mkdir -p results
-	@: > results/BENCH_faults.json
-	@for p in 0 0.05 0.1 0.2; do \
-		$(GO) run ./cmd/lbsq-sim -side 2 -hours 0.1 -selfcheck -json \
-			-req-loss $$p -reply-loss $$p >> results/BENCH_faults.json; \
-	done
-	@for p in 0 0.05 0.1 0.2; do \
-		$(GO) run ./cmd/lbsq-sim -side 2 -hours 0.1 -selfcheck -json \
-			-req-loss $$p -reply-loss $$p -retries 4 -churn-rate 0.1 \
-			-deadline-slots 16 -breaker-threshold 3 -breaker-cooldown 8 \
-			>> results/BENCH_faults.json; \
-	done
+	$(GO) run ./cmd/lbsq-sim -grid faults -side 2 -hours 0.1 \
+		> results/BENCH_faults.json
 	@echo "bench: wrote results/BENCH_faults.json"
+
+# Hot-path perf report: steady-state micro benchmarks (ns/op, B/op,
+# allocs/op of the scratch-based query kernels) plus the parallel-sweep
+# wall-clock comparison with its serial-identity check.
+bench-hot:
+	@mkdir -p results
+	$(GO) run ./cmd/lbsq-bench -out results/BENCH_hotpath.json
+	@echo "bench-hot: wrote results/BENCH_hotpath.json"
+
+# CI regression gate: quick-scale harness compared against the committed
+# baseline (fails on >25% ns/op regression or any steady-state allocs/op
+# growth), then the parallel sweep identity under the race detector.
+bench-smoke:
+	$(GO) run ./cmd/lbsq-bench -quick -compare results/BENCH_hotpath.json
+	$(GO) test -race ./internal/sweep
+	$(GO) test -race -run 'TestParallel|TestFaultGrid' \
+		./internal/perf ./internal/experiments

@@ -7,10 +7,15 @@
 //
 //	lbsq-figures [-fig all|10|11|12|13|14|15|latency|analysis|ablation]
 //	             [-side miles] [-hours h] [-step sec] [-seed n]
+//	             [-parallel n]
 //
 // The default scale is a density-preserving 5-mile area simulated for 0.5
 // hours per cell (seconds per figure). Pass -side 20 -hours 10 to run the
 // paper's full configuration.
+//
+// -parallel sets the sweep worker count (0 = GOMAXPROCS, 1 = serial).
+// Every worker count produces byte-identical output: cells own their
+// seeded worlds and results reassemble in cell order (internal/sweep).
 package main
 
 import (
@@ -26,12 +31,13 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: all, 10..15, latency, analysis, ablation, calibration, lifetime")
-		side  = flag.Float64("side", 5, "service area side in miles (density-preserving scale of the 20-mile Table 3 area)")
-		hours = flag.Float64("hours", 0.5, "simulated hours per experiment cell")
-		step  = flag.Float64("step", 10, "simulation time step in seconds")
-		seed  = flag.Int64("seed", 42, "random seed")
-		svg   = flag.String("svg", "", "directory to also write figures as SVG plots (created if missing)")
+		fig      = flag.String("fig", "all", "figure to regenerate: all, 10..15, latency, analysis, ablation, calibration, lifetime")
+		side     = flag.Float64("side", 5, "service area side in miles (density-preserving scale of the 20-mile Table 3 area)")
+		hours    = flag.Float64("hours", 0.5, "simulated hours per experiment cell")
+		step     = flag.Float64("step", 10, "simulation time step in seconds")
+		seed     = flag.Int64("seed", 42, "random seed")
+		svg      = flag.String("svg", "", "directory to also write figures as SVG plots (created if missing)")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial; output identical either way)")
 	)
 	flag.Parse()
 
@@ -41,6 +47,7 @@ func main() {
 		DurationHours: *hours,
 		TimeStepSec:   *step,
 		Seed:          *seed,
+		Parallel:      *parallel,
 	}
 
 	start := time.Now()

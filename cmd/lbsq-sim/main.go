@@ -15,6 +15,17 @@
 //	         [-stale-rate p] [-retries n]
 //	         [-deadline-slots n] [-breaker-threshold n]
 //	         [-breaker-cooldown n] [-churn-rate p] [-json]
+//	         [-grid faults] [-parallel n]
+//
+// -grid faults replaces the single run with the standard in-process
+// fault/resilience benchmark grid (the `make bench` cells): loss rates
+// {0, 0.05, 0.1, 0.2} with and without the resilient lifecycle, each
+// cell self-checked, one JSONL row per cell on stdout. -parallel sets
+// the grid worker count (0 = GOMAXPROCS, 1 = serial); every worker
+// count emits identical rows apart from wall_seconds, because each cell
+// owns its seeded world (internal/sweep's determinism contract). -side
+// and -hours scale the grid cells; all other flags are ignored in grid
+// mode.
 //
 // The fault flags drive the fault-injection layer (internal/faults):
 // -loss is broadcast packet/index loss, -req-loss and -reply-loss are the
@@ -47,7 +58,9 @@ import (
 	"time"
 
 	"lbsq/internal/cache"
+	"lbsq/internal/perf"
 	"lbsq/internal/sim"
+	"lbsq/internal/sweep"
 	"lbsq/internal/trace"
 )
 
@@ -84,8 +97,30 @@ func main() {
 		brCool    = flag.Int64("breaker-cooldown", 0, "breaker quarantine in collection cycles (0 = default 8 when breakers on)")
 		churn     = flag.Float64("churn-rate", 0, "per-peer per-round probability of powering off/on mid-collection [0, 0.95]")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
+		grid      = flag.String("grid", "", "run a benchmark grid instead of a single configuration: 'faults'")
+		parallel  = flag.Int("parallel", 0, "grid worker count (0 = GOMAXPROCS, 1 = serial; rows identical either way)")
 	)
 	flag.Parse()
+
+	if *grid != "" {
+		if *grid != "faults" {
+			fmt.Fprintf(os.Stderr, "unknown grid %q (supported: faults)\n", *grid)
+			os.Exit(2)
+		}
+		reports, err := perf.RunFaultGrid(sweep.Workers(*parallel), *side, *hours)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, rep := range reports {
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	var p sim.Params
 	switch strings.ToLower(*set) {
@@ -240,80 +275,8 @@ func main() {
 	fmt.Printf("\nwall time %.1fs\n", elapsed.Seconds())
 }
 
-// jsonReport is the machine-readable run record `-json` emits: the
-// resolved configuration, the full Stats struct, and the derived rates
-// the human report prints. One compact object per line, so appending runs
-// produces valid JSONL (see `make bench`).
-type jsonReport struct {
-	Set             string    `json:"set"`
-	Kind            string    `json:"kind"`
-	Seed            int64     `json:"seed"`
-	AreaMiles       float64   `json:"area_miles"`
-	DurationHours   float64   `json:"duration_hours"`
-	MHNumber        int       `json:"mh_number"`
-	POINumber       int       `json:"poi_number"`
-	QueryRate       float64   `json:"query_rate"`
-	TxRangeMeters   float64   `json:"tx_range_meters"`
-	CacheSize       int       `json:"cache_size"`
-	K               int       `json:"k"`
-	WindowPct       float64   `json:"window_pct"`
-	Faults          any       `json:"faults"`
-	DeadlineSlots   int       `json:"deadline_slots"`
-	BreakerThresh   int       `json:"breaker_threshold"`
-	BreakerCooldown int64     `json:"breaker_cooldown"`
-	SelfCheck       bool      `json:"self_check_passed"`
-	Stats           sim.Stats `json:"stats"`
-	Derived         derived   `json:"derived"`
-	WallSeconds     float64   `json:"wall_seconds"`
-}
-
-type derived struct {
-	VerifiedPct            float64 `json:"verified_pct"`
-	ApproximatePct         float64 `json:"approximate_pct"`
-	BroadcastPct           float64 `json:"broadcast_pct"`
-	AvgPeers               float64 `json:"avg_peers"`
-	AvgLatencySlots        float64 `json:"avg_latency_slots"`
-	AvgTuningSlots         float64 `json:"avg_tuning_slots"`
-	MeanSystemLatencySlots float64 `json:"mean_system_latency_slots"`
-	AvgPeerBytes           float64 `json:"avg_peer_bytes"`
-	FaultEvents            int64   `json:"fault_events"`
-	ResilienceEvents       int64   `json:"resilience_events"`
-}
-
 func emitJSON(p sim.Params, stats sim.Stats, selfChecked bool, elapsed time.Duration) {
-	rep := jsonReport{
-		Set:             p.Name,
-		Kind:            p.Kind.String(),
-		Seed:            p.Seed,
-		AreaMiles:       p.AreaMiles,
-		DurationHours:   p.DurationHours,
-		MHNumber:        p.MHNumber,
-		POINumber:       p.POINumber,
-		QueryRate:       p.QueryRate,
-		TxRangeMeters:   p.TxRangeMeters,
-		CacheSize:       p.CacheSize,
-		K:               p.K,
-		WindowPct:       p.WindowPct,
-		Faults:          p.Faults,
-		DeadlineSlots:   p.DeadlineSlots,
-		BreakerThresh:   p.BreakerThreshold,
-		BreakerCooldown: p.BreakerCooldown,
-		SelfCheck:       selfChecked,
-		Stats:           stats,
-		Derived: derived{
-			VerifiedPct:            stats.VerifiedPct(),
-			ApproximatePct:         stats.ApproximatePct(),
-			BroadcastPct:           stats.BroadcastPct(),
-			AvgPeers:               stats.AvgPeers(),
-			AvgLatencySlots:        stats.AvgLatencySlots(),
-			AvgTuningSlots:         stats.AvgTuningSlots(),
-			MeanSystemLatencySlots: stats.MeanSystemLatencySlots(),
-			AvgPeerBytes:           stats.AvgPeerBytes(),
-			FaultEvents:            stats.FaultEvents(),
-			ResilienceEvents:       stats.ResilienceEvents(),
-		},
-		WallSeconds: elapsed.Seconds(),
-	}
+	rep := sim.NewReport(p, stats, selfChecked, elapsed.Seconds())
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -34,14 +34,20 @@ func benchDB(rng *rand.Rand, n int) []broadcast.POI {
 	return db
 }
 
+// The NNV benchmarks measure the steady-state hot path the simulator
+// runs per query: a warm, reused Scratch (see NNVScratch). The *Cold
+// variants keep the allocate-per-call cost visible for comparison.
+
 func BenchmarkNNV8Peers(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	db := benchDB(rng, 500)
 	peers := benchPeers(rng, db, 8)
 	q := geom.Pt(16, 16)
+	var s Scratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		NNV(q, peers, 5, 0.5)
+		NNVScratch(&s, q, peers, 5, 0.5)
 	}
 }
 
@@ -50,6 +56,20 @@ func BenchmarkNNV64Peers(b *testing.B) {
 	db := benchDB(rng, 500)
 	peers := benchPeers(rng, db, 64)
 	q := geom.Pt(16, 16)
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NNVScratch(&s, q, peers, 5, 0.5)
+	}
+}
+
+func BenchmarkNNV64PeersCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	db := benchDB(rng, 500)
+	peers := benchPeers(rng, db, 64)
+	q := geom.Pt(16, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NNV(q, peers, 5, 0.5)

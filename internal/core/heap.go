@@ -11,7 +11,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"lbsq/internal/broadcast"
 	"lbsq/internal/geom"
@@ -50,6 +50,16 @@ func NewHeap(k int) *Heap {
 		k = 0
 	}
 	return &Heap{k: k}
+}
+
+// Reset re-initializes the heap for a new k-NN query, keeping the entry
+// storage allocated for reuse (the scratch hot path).
+func (h *Heap) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	h.k = k
+	h.entries = h.entries[:0]
 }
 
 // K returns the requested result cardinality.
@@ -217,15 +227,35 @@ func (h *Heap) POIs() []broadcast.POI {
 	return out
 }
 
+// AppendPOIs appends the entry POIs in ascending distance order to dst
+// and returns it — the zero-allocation variant of POIs for reused
+// buffers.
+func (h *Heap) AppendPOIs(dst []broadcast.POI) []broadcast.POI {
+	for _, e := range h.entries {
+		dst = append(dst, e.POI)
+	}
+	return dst
+}
+
 // sortCandidates orders candidate POIs by ascending distance to q with
-// the ID as the deterministic tiebreak.
+// the ID as the deterministic tiebreak. slices.SortFunc is used instead
+// of sort.Slice because it does not allocate (no reflect-based swapper);
+// the comparator is total up to identical POIs, so the unstable sort is
+// still deterministic.
 func sortCandidates(pois []broadcast.POI, q geom.Point) {
-	sort.Slice(pois, func(i, j int) bool {
-		di, dj := pois[i].Pos.DistSq(q), pois[j].Pos.DistSq(q)
-		if di != dj {
-			return di < dj
+	slices.SortFunc(pois, func(a, b broadcast.POI) int {
+		da, db := a.Pos.DistSq(q), b.Pos.DistSq(q)
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return pois[i].ID < pois[j].ID
+		return 0
 	})
 }
 

@@ -8,9 +8,33 @@ import (
 // PeerData is one verified region received from a peer: the MBR the peer
 // guarantees complete knowledge of, and every cached POI inside it. A
 // peer with several cached regions contributes one PeerData per region.
+//
+// Ownership: the POIs slice is borrowed from the caller (in the simulator
+// it aliases live cache storage). The core algorithms never mutate it and
+// never retain it — every candidate is copied into algorithm-owned
+// buffers before the call returns — so callers may reuse or mutate the
+// peer slices freely between queries. TestCoreDoesNotRetainPeerSlices
+// pins this contract.
 type PeerData struct {
 	VR   geom.Rect
 	POIs []broadcast.POI
+}
+
+// Scratch holds the reusable per-client buffers of the query hot path:
+// the merged verified region, the result heap, and the candidate/result
+// slices. A Scratch reaches a zero-allocation steady state after a few
+// queries (buffers grow to the working-set high-water mark and are then
+// reused).
+//
+// Results returned by the *Scratch functions alias the scratch: Heap,
+// MVR, and POIs are valid only until the next call with the same Scratch.
+// Known/KnownRegion are always freshly allocated — callers cache them.
+// A Scratch must not be shared between goroutines.
+type Scratch struct {
+	mvr        geom.RectUnion
+	heap       Heap
+	candidates []broadcast.POI
+	poiBuf     []broadcast.POI
 }
 
 // NNVResult bundles the outputs of the nearest-neighbor verification
@@ -40,33 +64,44 @@ type NNVResult struct {
 // Lemma 3.2 correctness probability computed from the exact area of their
 // unverified region, using lambda as the POI density.
 func NNV(q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
-	mvr := geom.NewRectUnion()
-	seen := make(map[int64]bool)
-	var candidates []broadcast.POI
-	for _, p := range peers {
-		mvr.Add(p.VR)
-		for _, poi := range p.POIs {
-			if !seen[poi.ID] {
-				seen[poi.ID] = true
-				candidates = append(candidates, poi)
-			}
-		}
-	}
-	sortCandidates(candidates, q)
+	return NNVScratch(&Scratch{}, q, peers, k, lambda)
+}
 
-	res := NNVResult{
-		Heap:       NewHeap(k),
-		MVR:        mvr,
-		Candidates: len(candidates),
+// NNVScratch is NNV running on caller-owned scratch: the zero-allocation
+// hot-path variant used by the simulator's per-world query loop. The
+// returned Heap and MVR alias the scratch (see Scratch).
+//
+// Output is bit-identical to NNV: candidate deduplication is sort-based
+// (gather every peer POI, sort by (distance², ID), drop adjacent
+// duplicates), which yields exactly the distinct candidate set in exactly
+// the order the per-query map used to produce — duplicates of one POI ID
+// carry the same database position, hence the same distance, and are
+// therefore adjacent after the sort.
+func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
+	s.mvr.Reset()
+	cands := s.candidates[:0]
+	for _, p := range peers {
+		s.mvr.Add(p.VR)
+		cands = append(cands, p.POIs...)
 	}
-	if d, ok := mvr.Clearance(q); ok {
+	sortCandidates(cands, q)
+	cands = dedupSortedCandidates(cands)
+	s.candidates = cands
+
+	s.heap.Reset(k)
+	res := NNVResult{
+		Heap:       &s.heap,
+		MVR:        &s.mvr,
+		Candidates: len(cands),
+	}
+	if d, ok := s.mvr.Clearance(q); ok {
 		res.EdgeDist = d
 		res.InsideMVR = true
 	}
 
 	lastVerified := 0.0
 	hasVerified := false
-	for _, poi := range candidates {
+	for _, poi := range cands {
 		if res.Heap.Full() {
 			break
 		}
@@ -80,7 +115,7 @@ func NNV(q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
 		} else {
 			// Unverified: the candidate's unverified region is the part
 			// of its distance disk not covered by the MVR.
-			u := mvr.UnverifiedArea(q, d)
+			u := s.mvr.UnverifiedArea(q, d)
 			e.Correctness = CorrectnessProbability(lambda, u)
 			if hasVerified && lastVerified > 0 {
 				e.Surpassing = d / lastVerified
@@ -89,4 +124,21 @@ func NNV(q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
 		res.Heap.add(e)
 	}
 	return res
+}
+
+// dedupSortedCandidates removes adjacent duplicate POI IDs in place and
+// returns the deduplicated prefix. Input must be sorted by
+// sortCandidates, which makes equal IDs adjacent (same POI ⇒ same
+// position ⇒ same distance).
+func dedupSortedCandidates(pois []broadcast.POI) []broadcast.POI {
+	if len(pois) < 2 {
+		return pois
+	}
+	out := pois[:1]
+	for _, p := range pois[1:] {
+		if p.ID != out[len(out)-1].ID {
+			out = append(out, p)
+		}
+	}
+	return out
 }

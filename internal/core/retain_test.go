@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/geom"
+)
+
+// TestCoreDoesNotRetainPeerSlices pins the PeerData aliasing contract
+// (see the PeerData doc comment): the query algorithms copy whatever
+// they need out of the peers' POI slices during the call and never
+// alias them in their results. The sim layer depends on this — it
+// collects peers into a per-World scratch buffer and overwrites that
+// buffer on the very next query, so any retained reference would be
+// silently corrupted.
+//
+// The test runs each algorithm, snapshots the results, then clobbers
+// every peer slice in place (simulating the next query reusing the
+// collection buffer) and checks the results are untouched.
+func TestCoreDoesNotRetainPeerSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := make([]broadcast.POI, 400)
+	for i := range db {
+		db[i] = broadcast.POI{ID: int64(i), Pos: geom.Pt(rng.Float64()*32, rng.Float64()*32)}
+	}
+	makePeers := func() []PeerData {
+		r := rand.New(rand.NewSource(10))
+		peers := make([]PeerData, 0, 16)
+		for i := 0; i < 16; i++ {
+			cx, cy := 10+r.Float64()*12, 10+r.Float64()*12
+			vr := geom.NewRect(cx, cy, cx+4, cy+4)
+			pd := PeerData{VR: vr}
+			for _, p := range db {
+				if vr.Contains(p.Pos) {
+					pd.POIs = append(pd.POIs, p)
+				}
+			}
+			peers = append(peers, pd)
+		}
+		return peers
+	}
+	clobber := func(peers []PeerData) {
+		for i := range peers {
+			for j := range peers[i].POIs {
+				peers[i].POIs[j] = broadcast.POI{ID: -1, Pos: geom.Pt(-999, -999)}
+			}
+			peers[i].VR = geom.Rect{}
+		}
+	}
+	snapshotPOIs := func(pois []broadcast.POI) []broadcast.POI {
+		out := make([]broadcast.POI, len(pois))
+		copy(out, pois)
+		return out
+	}
+
+	sched, err := broadcast.NewSchedule(db, broadcast.Config{Area: geom.NewRect(0, 0, 32, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Pt(16, 16)
+
+	t.Run("SBNN", func(t *testing.T) {
+		peers := makePeers()
+		var s Scratch
+		res := SBNNScratch(&s, q, peers, SBNNConfig{K: 5, Lambda: 0.5}, sched, 0)
+		pois := snapshotPOIs(res.POIs)
+		known := snapshotPOIs(res.Known)
+		heapEntries := append([]Entry(nil), res.Heap.Entries()...)
+		clobber(peers)
+		if !reflect.DeepEqual(pois, res.POIs) {
+			t.Fatal("SBNN result POIs alias the peer slices")
+		}
+		if !reflect.DeepEqual(known, res.Known) {
+			t.Fatal("SBNN Known aliases the peer slices")
+		}
+		if !reflect.DeepEqual(heapEntries, res.Heap.Entries()) {
+			t.Fatal("SBNN heap entries alias the peer slices")
+		}
+	})
+
+	t.Run("SBWQ", func(t *testing.T) {
+		peers := makePeers()
+		var s Scratch
+		w := geom.NewRect(12, 12, 20, 20)
+		res := SBWQScratch(&s, q, w, peers, SBWQConfig{}, sched, 0)
+		pois := snapshotPOIs(res.POIs)
+		known := snapshotPOIs(res.Known)
+		clobber(peers)
+		if !reflect.DeepEqual(pois, res.POIs) {
+			t.Fatal("SBWQ result POIs alias the peer slices")
+		}
+		if !reflect.DeepEqual(known, res.Known) {
+			t.Fatal("SBWQ Known aliases the peer slices")
+		}
+	})
+
+	t.Run("NNV", func(t *testing.T) {
+		peers := makePeers()
+		var s Scratch
+		res := NNVScratch(&s, q, peers, 5, 0.5)
+		entries := append([]Entry(nil), res.Heap.Entries()...)
+		clobber(peers)
+		if !reflect.DeepEqual(entries, res.Heap.Entries()) {
+			t.Fatal("NNV heap entries alias the peer slices")
+		}
+	})
+}
+
+// TestScratchReuseMatchesFresh runs a randomized query sequence twice —
+// once reusing a single Scratch, once with a fresh Scratch per query —
+// and requires bit-identical results: stale scratch state must never
+// leak into a later answer.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	db := make([]broadcast.POI, 300)
+	for i := range db {
+		db[i] = broadcast.POI{ID: int64(i), Pos: geom.Pt(rng.Float64()*32, rng.Float64()*32)}
+	}
+	sched, err := broadcast.NewSchedule(db, broadcast.Config{Area: geom.NewRect(0, 0, 32, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type step struct {
+		q     geom.Point
+		peers []PeerData
+		k     int
+		win   geom.Rect
+	}
+	steps := make([]step, 60)
+	for i := range steps {
+		st := step{
+			q: geom.Pt(rng.Float64()*32, rng.Float64()*32),
+			k: 1 + rng.Intn(8),
+		}
+		for p := 0; p < rng.Intn(12); p++ {
+			cx, cy := rng.Float64()*28, rng.Float64()*28
+			vr := geom.NewRect(cx, cy, cx+1+rng.Float64()*5, cy+1+rng.Float64()*5)
+			pd := PeerData{VR: vr}
+			for _, o := range db {
+				if vr.Contains(o.Pos) {
+					pd.POIs = append(pd.POIs, o)
+				}
+			}
+			st.peers = append(st.peers, pd)
+		}
+		wx, wy := rng.Float64()*28, rng.Float64()*28
+		st.win = geom.NewRect(wx, wy, wx+1+rng.Float64()*4, wy+1+rng.Float64()*4)
+		steps[i] = st
+	}
+
+	var reused Scratch
+	for i, st := range steps {
+		cfg := SBNNConfig{K: st.k, Lambda: 0.3, AcceptApproximate: i%2 == 0, MinCorrectness: 0.5}
+		a := SBNNScratch(&reused, st.q, st.peers, cfg, sched, int64(i))
+		b := SBNNScratch(&Scratch{}, st.q, st.peers, cfg, sched, int64(i))
+		if a.Outcome != b.Outcome || !reflect.DeepEqual(a.POIs, b.POIs) ||
+			!reflect.DeepEqual(a.Known, b.Known) || a.KnownRegion != b.KnownRegion ||
+			a.Access != b.Access || a.Bounds != b.Bounds {
+			t.Fatalf("step %d: reused-scratch SBNN differs from fresh", i)
+		}
+		aw := SBWQScratch(&reused, st.q, st.win, st.peers, SBWQConfig{}, sched, int64(i))
+		bw := SBWQScratch(&Scratch{}, st.q, st.win, st.peers, SBWQConfig{}, sched, int64(i))
+		if aw.Outcome != bw.Outcome || !reflect.DeepEqual(aw.POIs, bw.POIs) ||
+			!reflect.DeepEqual(aw.Known, bw.Known) || aw.KnownRegion != bw.KnownRegion ||
+			!reflect.DeepEqual(aw.ReducedWindows, bw.ReducedWindows) ||
+			aw.CoveredFraction != bw.CoveredFraction || aw.Access != bw.Access {
+			t.Fatalf("step %d: reused-scratch SBWQ differs from fresh", i)
+		}
+	}
+}

@@ -105,7 +105,16 @@ func verifiedSquare(q geom.Point, radius float64) geom.Rect {
 // peer-side answer is then returned with OutcomeBroadcast and no POIs
 // beyond the heap contents.
 func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
-	nnv := NNV(q, peers, cfg.K, cfg.Lambda)
+	return SBNNScratch(&Scratch{}, q, peers, cfg, sched, now)
+}
+
+// SBNNScratch is SBNN running on caller-owned scratch — the
+// zero-allocation hot-path variant. Results are bit-identical to SBNN;
+// the returned Heap, MVR, and POIs alias the scratch and are valid only
+// until the next call with the same Scratch, while KnownRegion/Known are
+// always freshly allocated (callers insert them into caches).
+func SBNNScratch(s *Scratch, q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
+	nnv := NNVScratch(s, q, peers, cfg.K, cfg.Lambda)
 	res := SBNNResult{Heap: nnv.Heap, MVR: nnv.MVR}
 
 	// Whatever the outcome, everything within the last verified distance
@@ -123,16 +132,22 @@ func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Sched
 		}
 	}
 
+	// heapPOIs materializes the heap answer into the reused result buffer.
+	heapPOIs := func() []broadcast.POI {
+		s.poiBuf = nnv.Heap.AppendPOIs(s.poiBuf[:0])
+		return s.poiBuf
+	}
+
 	if nnv.Heap.VerifiedCount() >= cfg.K && cfg.K > 0 {
 		res.Outcome = OutcomeVerified
-		res.POIs = nnv.Heap.POIs()
+		res.POIs = heapPOIs()
 		fillVerifiedKnowledge()
 		return res
 	}
 	if cfg.AcceptApproximate && nnv.Heap.Full() &&
 		nnv.Heap.MinUnverifiedCorrectness() >= cfg.MinCorrectness {
 		res.Outcome = OutcomeApproximate
-		res.POIs = nnv.Heap.POIs()
+		res.POIs = heapPOIs()
 		fillVerifiedKnowledge()
 		return res
 	}
@@ -141,7 +156,7 @@ func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Sched
 	res.Outcome = OutcomeBroadcast
 	res.Bounds = nnv.Heap.SearchBounds()
 	if sched == nil {
-		res.POIs = nnv.Heap.POIs()
+		res.POIs = heapPOIs()
 		fillVerifiedKnowledge()
 		return res
 	}
@@ -149,19 +164,14 @@ func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Sched
 	res.Access = acc
 
 	// Merge: the heap's POIs (peer knowledge, covering any packets the
-	// lower bound skipped) plus the channel data.
-	merged := append([]broadcast.POI(nil), onAir...)
-	seen := make(map[int64]bool, len(merged))
-	for _, p := range merged {
-		seen[p.ID] = true
-	}
-	for _, e := range nnv.Heap.Entries() {
-		if !seen[e.POI.ID] {
-			seen[e.POI.ID] = true
-			merged = append(merged, e.POI)
-		}
-	}
+	// lower bound skipped) plus the channel data. Duplicates between the
+	// channel and the heap are copies of the same database POI, so the
+	// sort-based dedup reproduces the former map-based merge exactly.
+	merged := append(s.poiBuf[:0], onAir...)
+	merged = nnv.Heap.AppendPOIs(merged)
 	sortCandidates(merged, q)
+	merged = dedupSortedCandidates(merged)
+	s.poiBuf = merged
 
 	// The retrieval covered every packet intersecting the search square,
 	// and the heap covers the skipped packets, so within the square the

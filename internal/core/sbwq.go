@@ -56,18 +56,34 @@ func SBWQ(q geom.Point, w geom.Rect, peers []PeerData, sched *broadcast.Schedule
 
 // SBWQWithConfig is SBWQ with explicit tuning.
 func SBWQWithConfig(q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig, sched *broadcast.Schedule, now int64) SBWQResult {
-	mvr := geom.NewRectUnion()
-	seen := make(map[int64]bool)
-	var local []broadcast.POI
+	return SBWQScratch(&Scratch{}, q, w, peers, cfg, sched, now)
+}
+
+// SBWQScratch is SBWQ running on caller-owned scratch — the
+// zero-intermediate-allocation hot-path variant. Candidate collection,
+// the MVR, and deduplication reuse the scratch; the per-query ID map of
+// the original is replaced by the sort-based dedup (duplicates of one POI
+// ID share the database position, so they are adjacent after the
+// distance sort). Results are bit-identical to SBWQWithConfig.
+//
+// Unlike SBNNScratch, the returned POIs/Known slices are freshly
+// allocated: window-query answers double as the cached verified region,
+// so they must survive the next query.
+func SBWQScratch(s *Scratch, q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig, sched *broadcast.Schedule, now int64) SBWQResult {
+	s.mvr.Reset()
+	local := s.candidates[:0]
 	for _, p := range peers {
-		mvr.Add(p.VR)
+		s.mvr.Add(p.VR)
 		for _, poi := range p.POIs {
-			if w.Contains(poi.Pos) && !seen[poi.ID] {
-				seen[poi.ID] = true
+			if w.Contains(poi.Pos) {
 				local = append(local, poi)
 			}
 		}
 	}
+	sortCandidates(local, q)
+	local = dedupSortedCandidates(local)
+	s.candidates = local
+	mvr := &s.mvr
 	res := SBWQResult{MVR: mvr}
 
 	if !w.Empty() {
@@ -76,32 +92,39 @@ func SBWQWithConfig(q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig,
 		res.CoveredFraction = 1
 	}
 
+	// freshCopy hands result POIs to the caller without aliasing scratch
+	// (the caller inserts them into its cache).
+	freshCopy := func(pois []broadcast.POI) []broadcast.POI {
+		if len(pois) == 0 {
+			return nil
+		}
+		out := make([]broadcast.POI, len(pois))
+		copy(out, pois)
+		return out
+	}
+
 	if mvr.CoversRect(w) {
 		res.Outcome = OutcomeVerified
-		sortCandidates(local, q)
-		res.POIs = local
+		out := freshCopy(local)
+		res.POIs = out
 		res.KnownRegion = w
-		res.Known = local
+		res.Known = out
 		return res
 	}
 
 	res.Outcome = OutcomeBroadcast
 	res.ReducedWindows = geom.SubtractRect(w, mvr.Rects())
 	if sched == nil {
-		sortCandidates(local, q)
-		res.POIs = local
+		res.POIs = freshCopy(local)
 		return res
 	}
 	onAir, raw, retrieved, acc := sched.WindowReducedDetailed(res.ReducedWindows, now)
 	res.Access = acc
-	merged := local
-	for _, poi := range onAir {
-		if !seen[poi.ID] {
-			seen[poi.ID] = true
-			merged = append(merged, poi)
-		}
-	}
+	merged := append(local, onAir...)
 	sortCandidates(merged, q)
+	merged = dedupSortedCandidates(merged)
+	s.candidates = merged
+	merged = freshCopy(merged)
 	res.POIs = merged
 
 	// The exact window contents are always new verified knowledge; when

@@ -11,14 +11,13 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
-	"sync"
 
 	"lbsq/internal/analysis"
 	"lbsq/internal/cache"
 	"lbsq/internal/sim"
 	"lbsq/internal/svgplot"
+	"lbsq/internal/sweep"
 )
 
 // Options tunes the experiment scale. The zero value selects the default
@@ -37,6 +36,11 @@ type Options struct {
 	// the paper's 10-hour runs reach before measurement. Negative
 	// disables.
 	PrefillPerHost float64
+	// Parallel is the sweep worker count: 0 selects GOMAXPROCS, 1 runs
+	// every cell serially on the calling goroutine, n > 1 fans cells
+	// across n workers. Output is bit-identical for every value (each
+	// cell owns its seeded world; results reassemble by cell index).
+	Parallel int
 }
 
 func (o *Options) applyDefaults() {
@@ -109,44 +113,42 @@ func runCell(base sim.Params, o Options, mutate func(*sim.Params)) sim.Stats {
 	return w.Run()
 }
 
-// sweep builds a figure by running every (parameter set × x value) cell.
-// Cells are independent simulations, so they run concurrently up to the
-// CPU count; results are deterministic regardless of scheduling because
-// every cell owns its seeded RNG.
-func sweep(id, title, xlabel string, approx bool, xs []float64, o Options,
+// runSweep builds a figure by running every (parameter set × x value)
+// cell through the sweep engine. Cells are independent simulations —
+// each owns its seeded world — so the figure is bit-identical for every
+// worker count (sweep's determinism contract).
+func runSweep(id, title, xlabel string, approx bool, xs []float64, o Options,
 	mutate func(*sim.Params, float64)) Figure {
 	o.applyDefaults()
 	fig := Figure{ID: id, Title: title, XLabel: xlabel, HasApproximate: approx}
 	sets := sim.ParameterSets()
-	points := make([][]Point, len(sets))
-	for i := range points {
-		points[i] = make([]Point, len(xs))
-	}
 
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for si, base := range sets {
-		for xi, x := range xs {
-			wg.Add(1)
-			go func(si, xi int, base sim.Params, x float64) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				stats := runCell(base, o, func(p *sim.Params) { mutate(p, x) })
-				points[si][xi] = Point{
-					X:              x,
-					VerifiedPct:    stats.VerifiedPct(),
-					ApproximatePct: stats.ApproximatePct(),
-					BroadcastPct:   stats.BroadcastPct(),
-					Stats:          stats,
-				}
-			}(si, xi, base, x)
+	type cellKey struct {
+		si int
+		x  float64
+	}
+	var keys []cellKey
+	for si := range sets {
+		for _, x := range xs {
+			keys = append(keys, cellKey{si: si, x: x})
 		}
 	}
-	wg.Wait()
+	flat := sweep.Map(sweep.Workers(o.Parallel), keys, func(_ int, k cellKey) Point {
+		stats := runCell(sets[k.si], o, func(p *sim.Params) { mutate(p, k.x) })
+		return Point{
+			X:              k.x,
+			VerifiedPct:    stats.VerifiedPct(),
+			ApproximatePct: stats.ApproximatePct(),
+			BroadcastPct:   stats.BroadcastPct(),
+			Stats:          stats,
+		}
+	})
 
 	for si, base := range sets {
-		fig.Series = append(fig.Series, Series{SetName: base.Name, Points: points[si]})
+		fig.Series = append(fig.Series, Series{
+			SetName: base.Name,
+			Points:  flat[si*len(xs) : (si+1)*len(xs)],
+		})
 	}
 	return fig
 }
@@ -169,7 +171,7 @@ func WindowSweep() []float64 { return []float64{1, 2, 3, 4, 5} }
 // / approximate SBNN / the broadcast channel as a function of the
 // wireless transmission range (10–200 m).
 func Fig10(o Options) Figure {
-	return sweep("Fig10",
+	return runSweep("Fig10",
 		"kNN queries resolved vs. transmission range",
 		"Transmission Range (m)", true, TxRangeSweep(), o,
 		func(p *sim.Params, x float64) {
@@ -182,7 +184,7 @@ func Fig10(o Options) Figure {
 // Fig11 reproduces Figure 11: kNN resolution shares as a function of the
 // mobile host cache capacity (6–30 POIs).
 func Fig11(o Options) Figure {
-	return sweep("Fig11",
+	return runSweep("Fig11",
 		"kNN queries resolved vs. cache capacity",
 		"Number of Cached Items", true, CacheSweep(), o,
 		func(p *sim.Params, x float64) {
@@ -195,7 +197,7 @@ func Fig11(o Options) Figure {
 // Fig12 reproduces Figure 12: kNN resolution shares as a function of the
 // requested number of nearest neighbors k (3–15).
 func Fig12(o Options) Figure {
-	return sweep("Fig12",
+	return runSweep("Fig12",
 		"kNN queries resolved vs. k",
 		"Number of k", true, KSweep(), o,
 		func(p *sim.Params, x float64) {
@@ -219,7 +221,7 @@ func windowScale(o Options) Options {
 // SBWQ / the broadcast channel as a function of the transmission range.
 func Fig13(o Options) Figure {
 	o = windowScale(o)
-	return sweep("Fig13",
+	return runSweep("Fig13",
 		"window queries resolved vs. transmission range",
 		"Transmission Range (m)", false, TxRangeSweep(), o,
 		func(p *sim.Params, x float64) {
@@ -232,7 +234,7 @@ func Fig13(o Options) Figure {
 // function of the cache capacity.
 func Fig14(o Options) Figure {
 	o = windowScale(o)
-	return sweep("Fig14",
+	return runSweep("Fig14",
 		"window queries resolved vs. cache capacity",
 		"Number of Cached Items", false, CacheSweep(), o,
 		func(p *sim.Params, x float64) {
@@ -245,7 +247,7 @@ func Fig14(o Options) Figure {
 // function of the query window size (1–5% of the search space side).
 func Fig15(o Options) Figure {
 	o = windowScale(o)
-	return sweep("Fig15",
+	return runSweep("Fig15",
 		"window queries resolved vs. window size",
 		"Query Window Size (%)", false, WindowSweep(), o,
 		func(p *sim.Params, x float64) {

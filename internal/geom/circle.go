@@ -26,18 +26,34 @@ func CircleRectArea(c Point, radius float64, r Rect) float64 {
 	}
 
 	// Critical x values: circle crossings with the horizontal rect edges.
-	cuts := []float64{lo, hi}
-	for _, y := range []float64{y1, y2} {
+	// At most 6 (interval ends + 4 crossings), so a fixed-size stack
+	// array and an inline insertion sort keep the hot path allocation
+	// free (zero-width sub-intervals integrate to zero, so duplicates
+	// need no removal).
+	var cutsArr [6]float64
+	cutsArr[0], cutsArr[1] = lo, hi
+	n := 2
+	for _, y := range [2]float64{y1, y2} {
 		if math.Abs(y) < radius {
 			xc := math.Sqrt(radius*radius - y*y)
-			for _, x := range []float64{-xc, xc} {
+			for _, x := range [2]float64{-xc, xc} {
 				if x > lo && x < hi {
-					cuts = append(cuts, x)
+					cutsArr[n] = x
+					n++
 				}
 			}
 		}
 	}
-	cuts = dedupSorted(cuts)
+	cuts := cutsArr[:n]
+	for i := 1; i < len(cuts); i++ {
+		v := cuts[i]
+		j := i - 1
+		for j >= 0 && cuts[j] > v {
+			cuts[j+1] = cuts[j]
+			j--
+		}
+		cuts[j+1] = v
+	}
 
 	total := 0.0
 	for i := 0; i+1 < len(cuts); i++ {

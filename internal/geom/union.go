@@ -5,20 +5,48 @@ import (
 	"sort"
 )
 
+// Index thresholds: unions smaller than these are scanned linearly (the
+// index build cost would dominate); larger unions get strip-bucketed
+// indexes so per-candidate queries prune instead of scanning everything.
+const (
+	boundaryIndexMin = 24 // boundary segments before BoundaryDist indexes
+	disjointIndexMin = 24 // disjoint rects before IntersectCircleArea indexes
+)
+
 // RectUnion is a (possibly overlapping) collection of axis-aligned
 // rectangles treated as their set union. It models the merged verified
 // region (MVR) of the paper: the union of the verified-region MBRs
 // returned by the peers of a querying mobile host.
 //
-// The zero value is the empty union. RectUnion is immutable after
-// construction except through Add; cached derived data is invalidated on
-// Add.
+// The zero value is the empty union. Derived data (disjoint
+// decomposition, boundary segments, strip indexes) is computed lazily and
+// cached; Add and Reset invalidate the caches but keep their allocated
+// capacity, so a RectUnion reused via Reset reaches a zero-allocation
+// steady state on the query hot path.
+//
+// Aliasing contract: slices returned by Rects, Disjoint, and Boundary
+// point into the union's internal storage and are invalidated by the next
+// Add or Reset. Callers that need the data across mutations must copy.
+// RectUnion is not safe for concurrent use.
 type RectUnion struct {
 	rects []Rect
 
-	// Lazily computed caches.
-	disjoint []Rect    // disjoint decomposition of the union
-	boundary []Segment // boundary pieces of the union
+	// Lazily computed caches (valid when the matching have* flag is set;
+	// the backing arrays are reused across Reset cycles).
+	disjoint     []Rect    // disjoint decomposition of the union
+	boundary     []Segment // boundary pieces of the union
+	haveDisjoint bool
+	haveBoundary bool
+
+	// Strip-bucketed indexes over the caches above (built lazily on top
+	// of them, invalidated together with them).
+	boundIdx stripIndex // x-strips over boundary segments
+	disjIdx  stripIndex // x-strips over disjoint rects
+
+	// Reusable scratch for the cache builders and CoversRect.
+	xs, ys []float64
+	diff   []int32
+	cov    []interval
 }
 
 // NewRectUnion builds a union from the given rectangles, dropping
@@ -31,18 +59,34 @@ func NewRectUnion(rects ...Rect) *RectUnion {
 	return u
 }
 
+// Reset empties the union for reuse, keeping every internal allocation
+// (member storage, cache arrays, index buckets, scratch). This is the
+// hot-path entry point: a per-client RectUnion is Reset once per query
+// instead of reallocated.
+func (u *RectUnion) Reset() {
+	u.rects = u.rects[:0]
+	u.invalidate()
+}
+
+func (u *RectUnion) invalidate() {
+	u.haveDisjoint = false
+	u.haveBoundary = false
+	u.boundIdx.built = false
+	u.disjIdx.built = false
+}
+
 // Add inserts another rectangle into the union.
 func (u *RectUnion) Add(r Rect) {
 	if r.Empty() || !r.Valid() {
 		return
 	}
 	u.rects = append(u.rects, r)
-	u.disjoint = nil
-	u.boundary = nil
+	u.invalidate()
 }
 
 // Rects returns the member rectangles as provided (possibly overlapping).
-// The returned slice must not be modified.
+// The returned slice must not be modified and is invalidated by Add or
+// Reset.
 func (u *RectUnion) Rects() []Rect { return u.rects }
 
 // Len returns the number of member rectangles.
@@ -90,27 +134,39 @@ func (u *RectUnion) Area() float64 {
 // difference array, and a per-row prefix sum merges covered cells into
 // horizontal strips. Total cost is O(n log n + n·rows + cells), which
 // keeps the merged-verified-region math cheap even with a hundred peer
-// regions per query.
+// regions per query. The returned slice is invalidated by Add or Reset.
 func (u *RectUnion) Disjoint() []Rect {
-	if u.disjoint != nil || len(u.rects) == 0 {
+	if len(u.rects) == 0 {
+		return nil
+	}
+	if u.haveDisjoint {
 		return u.disjoint
 	}
-	xs := make([]float64, 0, 2*len(u.rects))
-	ys := make([]float64, 0, 2*len(u.rects))
+	xs, ys := u.xs[:0], u.ys[:0]
 	for _, r := range u.rects {
 		xs = append(xs, r.Min.X, r.Max.X)
 		ys = append(ys, r.Min.Y, r.Max.Y)
 	}
 	xs = dedupSorted(xs)
 	ys = dedupSorted(ys)
+	u.xs, u.ys = xs, ys
 	nx, ny := len(xs)-1, len(ys)-1
 	if nx <= 0 || ny <= 0 {
+		u.disjoint = u.disjoint[:0]
+		u.haveDisjoint = true
 		return nil
 	}
 
 	// Per-row difference array over cell columns; rect coordinates are
 	// exact members of xs/ys, so the index lookups are exact.
-	diff := make([]int32, ny*(nx+1))
+	n := ny * (nx + 1)
+	if cap(u.diff) < n {
+		u.diff = make([]int32, n)
+	} else {
+		u.diff = u.diff[:n]
+		clear(u.diff)
+	}
+	diff := u.diff
 	for _, r := range u.rects {
 		x0 := sort.SearchFloat64s(xs, r.Min.X)
 		x1 := sort.SearchFloat64s(xs, r.Max.X)
@@ -122,7 +178,7 @@ func (u *RectUnion) Disjoint() []Rect {
 		}
 	}
 
-	var out []Rect
+	out := u.disjoint[:0]
 	for j := 0; j < ny; j++ {
 		row := diff[j*(nx+1) : (j+1)*(nx+1)]
 		depth := int32(0)
@@ -143,41 +199,99 @@ func (u *RectUnion) Disjoint() []Rect {
 		}
 	}
 	u.disjoint = out
+	u.haveDisjoint = true
 	return out
 }
 
 // Boundary returns the boundary of the union as a set of axis-parallel
 // segments. A portion of a member rectangle's edge belongs to the union
-// boundary exactly when no other member covers its outward side.
+// boundary exactly when no other member covers its outward side. The
+// returned slice is invalidated by Add or Reset.
 func (u *RectUnion) Boundary() []Segment {
-	if u.boundary != nil || len(u.rects) == 0 {
+	if len(u.rects) == 0 {
+		return nil
+	}
+	if u.haveBoundary {
 		return u.boundary
 	}
-	var out []Segment
+	u.boundary = u.boundary[:0]
 	for i, r := range u.rects {
 		// Bottom edge (outward = -Y): covered where another rect spans
 		// the y just below.
-		out = appendEdgePieces(out, u.rects, i, r.Min.Y, r.Min.X, r.Max.X, true, outwardBelow)
+		u.appendEdgePieces(i, r.Min.Y, r.Min.X, r.Max.X, true, outwardBelow)
 		// Top edge (outward = +Y).
-		out = appendEdgePieces(out, u.rects, i, r.Max.Y, r.Min.X, r.Max.X, true, outwardAbove)
+		u.appendEdgePieces(i, r.Max.Y, r.Min.X, r.Max.X, true, outwardAbove)
 		// Left edge (outward = -X).
-		out = appendEdgePieces(out, u.rects, i, r.Min.X, r.Min.Y, r.Max.Y, false, outwardBelow)
+		u.appendEdgePieces(i, r.Min.X, r.Min.Y, r.Max.Y, false, outwardBelow)
 		// Right edge (outward = +X).
-		out = appendEdgePieces(out, u.rects, i, r.Max.X, r.Min.Y, r.Max.Y, false, outwardAbove)
+		u.appendEdgePieces(i, r.Max.X, r.Min.Y, r.Max.Y, false, outwardAbove)
 	}
-	u.boundary = out
-	return out
+	u.haveBoundary = true
+	return u.boundary
 }
 
 // BoundaryDist returns the minimum Euclidean distance from p to the
 // boundary of the union. For p inside the union this is the clearance
 // radius (‖q, e_s‖ in the NNV algorithm); for p outside it is the distance
 // to the union. It returns +Inf for an empty union.
+//
+// Large boundaries are pruned through an x-strip index: strips are
+// visited outward from p's strip and the search stops as soon as the
+// horizontal distance to the next strip already exceeds the best segment
+// distance found (the horizontal distance lower-bounds the true segment
+// distance, so no unvisited strip can improve the result).
 func (u *RectUnion) BoundaryDist(p Point) float64 {
+	segs := u.Boundary()
 	best := math.Inf(1)
-	for _, s := range u.Boundary() {
-		if d := s.Dist(p); d < best {
-			best = d
+	if len(segs) < boundaryIndexMin {
+		for _, s := range segs {
+			if d := s.Dist(p); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	if !u.boundIdx.built {
+		u.boundIdx.build(len(segs), func(i int) (float64, float64) {
+			a, b := segs[i].A.X, segs[i].B.X
+			if a > b {
+				a, b = b, a
+			}
+			return a, b
+		})
+	}
+	si := &u.boundIdx
+	c := si.bucketOf(p.X)
+	for d := 0; ; d++ {
+		l, r := c-d, c+d
+		if l < 0 && r >= si.n {
+			break
+		}
+		lb := math.Inf(1)
+		if l >= 0 {
+			lb = si.stripLB(l, p.X)
+		}
+		if r < si.n && r != l {
+			if v := si.stripLB(r, p.X); v < lb {
+				lb = v
+			}
+		}
+		if lb >= best {
+			break
+		}
+		if l >= 0 && si.stripLB(l, p.X) < best {
+			for _, i := range si.buckets[l] {
+				if dd := segs[i].Dist(p); dd < best {
+					best = dd
+				}
+			}
+		}
+		if r < si.n && r != l && si.stripLB(r, p.X) < best {
+			for _, i := range si.buckets[r] {
+				if dd := segs[i].Dist(p); dd < best {
+					best = dd
+				}
+			}
 		}
 	}
 	return best
@@ -195,12 +309,47 @@ func (u *RectUnion) Clearance(p Point) (float64, bool) {
 }
 
 // CoversRect reports whether rectangle w is entirely inside the union —
-// the SBWQ full-coverage test (query window answered locally).
+// the SBWQ full-coverage test (query window answered locally). It walks
+// the compressed grid induced by the member coordinates inside w and
+// returns false at the first uncovered cell, allocating nothing in the
+// steady state (the grid scratch is reused).
 func (u *RectUnion) CoversRect(w Rect) bool {
 	if w.Empty() {
 		return u.Contains(w.Min)
 	}
-	return len(SubtractRect(w, u.rects)) == 0
+	xs, ys := u.xs[:0], u.ys[:0]
+	xs = append(xs, w.Min.X, w.Max.X)
+	ys = append(ys, w.Min.Y, w.Max.Y)
+	for _, r := range u.rects {
+		if !r.Intersects(w) {
+			continue
+		}
+		if r.Min.X > w.Min.X && r.Min.X < w.Max.X {
+			xs = append(xs, r.Min.X)
+		}
+		if r.Max.X > w.Min.X && r.Max.X < w.Max.X {
+			xs = append(xs, r.Max.X)
+		}
+		if r.Min.Y > w.Min.Y && r.Min.Y < w.Max.Y {
+			ys = append(ys, r.Min.Y)
+		}
+		if r.Max.Y > w.Min.Y && r.Max.Y < w.Max.Y {
+			ys = append(ys, r.Max.Y)
+		}
+	}
+	xs = dedupSorted(xs)
+	ys = dedupSorted(ys)
+	u.xs, u.ys = xs, ys
+	for j := 0; j+1 < len(ys); j++ {
+		ymid := (ys[j] + ys[j+1]) / 2
+		for i := 0; i+1 < len(xs); i++ {
+			xmid := (xs[i] + xs[i+1]) / 2
+			if !u.Contains(Point{xmid, ymid}) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // IntersectRectArea returns the exact area of w ∩ union.
@@ -217,17 +366,50 @@ func (u *RectUnion) IntersectRectArea(w Rect) float64 {
 // IntersectCircleArea returns the exact area of the intersection between
 // the disk (c, radius) and the union. It underlies the unverified-region
 // area of Lemma 3.2: u = π r² − IntersectCircleArea(q, r).
+//
+// Large decompositions are pruned through an x-strip index over the
+// disjoint rects: only strips overlapping [c.X−r, c.X+r] are visited, and
+// a rect spanning several strips is counted exactly once (in the first
+// visited strip it appears in).
 func (u *RectUnion) IntersectCircleArea(c Point, radius float64) float64 {
 	if radius <= 0 {
 		return 0
 	}
+	dis := u.Disjoint()
 	total := 0.0
 	mbr := RectAround(c, radius)
-	for _, d := range u.Disjoint() {
-		if !d.Intersects(mbr) {
-			continue
+	if len(dis) < disjointIndexMin {
+		for _, d := range dis {
+			if !d.Intersects(mbr) {
+				continue
+			}
+			total += CircleRectArea(c, radius, d)
 		}
-		total += CircleRectArea(c, radius, d)
+		return total
+	}
+	if !u.disjIdx.built {
+		u.disjIdx.build(len(dis), func(i int) (float64, float64) {
+			return dis[i].Min.X, dis[i].Max.X
+		})
+	}
+	si := &u.disjIdx
+	b0 := si.bucketOf(c.X - radius)
+	b1 := si.bucketOf(c.X + radius)
+	for b := b0; b <= b1; b++ {
+		for _, idx := range si.buckets[b] {
+			d := dis[idx]
+			first := si.bucketOf(d.Min.X)
+			if first < b0 {
+				first = b0
+			}
+			if first != b {
+				continue // already counted in an earlier strip
+			}
+			if !d.Intersects(mbr) {
+				continue
+			}
+			total += CircleRectArea(c, radius, d)
+		}
 	}
 	return total
 }
@@ -310,6 +492,87 @@ func SubtractRect(w Rect, covers []Rect) []Rect {
 	return out
 }
 
+// stripIndex buckets items (boundary segments or disjoint rects) by
+// uniform x-strips over their collective extent. Buckets hold item
+// indices; an item overlapping several strips appears in each. The bucket
+// arrays are reused across rebuilds, so a Reset/Add/rebuild cycle
+// allocates nothing in the steady state.
+type stripIndex struct {
+	built bool
+	minX  float64
+	width float64
+	n     int
+	// buckets[0:n] hold the item indices per strip.
+	buckets [][]int32
+}
+
+// build indexes `count` items whose x-extent is given by span.
+func (si *stripIndex) build(count int, span func(i int) (lo, hi float64)) {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for i := 0; i < count; i++ {
+		lo, hi := span(i)
+		if lo < minX {
+			minX = lo
+		}
+		if hi > maxX {
+			maxX = hi
+		}
+	}
+	n := count / 4
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	width := (maxX - minX) / float64(n)
+	if !(width > 0) {
+		n, width = 1, 1
+	}
+	si.minX, si.width, si.n = minX, width, n
+	for len(si.buckets) < n {
+		si.buckets = append(si.buckets, nil)
+	}
+	for b := 0; b < n; b++ {
+		si.buckets[b] = si.buckets[b][:0]
+	}
+	for i := 0; i < count; i++ {
+		lo, hi := span(i)
+		b0, b1 := si.bucketOf(lo), si.bucketOf(hi)
+		for b := b0; b <= b1; b++ {
+			si.buckets[b] = append(si.buckets[b], int32(i))
+		}
+	}
+	si.built = true
+}
+
+// bucketOf maps an x coordinate to a strip, clamped to the index range.
+func (si *stripIndex) bucketOf(x float64) int {
+	b := int((x - si.minX) / si.width)
+	if b < 0 {
+		return 0
+	}
+	if b >= si.n {
+		return si.n - 1
+	}
+	return b
+}
+
+// stripLB is the horizontal distance from x to strip b's x-range — a
+// lower bound on the distance from any point with that x to any item
+// indexed in the strip.
+func (si *stripIndex) stripLB(b int, x float64) float64 {
+	lo := si.minX + float64(b)*si.width
+	hi := lo + si.width
+	if x < lo {
+		return lo - x
+	}
+	if x > hi {
+		return x - hi
+	}
+	return 0
+}
+
 // outwardBelow/outwardAbove select which side of an edge is "outward" for
 // coverage testing in appendEdgePieces.
 const (
@@ -317,18 +580,20 @@ const (
 	outwardAbove        // outward side has larger coordinate (top/right edges)
 )
 
-// appendEdgePieces appends to out the sub-segments of one rectangle edge
-// that lie on the union boundary. The edge is at fixed coordinate `level`
-// on the perpendicular axis and spans [lo, hi] on the parallel axis.
-// horizontal selects edge orientation; side selects the outward direction.
-func appendEdgePieces(out []Segment, rects []Rect, self int, level, lo, hi float64, horizontal bool, side int) []Segment {
+// appendEdgePieces appends to u.boundary the sub-segments of one
+// rectangle edge that lie on the union boundary. The edge is at fixed
+// coordinate `level` on the perpendicular axis and spans [lo, hi] on the
+// parallel axis. horizontal selects edge orientation; side selects the
+// outward direction. The covering-interval scratch is reused across
+// calls.
+func (u *RectUnion) appendEdgePieces(self int, level, lo, hi float64, horizontal bool, side int) {
 	if lo >= hi {
-		return out
+		return
 	}
 	// Collect the intervals of [lo, hi] whose outward side is covered by
 	// another rectangle: such portions are interior to the union.
-	var cov []interval
-	for j, s := range rects {
+	cov := u.cov[:0]
+	for j, s := range u.rects {
 		if j == self {
 			continue
 		}
@@ -356,28 +621,68 @@ func appendEdgePieces(out []Segment, rects []Rect, self int, level, lo, hi float
 			cov = append(cov, interval{a, b})
 		}
 	}
-	for _, piece := range subtractIntervals(interval{lo, hi}, cov) {
-		var seg Segment
-		if horizontal {
-			seg = Segment{Point{piece.a, level}, Point{piece.b, level}}
-		} else {
-			seg = Segment{Point{level, piece.a}, Point{level, piece.b}}
+	u.cov = cov
+	sortIntervals(cov)
+
+	// Emit the uncovered leftovers of [lo, hi] directly.
+	cursor := lo
+	for _, c := range cov {
+		if c.b <= cursor {
+			continue
 		}
-		out = append(out, seg)
+		if c.a > cursor {
+			end := math.Min(c.a, hi)
+			if end > cursor {
+				u.emitPiece(cursor, end, level, horizontal)
+			}
+		}
+		if c.b > cursor {
+			cursor = c.b
+		}
+		if cursor >= hi {
+			return
+		}
 	}
-	return out
+	if cursor < hi {
+		u.emitPiece(cursor, hi, level, horizontal)
+	}
+}
+
+// emitPiece appends one boundary sub-segment.
+func (u *RectUnion) emitPiece(a, b, level float64, horizontal bool) {
+	if horizontal {
+		u.boundary = append(u.boundary, Segment{Point{a, level}, Point{b, level}})
+	} else {
+		u.boundary = append(u.boundary, Segment{Point{level, a}, Point{level, b}})
+	}
 }
 
 type interval struct{ a, b float64 }
 
+// sortIntervals orders intervals ascending by start without allocating
+// (insertion sort: covering lists are small — the peers overlapping one
+// edge).
+func sortIntervals(cov []interval) {
+	for i := 1; i < len(cov); i++ {
+		c := cov[i]
+		j := i - 1
+		for j >= 0 && cov[j].a > c.a {
+			cov[j+1] = cov[j]
+			j--
+		}
+		cov[j+1] = c
+	}
+}
+
 // subtractIntervals returns the parts of base not covered by any interval
 // in cov. The covering intervals are treated as closed; zero-length
-// leftovers are dropped.
+// leftovers are dropped. (Kept for tests and external callers; the
+// boundary builder subtracts inline to avoid the allocation.)
 func subtractIntervals(base interval, cov []interval) []interval {
 	if len(cov) == 0 {
 		return []interval{base}
 	}
-	sort.Slice(cov, func(i, j int) bool { return cov[i].a < cov[j].a })
+	sortIntervals(cov)
 	var out []interval
 	cursor := base.a
 	for _, c := range cov {

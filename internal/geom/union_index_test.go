@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomUnion builds a union of n random rects over a 100×100 area —
+// large enough that the strip indexes engage (n >= the index minimums).
+func randomUnion(rng *rand.Rand, n int) *RectUnion {
+	u := &RectUnion{}
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		w, h := 1+rng.Float64()*9, 1+rng.Float64()*9
+		u.Add(NewRect(x, y, x+w, y+h))
+	}
+	return u
+}
+
+// bruteBoundaryDist is the unpruned reference: scan every boundary
+// segment. Exact-equality reference for the strip-indexed search (min
+// over the same Dist values is order-independent).
+func bruteBoundaryDist(u *RectUnion, p Point) float64 {
+	best := math.Inf(1)
+	for _, s := range u.Boundary() {
+		if d := s.Dist(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// bruteCircleArea is the unpruned reference: sum CircleRectArea over
+// every disjoint rect.
+func bruteCircleArea(u *RectUnion, c Point, radius float64) float64 {
+	total := 0.0
+	mbr := RectAround(c, radius)
+	for _, d := range u.Disjoint() {
+		if !d.Intersects(mbr) {
+			continue
+		}
+		total += CircleRectArea(c, radius, d)
+	}
+	return total
+}
+
+// TestBoundaryDistIndexedMatchesBrute is the differential test for the
+// strip-indexed boundary search: on randomized unions big enough to
+// build the index, the pruned result must exactly equal the full scan.
+func TestBoundaryDistIndexedMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		u := randomUnion(rng, 30+rng.Intn(60))
+		if len(u.Boundary()) < boundaryIndexMin {
+			t.Fatalf("trial %d: union too small to engage the index (%d segs)", trial, len(u.Boundary()))
+		}
+		for i := 0; i < 50; i++ {
+			// Mix in-area points with far-outside ones (index edge buckets).
+			p := Pt(rng.Float64()*140-20, rng.Float64()*140-20)
+			got := u.BoundaryDist(p)
+			want := bruteBoundaryDist(u, p)
+			if got != want {
+				t.Fatalf("trial %d: BoundaryDist(%v) = %v, brute = %v", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// TestIntersectCircleAreaIndexedMatchesBrute checks the strip-pruned
+// circle-area sum against the full scan. Summation order differs, so a
+// tiny relative tolerance absorbs float reassociation.
+func TestIntersectCircleAreaIndexedMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 30; trial++ {
+		u := randomUnion(rng, 30+rng.Intn(60))
+		if len(u.Disjoint()) < disjointIndexMin {
+			continue // decomposition merged below the index threshold; nothing to test
+		}
+		for i := 0; i < 40; i++ {
+			c := Pt(rng.Float64()*120-10, rng.Float64()*120-10)
+			r := rng.Float64() * 30
+			got := u.IntersectCircleArea(c, r)
+			want := bruteCircleArea(u, c, r)
+			tol := 1e-9 * math.Max(1, want)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("trial %d: IntersectCircleArea(%v, %v) = %v, brute = %v", trial, c, r, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexSurvivesReset checks the invalidate/rebuild cycle: mutating
+// the union after queries must produce the same answers as a fresh one.
+func TestIndexSurvivesReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	u := randomUnion(rng, 64)
+	p := Pt(50, 50)
+	_ = u.BoundaryDist(p) // build indexes
+	_ = u.IntersectCircleArea(p, 20)
+
+	// Mutate: reset and load a different union into the same instance.
+	rects := make([]Rect, 0, 40)
+	for i := 0; i < 40; i++ {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		rects = append(rects, NewRect(x, y, x+5, y+5))
+	}
+	u.Reset()
+	fresh := &RectUnion{}
+	for _, r := range rects {
+		u.Add(r)
+		fresh.Add(r)
+	}
+	for i := 0; i < 50; i++ {
+		q := Pt(rng.Float64()*100, rng.Float64()*100)
+		if got, want := u.BoundaryDist(q), fresh.BoundaryDist(q); got != want {
+			t.Fatalf("reused union BoundaryDist(%v) = %v, fresh = %v", q, got, want)
+		}
+		r := rng.Float64() * 25
+		got, want := u.IntersectCircleArea(q, r), fresh.IntersectCircleArea(q, r)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("reused union IntersectCircleArea(%v, %v) = %v, fresh = %v", q, r, got, want)
+		}
+	}
+}

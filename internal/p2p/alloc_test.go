@@ -1,0 +1,31 @@
+//go:build !race
+
+// Steady-state allocation assertion for the buffer-reuse neighbor
+// lookup. Excluded under the race detector, which instruments
+// allocations and breaks AllocsPerRun counts.
+
+package p2p
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbsq/internal/geom"
+)
+
+// TestAppendNeighborsZeroAllocs pins the zero-allocation contract of
+// the warm single-hop lookup — the per-query path of every simulated
+// host. The reflect.DeepEqual comparison in append_test.go guarantees
+// it is the same answer; this guarantees it is free.
+func TestAppendNeighborsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := buildNet(t, rng, 1000)
+	q := geom.Pt(500, 500)
+	buf := net.AppendNeighbors(nil, q, 150, -1) // warm to capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = net.AppendNeighbors(buf[:0], q, 150, -1)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendNeighbors allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -158,8 +158,17 @@ func (n *Network) Position(id int) (geom.Point, bool) {
 // excluding `exclude` (pass a negative value to exclude nobody). The
 // result order is unspecified but deterministic for a fixed state.
 func (n *Network) Neighbors(q geom.Point, radius float64, exclude int) []int {
+	return n.AppendNeighbors(nil, q, radius, exclude)
+}
+
+// AppendNeighbors appends the IDs of every registered host within
+// `radius` of q (excluding `exclude`) to dst and returns the extended
+// slice — the zero-allocation variant of Neighbors for callers that keep
+// a reusable buffer (pass dst[:0] to reuse its capacity). The append
+// order is identical to Neighbors.
+func (n *Network) AppendNeighbors(dst []int, q geom.Point, radius float64, exclude int) []int {
 	if radius <= 0 {
-		return nil
+		return dst
 	}
 	r2 := radius * radius
 	cx0 := int((q.X - radius - n.area.Min.X) / n.cellSize)
@@ -178,7 +187,6 @@ func (n *Network) Neighbors(q geom.Point, radius float64, exclude int) []int {
 	if cy1 >= n.rows {
 		cy1 = n.rows - 1
 	}
-	var out []int
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
 			for _, id := range n.cells[cy*n.cols+cx] {
@@ -186,12 +194,12 @@ func (n *Network) Neighbors(q geom.Point, radius float64, exclude int) []int {
 					continue
 				}
 				if n.pos[id].DistSq(q) <= r2 {
-					out = append(out, int(id))
+					dst = append(dst, int(id))
 				}
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // RecordExchange tallies one request that reached `replies` peers.
@@ -208,12 +216,20 @@ func (n *Network) RecordExchange(replies int) {
 // single-hop sharing (its cooperative-caching citations [4, 5] relay
 // across hops); it trades extra ad-hoc traffic for reach in sparse areas.
 func (n *Network) NeighborsMultiHop(q geom.Point, radius float64, hops, exclude int) []int {
+	return n.AppendNeighborsMultiHop(nil, q, radius, hops, exclude)
+}
+
+// AppendNeighborsMultiHop is NeighborsMultiHop appending into a
+// caller-owned buffer (pass dst[:0] to reuse capacity). The single-hop
+// default path allocates nothing; multi-hop frontiers still allocate
+// their dedup state, which only non-default configurations pay for.
+func (n *Network) AppendNeighborsMultiHop(dst []int, q geom.Point, radius float64, hops, exclude int) []int {
 	if hops <= 1 {
-		return n.Neighbors(q, radius, exclude)
+		return n.AppendNeighbors(dst, q, radius, exclude)
 	}
 	seen := make(map[int]bool)
 	frontier := n.Neighbors(q, radius, exclude)
-	var out []int
+	out := dst
 	for _, id := range frontier {
 		if !seen[id] {
 			seen[id] = true

@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"lbsq/internal/sim"
+	"lbsq/internal/sweep"
+)
+
+// FaultCell is one cell of the fault/resilience benchmark grid: a
+// symmetric request/reply loss rate, with or without the resilient
+// query lifecycle (bounded retries, churn, deadlines, breakers).
+type FaultCell struct {
+	Loss      float64
+	Resilient bool
+}
+
+// FaultGrid returns the standard grid `make bench` sweeps: loss rates
+// {0, 0.05, 0.1, 0.2}, first with the blind retry loop of the fault
+// layer, then with the full resilient lifecycle. The cell order (and
+// therefore the BENCH_faults.json row order) matches the historical
+// shell loop, so downstream row consumers keep working.
+func FaultGrid() []FaultCell {
+	rates := []float64{0, 0.05, 0.1, 0.2}
+	cells := make([]FaultCell, 0, 2*len(rates))
+	for _, p := range rates {
+		cells = append(cells, FaultCell{Loss: p})
+	}
+	for _, p := range rates {
+		cells = append(cells, FaultCell{Loss: p, Resilient: true})
+	}
+	return cells
+}
+
+// Params resolves a cell into full simulation parameters at the given
+// scale (the historical grid ran -side 2 -hours 0.1 on the LA set).
+// The non-fault knobs replicate lbsq-sim's flag defaults so the rows
+// stay value-identical to the former `go run`-per-cell shell loop.
+func (c FaultCell) Params(side, hours float64) sim.Params {
+	p := sim.LACity().Scaled(side).WithDuration(hours)
+	p.TimeStepSec = 10
+	p.Seed = 42
+	p.AcceptApproximate = true
+	p.SharingHops = 1
+	p.POITypes = 1
+	p.PrefillQueriesPerHost = 10
+	p.Faults.RequestLoss = c.Loss
+	p.Faults.ReplyLoss = c.Loss
+	if c.Resilient {
+		p.Faults.MaxRetries = 4
+		p.Faults.ChurnRate = 0.1
+		p.DeadlineSlots = 16
+		p.BreakerThreshold = 3
+		p.BreakerCooldown = 8
+	}
+	return p
+}
+
+// RunFaultGrid runs every grid cell through the sweep engine with the
+// ground-truth self-check enabled and returns one Report per cell, in
+// grid order. Every worker count produces identical rows apart from the
+// nondeterministic wall_seconds field (each cell owns its seeded
+// world). A self-check failure in any cell is returned as an error.
+func RunFaultGrid(workers int, side, hours float64) ([]sim.Report, error) {
+	type cellOut struct {
+		rep sim.Report
+		err error
+	}
+	outs := sweep.Map(workers, FaultGrid(), func(_ int, c FaultCell) cellOut {
+		p := c.Params(side, hours)
+		w, err := sim.NewWorld(p)
+		if err != nil {
+			return cellOut{err: fmt.Errorf("perf: fault grid cell %+v: %w", c, err)}
+		}
+		w.SelfCheck = true
+		start := time.Now()
+		stats := w.Run()
+		elapsed := time.Since(start).Seconds()
+		if err := w.SelfCheckErr(); err != nil {
+			return cellOut{err: fmt.Errorf("perf: fault grid cell %+v self-check: %w", c, err)}
+		}
+		return cellOut{rep: sim.NewReport(p, stats, true, elapsed)}
+	})
+	reports := make([]sim.Report, 0, len(outs))
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		reports = append(reports, o.rep)
+	}
+	return reports, nil
+}

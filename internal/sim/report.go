@@ -1,0 +1,94 @@
+package sim
+
+// Report is the machine-readable run record the `-json` flag of
+// lbsq-sim (and every in-process bench cell) emits: the resolved
+// configuration, the full Stats struct, and the derived rates the human
+// report prints. One compact object per line, so appending runs
+// produces valid JSONL (see `make bench`).
+//
+// BenchSchema versions the row format: consumers should skip rows whose
+// schema they do not understand. Version 1 was the pre-schema format
+// (no bench_schema field); version 2 added the field itself, with every
+// other key unchanged, so v1 consumers keep working on v2 rows.
+type Report struct {
+	BenchSchema     int     `json:"bench_schema"`
+	Set             string  `json:"set"`
+	Kind            string  `json:"kind"`
+	Seed            int64   `json:"seed"`
+	AreaMiles       float64 `json:"area_miles"`
+	DurationHours   float64 `json:"duration_hours"`
+	MHNumber        int     `json:"mh_number"`
+	POINumber       int     `json:"poi_number"`
+	QueryRate       float64 `json:"query_rate"`
+	TxRangeMeters   float64 `json:"tx_range_meters"`
+	CacheSize       int     `json:"cache_size"`
+	K               int     `json:"k"`
+	WindowPct       float64 `json:"window_pct"`
+	Faults          any     `json:"faults"`
+	DeadlineSlots   int     `json:"deadline_slots"`
+	BreakerThresh   int     `json:"breaker_threshold"`
+	BreakerCooldown int64   `json:"breaker_cooldown"`
+	SelfCheck       bool    `json:"self_check_passed"`
+	Stats           Stats   `json:"stats"`
+	Derived         Derived `json:"derived"`
+	// WallSeconds is the host wall-clock cost of the run. It is the one
+	// nondeterministic field; byte-identity comparisons must zero it
+	// first (see internal/perf).
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// BenchSchemaVersion is the Report row format emitted by this build.
+const BenchSchemaVersion = 2
+
+// Derived holds the rates the human-readable report prints, precomputed
+// so JSONL consumers need no knowledge of the Stats accessor methods.
+type Derived struct {
+	VerifiedPct            float64 `json:"verified_pct"`
+	ApproximatePct         float64 `json:"approximate_pct"`
+	BroadcastPct           float64 `json:"broadcast_pct"`
+	AvgPeers               float64 `json:"avg_peers"`
+	AvgLatencySlots        float64 `json:"avg_latency_slots"`
+	AvgTuningSlots         float64 `json:"avg_tuning_slots"`
+	MeanSystemLatencySlots float64 `json:"mean_system_latency_slots"`
+	AvgPeerBytes           float64 `json:"avg_peer_bytes"`
+	FaultEvents            int64   `json:"fault_events"`
+	ResilienceEvents       int64   `json:"resilience_events"`
+}
+
+// NewReport assembles the Report for a finished run.
+func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Report {
+	return Report{
+		BenchSchema:     BenchSchemaVersion,
+		Set:             p.Name,
+		Kind:            p.Kind.String(),
+		Seed:            p.Seed,
+		AreaMiles:       p.AreaMiles,
+		DurationHours:   p.DurationHours,
+		MHNumber:        p.MHNumber,
+		POINumber:       p.POINumber,
+		QueryRate:       p.QueryRate,
+		TxRangeMeters:   p.TxRangeMeters,
+		CacheSize:       p.CacheSize,
+		K:               p.K,
+		WindowPct:       p.WindowPct,
+		Faults:          p.Faults,
+		DeadlineSlots:   p.DeadlineSlots,
+		BreakerThresh:   p.BreakerThreshold,
+		BreakerCooldown: p.BreakerCooldown,
+		SelfCheck:       selfChecked,
+		Stats:           stats,
+		Derived: Derived{
+			VerifiedPct:            stats.VerifiedPct(),
+			ApproximatePct:         stats.ApproximatePct(),
+			BroadcastPct:           stats.BroadcastPct(),
+			AvgPeers:               stats.AvgPeers(),
+			AvgLatencySlots:        stats.AvgLatencySlots(),
+			AvgTuningSlots:         stats.AvgTuningSlots(),
+			MeanSystemLatencySlots: stats.MeanSystemLatencySlots(),
+			AvgPeerBytes:           stats.AvgPeerBytes(),
+			FaultEvents:            stats.FaultEvents(),
+			ResilienceEvents:       stats.ResilienceEvents(),
+		},
+		WallSeconds: wallSeconds,
+	}
+}

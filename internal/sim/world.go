@@ -60,8 +60,46 @@ type World struct {
 	durationSec float64
 	warmupSec   float64
 
+	// qs is the World-owned query scratch: every per-query buffer of the
+	// hot path (neighbor IDs, heard lists, PeerData collection, retry
+	// targets, reply staging, and the core algorithm scratch) lives here
+	// and is reused across queries. Queries within one World run strictly
+	// sequentially, so no synchronization is needed; parallel sweeps give
+	// every cell its own World and therefore its own scratch.
+	qs queryScratch
+
 	stats        Stats
 	selfCheckErr error
+}
+
+// queryScratch holds the per-World reusable buffers of the query path.
+// Aliasing contract: core.PeerData entries alias live cache storage for
+// the duration of one query only, and the core algorithms copy every
+// candidate before returning (see core.PeerData); all other buffers are
+// consumed before the query completes.
+type queryScratch struct {
+	ids     []int           // neighbor lookup buffer
+	heard   []int           // per-attempt heard list (legacy) / heard target indexes (resilient)
+	peers   []core.PeerData // collected verified regions
+	targets []collectTarget // resilient lifecycle per-peer state
+	shared  []sharedRegion  // receiveReply staging
+	regs    []wire.Region   // wire-encoding staging (damaged-reply path)
+	core    core.Scratch    // NNV/SBNN/SBWQ hot-path scratch
+}
+
+// collectTarget is one addressed peer's state during the resilient
+// collection lifecycle.
+type collectTarget struct {
+	id       int
+	departed bool // churned away (the querier cannot know)
+	resolved bool // replied with content or a null ack
+}
+
+// sharedRegion is one cache region a peer serves in a reply, with its
+// staleness fate drawn from the injector.
+type sharedRegion struct {
+	region cache.Region
+	stale  bool
 }
 
 type host struct {
@@ -375,7 +413,8 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 	if hops < 1 {
 		hops = 1
 	}
-	ids := w.net.NeighborsMultiHop(q, w.Params.TxRangeMiles(), hops, idx)
+	ids := w.net.AppendNeighborsMultiHop(w.qs.ids[:0], q, w.Params.TxRangeMiles(), hops, idx)
+	w.qs.ids = ids
 
 	// Request phase: who heard the broadcast? Without faults everyone
 	// does, in one attempt, exactly as the ideal model.
@@ -384,12 +423,13 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 	if w.inj.Enabled() && len(ids) > 0 {
 		maxAttempts := 1 + w.inj.Profile().MaxRetries
 		for {
-			var h []int
+			h := w.qs.heard[:0]
 			for _, id := range ids {
 				if w.inj.RequestHeard() {
 					h = append(h, id)
 				}
 			}
+			w.qs.heard = h
 			heard = h
 			if len(heard) > 0 || attempts >= maxAttempts {
 				break
@@ -406,7 +446,7 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 		w.stats.PeerBytes += int64(attempts) * int64(wire.RequestSize)
 	}
 
-	var peers []core.PeerData
+	peers := w.qs.peers[:0]
 	stamp := int64(w.nowSec)
 	if w.Params.UseOwnCache {
 		// The host's own cache is a zero-cost "peer": no wire traffic, no
@@ -420,6 +460,7 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 	for _, id := range heard {
 		peers, _ = w.receiveReply(peers, id, ti, relevance, stamp, count)
 	}
+	w.qs.peers = peers
 	return peers, len(ids)
 }
 
@@ -465,7 +506,8 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 	if hops < 1 {
 		hops = 1
 	}
-	ids := w.net.NeighborsMultiHop(q, w.Params.TxRangeMiles(), hops, idx)
+	ids := w.net.AppendNeighborsMultiHop(w.qs.ids[:0], q, w.Params.TxRangeMiles(), hops, idx)
+	w.qs.ids = ids
 	nPeers := len(ids)
 
 	// One query's P2P phase is one breaker cycle.
@@ -473,7 +515,7 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 
 	count := w.counted()
 	stamp := int64(w.nowSec)
-	var peers []core.PeerData
+	peers := w.qs.peers[:0]
 	if w.Params.UseOwnCache {
 		// The host's own cache is a zero-cost "peer": no wire traffic, no
 		// transport faults, no staleness, no breaker.
@@ -485,17 +527,13 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 	}
 
 	// Breaker gate: quarantined peers cost nothing this query.
-	type target struct {
-		id       int
-		departed bool // churned away (the querier cannot know)
-		resolved bool // replied with content or a null ack
-	}
-	targets := make([]target, 0, len(ids))
+	targets := w.qs.targets[:0]
 	for _, id := range ids {
 		if w.breakers.Allow(id) {
-			targets = append(targets, target{id: id})
+			targets = append(targets, collectTarget{id: id})
 		}
 	}
+	w.qs.targets = targets
 
 	maxAttempts := 1 + w.inj.Profile().MaxRetries
 	deadline := int64(w.Params.DeadlineSlots)
@@ -522,7 +560,7 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 			w.stats.PeerBytes += int64(wire.RequestSize)
 		}
 
-		var heard []int // indices into targets
+		heard := w.qs.heard[:0] // indices into targets
 		for i := range targets {
 			t := &targets[i]
 			if t.resolved {
@@ -540,6 +578,7 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 				heard = append(heard, i)
 			}
 		}
+		w.qs.heard = heard
 
 		// Churn window between the request and the reply deliveries:
 		// present peers may power off or drift away, departed peers may
@@ -602,6 +641,7 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 		}
 	}
 	w.stats.BackoffSlots += spent
+	w.qs.peers = peers
 	return peers, nPeers, spent
 }
 
@@ -642,11 +682,10 @@ type replyOutcome struct {
 // byte-for-byte the ideal exchange.
 func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.Rect, stamp int64, count bool) ([]core.PeerData, replyOutcome) {
 	c := w.hosts[id].caches[ti]
-	type sharedRegion struct {
-		region cache.Region
-		stale  bool
-	}
-	var shared []sharedRegion
+	// shared stages the served regions in World scratch; its contents are
+	// consumed (copied into PeerData values or wire frames) before this
+	// function returns, so reuse across replies is safe.
+	shared := w.qs.shared[:0]
 	for ri, r := range c.Regions() {
 		if !r.Rect.Intersects(relevance) {
 			continue
@@ -656,6 +695,7 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 		c.Touch(ri, stamp)
 		shared = append(shared, sharedRegion{region: r, stale: w.inj.StaleVR()})
 	}
+	w.qs.shared = shared
 	if len(shared) == 0 {
 		return peers, replyOutcome{kind: replySilent} // nothing relevant: the peer stays silent
 	}
@@ -701,10 +741,11 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 		// trailer rejects the frame and the query degrades; in the
 		// astronomically unlikely event the damage passes every check,
 		// the decoded content is used like any delivered reply.
-		regs := make([]wire.Region, len(shared))
-		for i, s := range shared {
-			regs[i] = wire.Region{Rect: s.region.Rect, POIs: s.region.POIs}
+		regs := w.qs.regs[:0]
+		for _, s := range shared {
+			regs = append(regs, wire.Region{Rect: s.region.Rect, POIs: s.region.POIs})
 		}
+		w.qs.regs = regs
 		w.queryID++
 		enc, err := wire.EncodeReply(wire.Reply{QueryID: w.queryID, Regions: regs})
 		if err != nil {
@@ -782,8 +823,10 @@ func (w *World) runKNNQuery(idx, ti int) {
 		MinCorrectness:    w.Params.MinCorrectness,
 	}
 	// Slots spent in retry backoff delay the client's arrival on the
-	// broadcast channel (spent is zero on the legacy path).
-	res := core.SBNN(q, peers, cfg, ts.sched, w.slotNow()+spent)
+	// broadcast channel (spent is zero on the legacy path). The World
+	// scratch keeps the per-query hot path allocation-free; the result
+	// aliases the scratch and is fully consumed before the next query.
+	res := core.SBNNScratch(&w.qs.core, q, peers, cfg, ts.sched, w.slotNow()+spent)
 
 	if w.counted() {
 		w.stats.Queries++
@@ -837,7 +880,7 @@ func (w *World) runWindowQuery(idx, ti int) {
 	cfg := core.SBWQConfig{
 		MaxKnownArea: 1.5 * float64(w.Params.CacheSize) / math.Max(ts.lambda, 1e-9),
 	}
-	res := core.SBWQWithConfig(q, win, peers, cfg, ts.sched, w.slotNow()+spent)
+	res := core.SBWQScratch(&w.qs.core, q, win, peers, cfg, ts.sched, w.slotNow()+spent)
 
 	if w.counted() {
 		w.stats.Queries++

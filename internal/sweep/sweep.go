@@ -1,0 +1,80 @@
+// Package sweep is the deterministic parallel runner behind every
+// multi-cell experiment in the repository: figure regeneration, the
+// in-process bench grids, and any caller with independent parameter
+// cells to evaluate.
+//
+// Determinism contract: each cell is a closure owning all of its inputs
+// (its own seeded sim.World, RNG, and scratch — nothing shared), and
+// results are written into a slice indexed by cell position. The output
+// is therefore bit-identical to running the cells serially in order, no
+// matter how the scheduler interleaves workers. Callers must not smuggle
+// shared mutable state into cell closures; that is the one way to break
+// the contract.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: n >= 1 selects exactly n
+// workers, anything else (0 or negative, the "auto" request) selects
+// GOMAXPROCS. The result is always >= 1.
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run evaluates every cell and returns the results in cell order.
+// workers is the concurrency level (pass Workers(flagValue) to resolve
+// an "auto" request); 1 runs the cells serially on the calling
+// goroutine with zero synchronization overhead. Results are identical
+// either way — see the package determinism contract.
+func Run[T any](workers int, cells []func() T) []T {
+	results := make([]T, len(cells))
+	if len(cells) == 0 {
+		return results
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, cell := range cells {
+			results[i] = cell()
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				results[i] = cells[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Map runs f over every element of in across the given number of
+// workers and returns the outputs in input order. It is Run with the
+// cell closures built for the caller; f receives the element index and
+// value and must not touch state shared with other elements.
+func Map[In, Out any](workers int, in []In, f func(int, In) Out) []Out {
+	cells := make([]func() Out, len(in))
+	for i := range in {
+		i := i
+		cells[i] = func() Out { return f(i, in[i]) }
+	}
+	return Run(workers, cells)
+}

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestRunMatchesSerial is the engine-level determinism contract: for
+// every worker count the result slice is identical to the serial run,
+// including with cells that do real seeded work.
+func TestRunMatchesSerial(t *testing.T) {
+	const n = 37
+	makeCells := func() []func() uint64 {
+		cells := make([]func() uint64, n)
+		for i := range cells {
+			seed := int64(i + 1)
+			cells[i] = func() uint64 {
+				rng := rand.New(rand.NewSource(seed))
+				var sum uint64
+				for j := 0; j < 1000; j++ {
+					sum += rng.Uint64() >> 32
+				}
+				return sum
+			}
+		}
+		return cells
+	}
+	want := Run(1, makeCells())
+	for _, workers := range []int{2, 3, 4, 8, 64} {
+		got := Run(workers, makeCells())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Run(workers=%d) differs from serial", workers)
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if got := Run[int](4, nil); len(got) != 0 {
+		t.Fatalf("Run over nil cells: %v", got)
+	}
+	got := Run(4, []func() int{func() int { return 7 }})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single cell: %v", got)
+	}
+}
+
+// TestRunEveryCellOnce checks each cell executes exactly once even when
+// workers outnumber cells.
+func TestRunEveryCellOnce(t *testing.T) {
+	const n = 5
+	var counts [n]atomic.Int64
+	cells := make([]func() int, n)
+	for i := range cells {
+		i := i
+		cells[i] = func() int {
+			counts[i].Add(1)
+			return i
+		}
+	}
+	got := Run(16, cells)
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+		if got[i] != i {
+			t.Fatalf("result[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	in := []int{10, 20, 30, 40, 50, 60, 70}
+	got := Map(3, in, func(i, v int) int { return v*100 + i })
+	want := Map(1, in, func(i, v int) int { return v*100 + i })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Map parallel %v != serial %v", got, want)
+	}
+	if got[2] != 3002 {
+		t.Fatalf("Map index/value mismatch: %v", got)
+	}
+}
