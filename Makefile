@@ -1,10 +1,17 @@
 # lbsq build/verification entry points. `make verify` is the tier-1 gate
 # (see README.md): vet, build, race-enabled tests, and a fuzz smoke run
-# of the wire decoders. Everything is stdlib-only Go.
+# of the wire decoders. `make lint` and `make cover` are the fast CI
+# gates (formatting + vet, and per-package coverage floors). Everything
+# is stdlib-only Go.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race fuzz-smoke verify soak bench bench-hot bench-smoke
+# Packages that must stay above the coverage floor (see `make cover`).
+COVER_PKGS = internal/core internal/geom internal/metrics
+COVER_MIN ?= 70
+
+.PHONY: all build vet test race lint cover fuzz-smoke verify soak bench bench-hot bench-smoke
 
 all: build
 
@@ -23,12 +30,37 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# Fast static gates: gofmt (fails loudly listing unformatted files) and
+# go vet. CI runs this before anything expensive.
+lint:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "lint: gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@echo "lint: gofmt and vet clean"
+
+# Per-package statement-coverage floors, enforced by the stdlib-only
+# checker in cmd/lbsq-cover (no external tooling). The profile covers the
+# whole module so the floor list can grow without re-running tests.
+cover:
+	@mkdir -p results
+	$(GO) test -count=1 -coverprofile=results/cover.out ./...
+	$(GO) run ./cmd/lbsq-cover -profile results/cover.out -min $(COVER_MIN) $(COVER_PKGS)
+
 # Short native-fuzzing runs of the wire codecs: the decoders must survive
 # arbitrary bytes (the fault layer's truncation/corruption damage classes)
 # without panicking, and accepted inputs must round-trip canonically.
+# The seed corpus is part of the gate: a missing testdata corpus means the
+# fuzz targets silently lost their regression inputs, so fail loudly
+# instead of fuzzing from nothing. Explicit -timeout keeps a hung target
+# from stalling CI for go test's 10-minute default.
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzDecodeReply -fuzztime=5s ./internal/wire
-	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/wire
+	@if [ ! -d internal/wire/testdata/fuzz ]; then \
+		echo "fuzz-smoke: internal/wire/testdata/fuzz corpus missing"; exit 1; \
+	fi
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeReply -fuzztime=5s -timeout 5m ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s -timeout 5m ./internal/wire
 
 verify: vet build race fuzz-smoke
 	@echo "verify: all gates passed"

@@ -1,0 +1,182 @@
+// Command lbsq-cover enforces per-package statement-coverage floors on a
+// Go coverprofile — the stdlib-only coverage gate behind `make cover`.
+//
+// Usage:
+//
+//	lbsq-cover -profile cover.out [-min 70] [pkg ...]
+//
+// The profile is the output of `go test -coverprofile`. Each pkg argument
+// is an import-path suffix (e.g. internal/core); when none are given,
+// every package present in the profile is checked. The tool prints one
+// line per checked package and exits nonzero when any falls below the
+// floor, when a requested package has no statements in the profile, or
+// when the profile cannot be parsed.
+//
+// Coverage is computed the same way `go tool cover -func` totals it:
+// covered statements / total statements, weighting each profile block by
+// its NumStmt field. Mode "set" and the count modes are treated alike
+// (any nonzero count marks a block covered).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "coverprofile file from go test -coverprofile (required)")
+		minPct  = flag.Float64("min", 70, "minimum statement coverage percentage per package")
+	)
+	flag.Parse()
+	if *profile == "" {
+		fmt.Fprintln(os.Stderr, "lbsq-cover: -profile is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsq-cover: %v\n", err)
+		os.Exit(1)
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		for name := range pkgs {
+			targets = append(targets, name)
+		}
+	}
+	sort.Strings(targets)
+
+	fail := false
+	for _, t := range targets {
+		cov, ok := lookup(pkgs, t)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL %-28s no statements in profile (package untested or mistyped)\n", t)
+			fail = true
+			continue
+		}
+		pct := cov.percent()
+		status := "ok  "
+		if pct < *minPct {
+			status = "FAIL"
+			fail = true
+		}
+		fmt.Printf("%s %-28s %6.1f%% (floor %.0f%%, %d/%d statements)\n",
+			status, t, pct, *minPct, cov.covered, cov.total)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// pkgCover accumulates one package's statement tallies.
+type pkgCover struct {
+	covered int
+	total   int
+}
+
+func (c pkgCover) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+// lookup resolves an import-path suffix against the profile's package
+// map: an exact match wins, otherwise the unique package whose path ends
+// with "/"+target.
+func lookup(pkgs map[string]*pkgCover, target string) (pkgCover, bool) {
+	if c, ok := pkgs[target]; ok {
+		return *c, true
+	}
+	for name, c := range pkgs {
+		if strings.HasSuffix(name, "/"+target) {
+			return *c, true
+		}
+	}
+	return pkgCover{}, false
+}
+
+// parseProfile reads a coverprofile and groups statement counts by
+// package directory. Profile lines have the form
+//
+//	name.go:line.col,line.col numStmt count
+//
+// preceded by a single "mode:" header.
+func parseProfile(fname string) (map[string]*pkgCover, error) {
+	f, err := os.Open(fname)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	pkgs := make(map[string]*pkgCover)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 {
+			if !strings.HasPrefix(line, "mode:") {
+				return nil, fmt.Errorf("%s:1: missing mode header", fname)
+			}
+			continue
+		}
+		file, numStmt, count, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", fname, lineNo, err)
+		}
+		pkg := path.Dir(file)
+		c := pkgs[pkg]
+		if c == nil {
+			c = &pkgCover{}
+			pkgs[pkg] = c
+		}
+		c.total += numStmt
+		if count > 0 {
+			c.covered += numStmt
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("%s: no coverage blocks", fname)
+	}
+	return pkgs, nil
+}
+
+// parseLine splits one block line into its file, statement count, and
+// execution count.
+func parseLine(line string) (file string, numStmt, count int, err error) {
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return "", 0, 0, fmt.Errorf("malformed block %q", line)
+	}
+	file = line[:colon]
+	fields := strings.Fields(line[colon+1:])
+	if len(fields) != 3 {
+		return "", 0, 0, fmt.Errorf("malformed block %q", line)
+	}
+	numStmt, err = strconv.Atoi(fields[1])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("bad statement count in %q: %v", line, err)
+	}
+	count, err = strconv.Atoi(fields[2])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("bad execution count in %q: %v", line, err)
+	}
+	return file, numStmt, count, nil
+}

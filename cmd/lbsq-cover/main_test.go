@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseProfile(t *testing.T) {
+	p := writeProfile(t, `mode: set
+lbsq/internal/core/nnv.go:10.2,12.3 3 1
+lbsq/internal/core/nnv.go:14.2,16.3 2 0
+lbsq/internal/geom/rect.go:5.1,9.2 4 7
+`)
+	pkgs, err := parseProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := pkgs["lbsq/internal/core"]
+	if core == nil || core.total != 5 || core.covered != 3 {
+		t.Fatalf("core coverage = %+v, want 3/5", core)
+	}
+	geom := pkgs["lbsq/internal/geom"]
+	if geom == nil || geom.total != 4 || geom.covered != 4 {
+		t.Fatalf("geom coverage = %+v, want 4/4", geom)
+	}
+	if pct := core.percent(); math.Abs(pct-60) > 1e-9 {
+		t.Fatalf("core percent = %v, want 60", pct)
+	}
+}
+
+func TestLookupSuffix(t *testing.T) {
+	pkgs := map[string]*pkgCover{
+		"lbsq/internal/core": {covered: 1, total: 2},
+	}
+	if _, ok := lookup(pkgs, "internal/core"); !ok {
+		t.Fatal("suffix lookup internal/core failed")
+	}
+	if _, ok := lookup(pkgs, "lbsq/internal/core"); !ok {
+		t.Fatal("exact lookup failed")
+	}
+	if _, ok := lookup(pkgs, "internal/metrics"); ok {
+		t.Fatal("lookup of absent package succeeded")
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing mode header": "lbsq/a/b.go:1.1,2.2 1 1\n",
+		"malformed block":     "mode: set\nnot-a-block\n",
+		"bad statement count": "mode: set\nlbsq/a/b.go:1.1,2.2 x 1\n",
+		"bad execution count": "mode: set\nlbsq/a/b.go:1.1,2.2 1 x\n",
+		"empty profile":       "mode: set\n",
+	}
+	for name, content := range cases {
+		if _, err := parseProfile(writeProfile(t, content)); err == nil {
+			t.Errorf("%s: parseProfile accepted invalid input", name)
+		}
+	}
+}

@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	lbsq-figures [-fig all|10|11|12|13|14|15|latency|analysis|ablation]
+//	lbsq-figures [-fig all|10|11|12|13|14|15|latency|analysis|ablation|
+//	              calibration|lifetime|phases]
 //	             [-side miles] [-hours h] [-step sec] [-seed n]
-//	             [-parallel n]
+//	             [-parallel n] [-pprof addr]
+//
+// -fig phases prints the per-phase query-cost breakdown (the
+// EXPERIMENTS.md latency-breakdown table) from metrics-enabled runs.
+// -pprof serves net/http/pprof on the given address for profiling long
+// figure regenerations.
 //
 // The default scale is a density-preserving 5-mile area simulated for 0.5
 // hours per cell (seconds per figure). Pass -side 20 -hours 10 to run the
@@ -21,6 +27,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,15 +39,26 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: all, 10..15, latency, analysis, ablation, calibration, lifetime")
+		fig      = flag.String("fig", "all", "figure to regenerate: all, 10..15, latency, analysis, ablation, calibration, lifetime, phases")
 		side     = flag.Float64("side", 5, "service area side in miles (density-preserving scale of the 20-mile Table 3 area)")
 		hours    = flag.Float64("hours", 0.5, "simulated hours per experiment cell")
 		step     = flag.Float64("step", 10, "simulation time step in seconds")
 		seed     = flag.Int64("seed", 42, "random seed")
 		svg      = flag.String("svg", "", "directory to also write figures as SVG plots (created if missing)")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial; output identical either way)")
+		pprofAd  = flag.String("pprof", "", "serve net/http/pprof on this address while figures regenerate")
 	)
 	flag.Parse()
+
+	if *pprofAd != "" {
+		// net/http/pprof registers its handlers on the default mux.
+		go func() {
+			if err := http.ListenAndServe(*pprofAd, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving /debug/pprof on %s\n\n", *pprofAd)
+	}
 
 	svgDir = *svg
 	opt := experiments.Options{
@@ -70,6 +89,8 @@ func main() {
 		printCalibration(opt)
 	case "lifetime":
 		printLifetime(opt)
+	case "phases":
+		printPhases(opt)
 	default:
 		f, err := experiments.ByID(*fig, opt)
 		if err != nil {
@@ -135,6 +156,11 @@ func printCalibration(opt experiments.Options) {
 
 func printLifetime(opt experiments.Options) {
 	experiments.WriteLifetime(os.Stdout, experiments.ResultLifetime(opt))
+	fmt.Println()
+}
+
+func printPhases(opt experiments.Options) {
+	experiments.WritePhases(os.Stdout, experiments.PhaseBreakdown(opt))
 	fmt.Println()
 }
 

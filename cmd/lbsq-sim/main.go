@@ -16,6 +16,17 @@
 //	         [-deadline-slots n] [-breaker-threshold n]
 //	         [-breaker-cooldown n] [-churn-rate p] [-json]
 //	         [-grid faults] [-parallel n]
+//	         [-metrics] [-metrics-out file] [-metrics-listen addr]
+//
+// The metrics flags drive the observability layer (internal/metrics):
+// -metrics enables the in-process registry (per-phase span histograms,
+// outcome counters, latency/tuning/fan-out distributions) and embeds the
+// final snapshot in -json output; -metrics-out additionally writes the
+// snapshot as Prometheus text exposition; -metrics-listen serves live
+// /metrics plus net/http/pprof profiles while the run progresses. All
+// observed quantities are simulated (slots, work units), so metrics are
+// deterministic under -seed, and a metrics-off run is bit-identical to a
+// build without the layer.
 //
 // -grid faults replaces the single run with the standard in-process
 // fault/resilience benchmark grid (the `make bench` cells): loss rates
@@ -53,11 +64,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"lbsq/internal/cache"
+	"lbsq/internal/metrics"
 	"lbsq/internal/perf"
 	"lbsq/internal/sim"
 	"lbsq/internal/sweep"
@@ -99,6 +113,9 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
 		grid      = flag.String("grid", "", "run a benchmark grid instead of a single configuration: 'faults'")
 		parallel  = flag.Int("parallel", 0, "grid worker count (0 = GOMAXPROCS, 1 = serial; rows identical either way)")
+		metricsOn = flag.Bool("metrics", false, "enable the observability layer (counters, gauges, per-phase histograms)")
+		mxOut     = flag.String("metrics-out", "", "write the final metrics snapshot as Prometheus text exposition to this file (implies -metrics)")
+		mxListen  = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address while the run progresses (implies -metrics)")
 	)
 	flag.Parse()
 
@@ -179,6 +196,7 @@ func main() {
 	p.DeadlineSlots = *deadline
 	p.BreakerThreshold = *brThresh
 	p.BreakerCooldown = *brCool
+	p.Metrics = *metricsOn || *mxOut != "" || *mxListen != ""
 
 	w, err := sim.NewWorld(p)
 	if err != nil {
@@ -206,8 +224,38 @@ func main() {
 			p.TxRangeMeters, p.CacheSize, p.K, p.WindowPct, p.CachePolicy, p.DurationHours, p.Seed)
 	}
 
+	if *mxListen != "" {
+		// Live observability: /metrics serves the latest published
+		// snapshot (immutable, so no lock touches the simulation
+		// goroutine) and /debug/pprof exposes the runtime profiles on the
+		// same mux.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(w.Metrics()))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*mxListen, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+			}
+		}()
+		if !*jsonOut {
+			fmt.Printf("serving /metrics and /debug/pprof on %s\n\n", *mxListen)
+		}
+	}
+
 	start := time.Now()
-	stats := w.Run()
+	var stats sim.Stats
+	if reg := w.Metrics(); reg != nil {
+		// Publish a fresh snapshot after every simulation step so the
+		// HTTP endpoint tracks the run; the hook only reads, so the
+		// trajectory is identical to a plain Run.
+		stats = w.RunTick(func() { reg.Publish() })
+	} else {
+		stats = w.Run()
+	}
 	elapsed := time.Since(start)
 
 	if err := w.SelfCheckErr(); err != nil {
@@ -215,8 +263,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *mxOut != "" {
+		if err := writeMetrics(*mxOut, w.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut {
-		emitJSON(p, stats, *selfcheck, elapsed)
+		rep := sim.NewReport(p, stats, *selfcheck, elapsed.Seconds())
+		if reg := w.Metrics(); reg != nil {
+			snap := reg.Snapshot()
+			rep.Metrics = &snap
+		}
+		emitJSON(rep)
 		return
 	}
 
@@ -272,11 +332,27 @@ func main() {
 	if *traceFile != "" {
 		fmt.Printf("trace: %d events written to %s\n", w.Trace.Count(), *traceFile)
 	}
+	if *mxOut != "" {
+		fmt.Printf("metrics: snapshot written to %s\n", *mxOut)
+	}
 	fmt.Printf("\nwall time %.1fs\n", elapsed.Seconds())
 }
 
-func emitJSON(p sim.Params, stats sim.Stats, selfChecked bool, elapsed time.Duration) {
-	rep := sim.NewReport(p, stats, selfChecked, elapsed.Seconds())
+// writeMetrics dumps the final registry snapshot as Prometheus text
+// exposition (format 0.0.4) — deterministic for a fixed seed.
+func writeMetrics(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func emitJSON(rep sim.Report) {
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -55,6 +55,12 @@ type NNVResult struct {
 	InsideMVR bool
 	// Candidates is the number of distinct POIs received from peers.
 	Candidates int
+	// Merged is the number of peer verified regions merged into the MVR
+	// and Examined the number of candidates pushed through Lemma 3.1/3.2
+	// verification — the deterministic work units of the mvr_merge and
+	// nnv_verify phase spans (internal/metrics).
+	Merged   int
+	Examined int
 }
 
 // NNV is Algorithm 1: merge the peers' verified regions, sort their
@@ -93,6 +99,7 @@ func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float6
 		Heap:       &s.heap,
 		MVR:        &s.mvr,
 		Candidates: len(cands),
+		Merged:     len(peers),
 	}
 	if d, ok := s.mvr.Clearance(q); ok {
 		res.EdgeDist = d
@@ -105,6 +112,7 @@ func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float6
 		if res.Heap.Full() {
 			break
 		}
+		res.Examined++
 		d := poi.Pos.Dist(q)
 		e := Entry{POI: poi, Dist: d}
 		if res.InsideMVR && d <= res.EdgeDist {

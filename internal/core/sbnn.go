@@ -80,6 +80,11 @@ type SBNNResult struct {
 	KnownRegion geom.Rect
 	// Known holds every POI inside KnownRegion.
 	Known []broadcast.POI
+	// Merged / Examined are the deterministic work units of the
+	// mvr_merge and nnv_verify phase spans: peer regions merged into the
+	// MVR and candidates pushed through verification (internal/metrics).
+	Merged   int
+	Examined int
 }
 
 // verifiedSquare returns the largest axis-aligned square centered at q
@@ -115,7 +120,7 @@ func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Sched
 // always freshly allocated (callers insert them into caches).
 func SBNNScratch(s *Scratch, q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
 	nnv := NNVScratch(s, q, peers, cfg.K, cfg.Lambda)
-	res := SBNNResult{Heap: nnv.Heap, MVR: nnv.MVR}
+	res := SBNNResult{Heap: nnv.Heap, MVR: nnv.MVR, Merged: nnv.Merged, Examined: nnv.Examined}
 
 	// Whatever the outcome, everything within the last verified distance
 	// is complete knowledge the client may cache.

@@ -40,6 +40,12 @@ type SBWQResult struct {
 	KnownRegion geom.Rect
 	// Known holds every database POI inside KnownRegion.
 	Known []broadcast.POI
+	// Merged / Examined are the deterministic work units of the
+	// mvr_merge and nnv_verify phase spans: peer regions merged into the
+	// MVR and distinct in-window candidates collected from peer caches
+	// (internal/metrics).
+	Merged   int
+	Examined int
 }
 
 // SBWQ is Algorithm 3: merge the peers' verified regions and collect
@@ -84,7 +90,7 @@ func SBWQScratch(s *Scratch, q geom.Point, w geom.Rect, peers []PeerData, cfg SB
 	local = dedupSortedCandidates(local)
 	s.candidates = local
 	mvr := &s.mvr
-	res := SBWQResult{MVR: mvr}
+	res := SBWQResult{MVR: mvr, Merged: len(peers), Examined: len(local)}
 
 	if !w.Empty() {
 		res.CoveredFraction = mvr.IntersectRectArea(w) / w.Area()

@@ -1,0 +1,59 @@
+//go:build !race
+
+// Steady-state allocation gates for the metrics observation path,
+// following the internal/core/alloc_test.go pattern (excluded under the
+// race detector, whose instrumentation skews AllocsPerRun).
+
+package metrics
+
+import "testing"
+
+// TestObservationPathZeroAllocs pins the hot-path contract: counter,
+// gauge, histogram, span, and phase-set observation all run without
+// touching the allocator once registered. The sim loop observes these
+// once per query across tens of thousands of hosts; any regression here
+// fails the build.
+func TestObservationPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", "slots", SlotBuckets())
+	ps := NewPhaseSet(r, "lbsq")
+	var spans QuerySpans
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(12.5)
+		g.Add(1)
+		h.Observe(137)
+		h.ObserveInt(42)
+		spans.Reset()
+		spans.Add(PhaseP2PCollect, 9)
+		spans.Add(PhaseOnAirDownload, 512)
+		ps.Observe(&spans)
+	})
+	if allocs != 0 {
+		t.Fatalf("observation path allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestQuantileZeroAllocs: quantile extraction is read-only arithmetic
+// over the fixed buckets — snapshot-free consumers (the experiments
+// phase tables) may call it on the live histogram without GC cost.
+func TestQuantileZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", "slots", SlotBuckets())
+	for i := 0; i < 1000; i++ {
+		h.ObserveInt(int64(i * 13 % 5000))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.5)
+		_ = h.Quantile(0.99)
+		_ = h.Mean()
+		_ = h.Max()
+	})
+	if allocs != 0 {
+		t.Fatalf("quantile path allocates %.1f times per run, want 0", allocs)
+	}
+}

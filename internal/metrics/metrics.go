@@ -1,0 +1,173 @@
+// Package metrics is a stdlib-only, allocation-free-on-the-hot-path
+// metrics layer for the simulator and its serving harnesses: monotonic
+// counters, gauges, and fixed-bucket log-scale histograms with
+// deterministic quantile extraction, plus the per-query phase-span
+// taxonomy (p2p_collect, mvr_merge, nnv_verify, onair_tune,
+// onair_download) the query path reports through.
+//
+// Design constraints (DESIGN.md §10):
+//
+//   - Registration (Registry.Counter/Gauge/Histogram) may allocate; the
+//     observation path (Add/Inc/Set/Observe) must not. Instruments are
+//     plain structs with preallocated bucket arrays; Observe is a binary
+//     search plus integer increments.
+//   - Everything observed is a deterministic quantity (simulated slots,
+//     work units, areas) — never wall-clock time — so identical seeds
+//     produce byte-identical snapshots, and the zero-knob identity
+//     contract of the faults/resilience layers extends to metrics.
+//   - A Registry is single-writer: the owning goroutine observes without
+//     synchronization (parallel sweeps give every World its own
+//     registry). Cross-goroutine readers (the -metrics-listen HTTP
+//     endpoint) consume immutable published Snapshots via Publish.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// unusable; obtain counters from a Registry.
+type Counter struct {
+	name string
+	help string
+	v    int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add increases the counter by n. Negative deltas are ignored —
+// counters are monotonic by contract.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a value that can move both ways (simulated clock, live host
+// count, cache fill). The zero value is unusable; obtain gauges from a
+// Registry.
+type Gauge struct {
+	name string
+	help string
+	v    float64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Registry holds the named instruments of one simulation world (or any
+// other single-writer component). Registration is idempotent: asking
+// for an existing name of the same kind returns the same instrument;
+// re-registering a name as a different kind panics (a wiring bug).
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	// published is the latest immutable snapshot made visible to
+	// concurrent readers via Publish/Published.
+	published atomic.Pointer[Snapshot]
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) checkName(name, kind string) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("metrics: %q already registered as counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("metrics: %q already registered as gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("metrics: %q already registered as histogram", name))
+	}
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.checkName(name, "counter")
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.checkName(name, "gauge")
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+// bounds are ascending bucket upper limits (see ExpBuckets); an
+// implicit +Inf overflow bucket is appended. unit documents the
+// observed quantity ("slots", "work", "sqmi") and is carried into
+// snapshots and the text exposition help line.
+func (r *Registry) Histogram(name, help, unit string, bounds []float64) *Histogram {
+	r.checkName(name, "histogram")
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := newHistogram(name, help, unit, bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// sortedNames returns the keys of m in lexical order — the deterministic
+// iteration order of every snapshot and exposition.
+func sortedNames[T any](m map[string]T) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Publish captures the current state as an immutable Snapshot and makes
+// it visible to concurrent readers (Published, the HTTP handler). Only
+// the owning goroutine may call Publish; readers never touch the live
+// instruments.
+func (r *Registry) Publish() {
+	s := r.Snapshot()
+	r.published.Store(&s)
+}
+
+// Published returns the most recently published snapshot, or nil when
+// Publish has never been called.
+func (r *Registry) Published() *Snapshot { return r.published.Load() }

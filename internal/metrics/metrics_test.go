@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("q_total", "queries")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // monotonic: negative deltas dropped
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value %d, want 5", got)
+	}
+	if c.Name() != "q_total" {
+		t.Fatalf("counter name %q", c.Name())
+	}
+	g := r.Gauge("now_sec", "sim clock")
+	g.Set(12.5)
+	g.Add(-2.5)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge value %v, want 10", got)
+	}
+	// Idempotent re-registration returns the same instrument.
+	if r.Counter("q_total", "queries") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if r.Gauge("now_sec", "sim clock") != g {
+		t.Fatal("re-registration returned a different gauge")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering counter name as gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty metric name did not panic")
+		}
+	}()
+	r.Counter("", "")
+}
+
+// fillRegistry populates a registry with a deterministic workload.
+func fillRegistry(r *Registry) {
+	c := r.Counter("queries_total", "total queries")
+	g := r.Gauge("sim_now_seconds", "simulated clock")
+	h := r.Histogram("latency_slots", "per-query latency", "slots", SlotBuckets())
+	a := r.Histogram("known_area_sqmi", "cached region area", "sqmi", AreaBuckets())
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+		g.Set(float64(i) * 5)
+		h.ObserveInt(int64((i * 37) % 4096))
+		a.Observe(float64(i%17) * 0.31)
+	}
+}
+
+// TestSnapshotDeterminism pins the byte-identical-snapshot contract:
+// two registries fed the same observation stream marshal to identical
+// JSON and identical text expositions.
+func TestSnapshotDeterminism(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	fillRegistry(r1)
+	fillRegistry(r2)
+	j1, err := json.Marshal(r1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshot JSON differs:\n%s\n%s", j1, j2)
+	}
+	var t1, t2 bytes.Buffer
+	if err := r1.WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatalf("text exposition differs:\n%s\n%s", t1.String(), t2.String())
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(r)
+	s := r.Snapshot()
+	if c, ok := s.Counter("queries_total"); !ok || c.Value != 1000 {
+		t.Fatalf("counter lookup: %+v ok=%v", c, ok)
+	}
+	if g, ok := s.Gauge("sim_now_seconds"); !ok || g.Value != 999*5 {
+		t.Fatalf("gauge lookup: %+v ok=%v", g, ok)
+	}
+	if h, ok := s.Histogram("latency_slots"); !ok || h.Count != 1000 {
+		t.Fatalf("histogram lookup: %+v ok=%v", h, ok)
+	}
+	if _, ok := s.Histogram("nope"); ok {
+		t.Fatal("lookup of absent histogram succeeded")
+	}
+	if _, ok := s.Counter("nope"); ok {
+		t.Fatal("lookup of absent counter succeeded")
+	}
+	if _, ok := s.Gauge("nope"); ok {
+		t.Fatal("lookup of absent gauge succeeded")
+	}
+}
+
+func TestPublishSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	c.Add(3)
+	if r.Published() != nil {
+		t.Fatal("published snapshot before any Publish")
+	}
+	r.Publish()
+	s := r.Published()
+	if s == nil {
+		t.Fatal("nil published snapshot")
+	}
+	c.Add(7) // must not leak into the published snapshot
+	if got, _ := s.Counter("c"); got.Value != 3 {
+		t.Fatalf("published counter %d, want 3 (immutability broken)", got.Value)
+	}
+	r.Publish()
+	if got, _ := r.Published().Counter("c"); got.Value != 10 {
+		t.Fatalf("republished counter %d, want 10", got.Value)
+	}
+}
+
+func TestPhaseSpans(t *testing.T) {
+	var s QuerySpans
+	s.Add(PhaseP2PCollect, 10)
+	s.Add(PhaseP2PCollect, 5)
+	s.Add(PhaseOnAirTune, 3)
+	s.Add(PhaseOnAirDownload, -4) // negative dropped
+	s.Add(NumPhases, 99)          // out of range ignored
+	if got := s.Get(PhaseP2PCollect); got != 15 {
+		t.Fatalf("p2p_collect span %d, want 15", got)
+	}
+	if got := s.Get(PhaseOnAirDownload); got != 0 {
+		t.Fatalf("onair_download span %d, want 0", got)
+	}
+	if got := s.Get(NumPhases); got != 0 {
+		t.Fatalf("out-of-range Get %d, want 0", got)
+	}
+	s.Reset()
+	for p := Phase(0); p < NumPhases; p++ {
+		if s.Get(p) != 0 {
+			t.Fatalf("phase %v nonzero after Reset", p)
+		}
+	}
+}
+
+func TestPhaseNamesAndUnits(t *testing.T) {
+	want := map[Phase][2]string{
+		PhaseP2PCollect:    {"p2p_collect", "slots"},
+		PhaseMVRMerge:      {"mvr_merge", "work"},
+		PhaseNNVVerify:     {"nnv_verify", "work"},
+		PhaseOnAirTune:     {"onair_tune", "slots"},
+		PhaseOnAirDownload: {"onair_download", "slots"},
+	}
+	for p, w := range want {
+		if p.String() != w[0] || p.Unit() != w[1] {
+			t.Fatalf("phase %d: %q/%q, want %q/%q", p, p.String(), p.Unit(), w[0], w[1])
+		}
+	}
+	if NumPhases.String() != "unknown" || NumPhases.Unit() != "" {
+		t.Fatalf("out-of-range phase: %q/%q", NumPhases.String(), NumPhases.Unit())
+	}
+}
+
+func TestPhaseSetObserve(t *testing.T) {
+	r := NewRegistry()
+	ps := NewPhaseSet(r, "lbsq")
+	var s QuerySpans
+	s.Add(PhaseMVRMerge, 7)
+	s.Add(PhaseOnAirDownload, 120)
+	ps.Observe(&s)
+	s.Reset()
+	s.Add(PhaseOnAirDownload, 80)
+	ps.Observe(&s)
+
+	h := ps.Histogram(PhaseOnAirDownload)
+	if h == nil || h.Count() != 2 || h.Sum() != 200 {
+		t.Fatalf("onair_download histogram count/sum: %v", h)
+	}
+	if h.Name() != "lbsq_phase_onair_download_slots" {
+		t.Fatalf("histogram name %q", h.Name())
+	}
+	if m := ps.Histogram(PhaseMVRMerge); m.Unit() != "work" {
+		t.Fatalf("mvr_merge unit %q", m.Unit())
+	}
+	if ps.Histogram(NumPhases) != nil {
+		t.Fatal("out-of-range phase histogram not nil")
+	}
+	// Every phase histogram saw both queries (zeros included).
+	for p := Phase(0); p < NumPhases; p++ {
+		if got := ps.Histogram(p).Count(); got != 2 {
+			t.Fatalf("phase %v count %d, want 2", p, got)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"lbsq/internal/geom"
+	"lbsq/internal/metrics"
 )
 
 // Network indexes host positions on a uniform grid. Host IDs are dense
@@ -29,6 +30,11 @@ type Network struct {
 	live     int          // registered host count (keeps Len O(1))
 	// Stats counts sharing traffic for the experiment reports.
 	Stats TrafficStats
+	// FanoutHist, when non-nil, receives the reachable-peer count of
+	// every query exchange via ObserveFanout — the sharing layer's
+	// fan-out distribution (internal/metrics). Nil, the default, costs
+	// one branch; attaching it never perturbs behavior or allocation.
+	FanoutHist *metrics.Histogram
 }
 
 // TrafficStats tallies the P2P messages exchanged, including the fault
@@ -206,6 +212,16 @@ func (n *Network) AppendNeighbors(dst []int, q geom.Point, radius float64, exclu
 func (n *Network) RecordExchange(replies int) {
 	n.Stats.Requests++
 	n.Stats.Replies += int64(replies)
+}
+
+// ObserveFanout records one exchange's reachable-peer count into the
+// attached fan-out histogram; a no-op (one branch, zero allocations)
+// when metrics are disabled. Callers invoke it once per query so the
+// distribution matches the per-query peer counts the reports average.
+func (n *Network) ObserveFanout(peers int) {
+	if n.FanoutHist != nil {
+		n.FanoutHist.ObserveInt(int64(peers))
+	}
 }
 
 // NeighborsMultiHop returns the hosts reachable from q within the given

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"lbsq/internal/broadcast"
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/metrics"
+)
+
+// worldMetrics bundles one World's registered instruments — the
+// observability layer of DESIGN.md §10. It exists only when
+// Params.Metrics is set; a nil worldMetrics costs one branch per query
+// and leaves every output bit-identical to a metrics-free build (the
+// same zero-knob identity contract the faults and resilience layers
+// honor). All observed quantities are deterministic simulated values
+// (slots, work units, square miles), so identical seeds produce
+// byte-identical snapshots.
+//
+// The struct is owned by the World's goroutine; the only concurrent
+// consumers are published snapshots (metrics.Registry.Publish).
+type worldMetrics struct {
+	reg    *metrics.Registry
+	spans  metrics.QuerySpans // reused per query (observation scratch)
+	phases *metrics.PhaseSet
+
+	queries     *metrics.Counter
+	verified    *metrics.Counter
+	approximate *metrics.Counter
+	broadcastQ  *metrics.Counter
+	peerBytes   *metrics.Counter
+	backoff     *metrics.Counter
+
+	latency   *metrics.Histogram
+	tuning    *metrics.Histogram
+	fanout    *metrics.Histogram
+	knownArea *metrics.Histogram
+
+	nowSec *metrics.Gauge
+	hosts  *metrics.Gauge
+
+	// lastPeerBytes tracks the Stats.PeerBytes high-water mark so the
+	// ad-hoc traffic counter advances by per-query deltas.
+	lastPeerBytes int64
+}
+
+// newWorldMetrics registers the simulator's instrument set.
+func newWorldMetrics() *worldMetrics {
+	reg := metrics.NewRegistry()
+	m := &worldMetrics{
+		reg:    reg,
+		phases: metrics.NewPhaseSet(reg, "lbsq"),
+
+		queries:     reg.Counter("lbsq_queries_total", "counted (post-warm-up) queries"),
+		verified:    reg.Counter("lbsq_queries_verified_total", "queries resolved by exact sharing"),
+		approximate: reg.Counter("lbsq_queries_approximate_total", "queries resolved by approximate SBNN"),
+		broadcastQ:  reg.Counter("lbsq_queries_broadcast_total", "queries resolved over the broadcast channel"),
+		peerBytes:   reg.Counter("lbsq_peer_bytes_total", "ad-hoc channel traffic in encoded wire bytes"),
+		backoff:     reg.Counter("lbsq_backoff_slots_total", "broadcast slots spent in retry backoff"),
+
+		latency: reg.Histogram("lbsq_query_latency_slots",
+			"end-to-end access latency per counted query (peer-resolved queries observe 0)",
+			"slots", metrics.SlotBuckets()),
+		tuning: reg.Histogram("lbsq_query_tuning_slots",
+			"active listening time per counted query",
+			"slots", metrics.SlotBuckets()),
+		fanout: reg.Histogram("lbsq_peer_fanout",
+			"reachable peers per counted query",
+			"work", metrics.WorkBuckets()),
+		knownArea: reg.Histogram("lbsq_known_region_area_sqmi",
+			"area of the verified region each query contributed to its cache",
+			"sqmi", metrics.AreaBuckets()),
+
+		nowSec: reg.Gauge("lbsq_sim_now_seconds", "simulated clock"),
+		hosts:  reg.Gauge("lbsq_sim_hosts", "mobile hosts in the world"),
+	}
+	return m
+}
+
+// observeQuery records one counted query: the per-phase span record,
+// the outcome counters, and the latency/tuning/area distributions.
+// Allocation-free once warm (the bench-smoke and alloc-test gates pin
+// this), and called only inside the post-warm-up counted window so the
+// distributions describe the same steady state as Stats.
+func (m *worldMetrics) observeQuery(outcome core.Outcome, spent int64,
+	acc broadcast.Access, merged, examined int,
+	knownRegion geom.Rect, peerBytes int64) {
+	m.spans.Reset()
+	m.spans.Add(metrics.PhaseP2PCollect, spent)
+	m.spans.Add(metrics.PhaseMVRMerge, int64(merged))
+	m.spans.Add(metrics.PhaseNNVVerify, int64(examined))
+	acc.AddTo(&m.spans)
+	m.phases.Observe(&m.spans)
+
+	m.queries.Inc()
+	var latency int64
+	switch outcome {
+	case core.OutcomeVerified:
+		m.verified.Inc()
+	case core.OutcomeApproximate:
+		m.approximate.Inc()
+	default:
+		m.broadcastQ.Inc()
+		// The backoff slots the P2P phase burned are part of the
+		// end-to-end latency, matching Stats.LatencySlots accounting.
+		latency = acc.Latency + spent
+	}
+	m.latency.ObserveInt(latency)
+	m.tuning.ObserveInt(acc.Tuning)
+	if !knownRegion.Empty() {
+		m.knownArea.Observe(knownRegion.Area())
+	}
+	m.backoff.Add(spent)
+	m.peerBytes.Add(peerBytes - m.lastPeerBytes)
+	m.lastPeerBytes = peerBytes
+}
+
+// spanFields copies the current span record into a trace event — the
+// enriched per-query trace sink. No-op fields stay zero and are omitted
+// from the JSONL encoding, so traces without metrics are byte-identical
+// to the seed format.
+func (m *worldMetrics) spanFields(p2p, merge, verify, tune, download *int64) {
+	*p2p = m.spans.Get(metrics.PhaseP2PCollect)
+	*merge = m.spans.Get(metrics.PhaseMVRMerge)
+	*verify = m.spans.Get(metrics.PhaseNNVVerify)
+	*tune = m.spans.Get(metrics.PhaseOnAirTune)
+	*download = m.spans.Get(metrics.PhaseOnAirDownload)
+}
+
+// Metrics returns the World's metrics registry, or nil when the
+// Metrics knob is off. The registry is single-writer (the simulation
+// goroutine); concurrent readers must go through Publish/Published.
+func (w *World) Metrics() *metrics.Registry {
+	if w.mx == nil {
+		return nil
+	}
+	return w.mx.reg
+}

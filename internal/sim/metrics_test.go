@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lbsq/internal/metrics"
+	"lbsq/internal/trace"
+)
+
+// metricsWorld builds a small world with the observability layer on.
+func metricsWorld(t *testing.T, kind QueryKind, seed int64) *World {
+	t.Helper()
+	p := LACity().Scaled(2).WithDuration(0.12)
+	p.Kind = kind
+	p.Seed = seed
+	p.TimeStepSec = 10
+	p.AcceptApproximate = kind == KNNQuery
+	p.Metrics = true
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestMetricsOffIsNil: without the knob, the world carries no registry
+// and the report carries no metrics field — the zero-knob identity
+// contract's observable half.
+func TestMetricsOffIsNil(t *testing.T) {
+	w := smallWorld(t, KNNQuery, 7)
+	if w.Metrics() != nil {
+		t.Fatal("Metrics() non-nil with the knob off")
+	}
+	stats := w.Run()
+	rep := NewReport(w.Params, stats, false, 0)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"metrics"`)) {
+		t.Fatalf("metrics key leaked into a metrics-off report: %s", b)
+	}
+}
+
+// TestMetricsTrajectoryIdentity: enabling the observability layer must
+// not perturb the simulation — identical seeds yield identical Stats
+// with the knob on and off.
+func TestMetricsTrajectoryIdentity(t *testing.T) {
+	for _, kind := range []QueryKind{KNNQuery, WindowQuery} {
+		on := metricsWorld(t, kind, 31)
+		off := smallWorld31(t, kind)
+		son, soff := on.Run(), off.Run()
+		if son != soff {
+			t.Fatalf("%v: metrics knob perturbed the trajectory:\n%+v\nvs\n%+v",
+				kind, son, soff)
+		}
+	}
+}
+
+// smallWorld31 mirrors metricsWorld with the knob off (smallWorld uses a
+// different duration, so build the twin explicitly).
+func smallWorld31(t *testing.T, kind QueryKind) *World {
+	t.Helper()
+	p := LACity().Scaled(2).WithDuration(0.12)
+	p.Kind = kind
+	p.Seed = 31
+	p.TimeStepSec = 10
+	p.AcceptApproximate = kind == KNNQuery
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestMetricsDeterminism: two metrics-enabled runs with identical seeds
+// must publish byte-identical snapshots — every observed quantity is a
+// simulated value, never wall-clock.
+func TestMetricsDeterminism(t *testing.T) {
+	for _, kind := range []QueryKind{KNNQuery, WindowQuery} {
+		a := metricsWorld(t, kind, 33)
+		b := metricsWorld(t, kind, 33)
+		a.Run()
+		b.Run()
+		var ba, bb bytes.Buffer
+		if err := a.Metrics().WriteText(&ba); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Metrics().WriteText(&bb); err != nil {
+			t.Fatal(err)
+		}
+		if ba.String() != bb.String() {
+			t.Fatalf("%v: snapshots diverged under identical seeds", kind)
+		}
+		if ba.Len() == 0 {
+			t.Fatalf("%v: empty exposition", kind)
+		}
+	}
+}
+
+// TestMetricsMatchStats: the counters and the latency histogram must
+// agree exactly with the Stats the run reports — the two observability
+// surfaces describe the same counted window.
+func TestMetricsMatchStats(t *testing.T) {
+	w := metricsWorld(t, KNNQuery, 35)
+	stats := w.Run()
+	snap := w.Metrics().Snapshot()
+
+	counters := map[string]int64{
+		"lbsq_queries_total":             int64(stats.Queries),
+		"lbsq_queries_verified_total":    int64(stats.Verified),
+		"lbsq_queries_approximate_total": int64(stats.Approximate),
+		"lbsq_queries_broadcast_total":   int64(stats.Broadcast),
+		"lbsq_peer_bytes_total":          stats.PeerBytes,
+		"lbsq_backoff_slots_total":       stats.BackoffSlots,
+	}
+	for name, want := range counters {
+		got, ok := snap.Counter(name)
+		if !ok {
+			t.Fatalf("counter %s missing from snapshot", name)
+		}
+		if got.Value != want {
+			t.Errorf("%s = %d, want %d", name, got.Value, want)
+		}
+	}
+
+	lat, ok := snap.Histogram("lbsq_query_latency_slots")
+	if !ok {
+		t.Fatal("latency histogram missing")
+	}
+	if int64(lat.Sum) != stats.LatencySlots {
+		t.Errorf("latency sum = %v, want %d", lat.Sum, stats.LatencySlots)
+	}
+	if lat.Count != uint64(stats.Queries) {
+		t.Errorf("latency count = %d, want %d", lat.Count, stats.Queries)
+	}
+	if stats.Queries == 0 {
+		t.Fatal("run counted no queries; test world too small")
+	}
+
+	// Every phase histogram observed every counted query.
+	for ph := metrics.Phase(0); ph < metrics.NumPhases; ph++ {
+		name := "lbsq_phase_" + ph.String() + "_" + ph.Unit()
+		h, ok := snap.Histogram(name)
+		if !ok {
+			t.Fatalf("phase histogram %s missing", name)
+		}
+		if h.Count != uint64(stats.Queries) {
+			t.Errorf("%s count = %d, want %d", name, h.Count, stats.Queries)
+		}
+	}
+}
+
+// TestTraceSpanFields: metrics-enabled traces carry the per-phase span
+// fields; metrics-off traces must not mention them at all (byte-identity
+// with the seed trace format).
+func TestTraceSpanFields(t *testing.T) {
+	var offBuf bytes.Buffer
+	off := smallWorld31(t, KNNQuery)
+	off.Trace = trace.NewWriter(&offBuf)
+	off.Run()
+	if err := off.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(offBuf.String(), "span_") {
+		t.Fatal("metrics-off trace contains span fields")
+	}
+
+	var onBuf bytes.Buffer
+	on := metricsWorld(t, KNNQuery, 31)
+	on.Trace = trace.NewWriter(&onBuf)
+	on.Run()
+	if err := on.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(onBuf.String(), "span_merge_work") {
+		t.Fatal("metrics-on trace carries no span fields")
+	}
+	events, err := trace.Read(&onBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawWork bool
+	for _, e := range events {
+		if e.SpanMergeWork > 0 || e.SpanVerifyWork > 0 {
+			sawWork = true
+		}
+		if e.Outcome != "broadcast" && (e.SpanTuneSlots != 0 || e.SpanDownloadSlots != 0) {
+			t.Fatalf("peer-resolved event carries channel spans: %+v", e)
+		}
+	}
+	if !sawWork {
+		t.Fatal("no event recorded merge/verify work")
+	}
+}
+
+// TestRunTickHook: the tick hook fires once per step and publishing
+// snapshots from it does not perturb the run.
+func TestRunTickHook(t *testing.T) {
+	a := metricsWorld(t, KNNQuery, 37)
+	b := metricsWorld(t, KNNQuery, 37)
+	var ticks int
+	sa := a.RunTick(func() {
+		ticks++
+		a.Metrics().Publish()
+	})
+	sb := b.Run()
+	if ticks == 0 {
+		t.Fatal("tick hook never fired")
+	}
+	if sa != sb {
+		t.Fatalf("tick hook perturbed the run:\n%+v\nvs\n%+v", sa, sb)
+	}
+	if a.Metrics().Published() == nil {
+		t.Fatal("no snapshot published")
+	}
+}

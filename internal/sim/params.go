@@ -180,6 +180,17 @@ type Params struct {
 	// the simulator. Faults.BroadcastLoss, when set, overrides
 	// Broadcast.LossRate so one profile drives every channel.
 	Broadcast broadcast.Config
+
+	// Metrics enables the observability layer (DESIGN.md §10): a
+	// per-world metrics registry with outcome counters, latency/tuning/
+	// area histograms, and the five per-query phase spans (p2p_collect,
+	// mvr_merge, nnv_verify, onair_tune, onair_download), exposed
+	// through Report.Metrics, the trace span fields, and the CLI
+	// Prometheus-style sinks. Pure observation: it draws no randomness
+	// and alters no behavior, and with the knob off (the default) every
+	// output is bit-identical to a build without the layer — the same
+	// zero-knob identity contract as Faults and the resilience knobs.
+	Metrics bool
 }
 
 // applyDefaults fills unset simulator knobs with the paper-faithful

@@ -1,5 +1,7 @@
 package sim
 
+import "lbsq/internal/metrics"
+
 // Report is the machine-readable run record the `-json` flag of
 // lbsq-sim (and every in-process bench cell) emits: the resolved
 // configuration, the full Stats struct, and the derived rates the human
@@ -31,6 +33,11 @@ type Report struct {
 	SelfCheck       bool    `json:"self_check_passed"`
 	Stats           Stats   `json:"stats"`
 	Derived         Derived `json:"derived"`
+	// Metrics is the final registry snapshot of a metrics-enabled run
+	// (World.Metrics().Snapshot()). Nil — and absent from the encoding —
+	// when the Metrics knob is off, preserving byte-identity with
+	// pre-metrics report rows.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 	// WallSeconds is the host wall-clock cost of the run. It is the one
 	// nondeterministic field; byte-identity comparisons must zero it
 	// first (see internal/perf).

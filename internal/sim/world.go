@@ -56,6 +56,12 @@ type World struct {
 	resilient bool
 	breakers  *p2p.BreakerSet
 
+	// mx is the observability layer (nil unless Params.Metrics): the
+	// per-world registry, phase-span scratch, and instrument handles.
+	// Observation is allocation-free and draws no randomness, so the
+	// simulation trajectory is identical with or without it.
+	mx *worldMetrics
+
 	nowSec      float64
 	durationSec float64
 	warmupSec   float64
@@ -189,6 +195,11 @@ func NewWorld(p Params) (*World, error) {
 		breakers:    p2p.NewBreakerSet(p.BreakerConfig()),
 	}
 	w.warmupSec = w.durationSec * p.WarmupFrac
+	if p.Metrics {
+		w.mx = newWorldMetrics()
+		w.mx.hosts.Set(float64(p.MHNumber))
+		w.net.FanoutHist = w.mx.fanout
+	}
 
 	w.hosts = make([]host, p.MHNumber)
 	for i := range w.hosts {
@@ -351,9 +362,20 @@ func (w *World) slotNow() int64 {
 // Run executes the whole configured duration and returns the steady-state
 // statistics.
 func (w *World) Run() Stats {
+	return w.RunTick(nil)
+}
+
+// RunTick is Run with a per-step hook: tick (when non-nil) is called after
+// every simulation step, on the simulation goroutine. The CLI uses it to
+// publish metrics snapshots for the -metrics-listen endpoint; the hook
+// observes state only, so a nil tick runs bit-identically.
+func (w *World) RunTick(tick func()) Stats {
 	dt := w.Params.TimeStepSec
 	for w.nowSec < w.durationSec {
 		w.Step(dt)
+		if tick != nil {
+			tick()
+		}
 	}
 	return w.Stats()
 }
@@ -366,6 +388,9 @@ func (w *World) Step(dt float64) {
 		w.net.Update(i, w.hosts[i].mob.Pos)
 	}
 	w.nowSec += dt
+	if w.mx != nil {
+		w.mx.nowSec.Set(w.nowSec)
+	}
 
 	mean := w.Params.QueryRate / 60 * dt
 	n := mobility.Poisson(w.rng, mean)
@@ -851,12 +876,20 @@ func (w *World) runKNNQuery(idx, ti int) {
 		if w.SelfCheck && res.Outcome != core.OutcomeApproximate {
 			w.checkKNN(ti, q, k, res.POIs)
 		}
-		w.record(trace.Event{
+		ev := trace.Event{
 			TimeSec: w.nowSec, Host: idx, Kind: "knn",
 			Outcome: res.Outcome.String(), K: k, Peers: nPeers,
 			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
 			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
-		})
+		}
+		if w.mx != nil {
+			w.net.ObserveFanout(nPeers)
+			w.mx.observeQuery(res.Outcome, spent, res.Access,
+				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
+			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
+				&ev.SpanVerifyWork, &ev.SpanTuneSlots, &ev.SpanDownloadSlots)
+		}
+		w.record(ev)
 	}
 
 	// Store the gained verified knowledge (Section 4.1 cache policies).
@@ -900,12 +933,20 @@ func (w *World) runWindowQuery(idx, ti int) {
 		if w.SelfCheck {
 			w.checkWindow(ti, win, res.POIs)
 		}
-		w.record(trace.Event{
+		ev := trace.Event{
 			TimeSec: w.nowSec, Host: idx, Kind: "window",
 			Outcome: res.Outcome.String(), Peers: nPeers,
 			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
 			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
-		})
+		}
+		if w.mx != nil {
+			w.net.ObserveFanout(nPeers)
+			w.mx.observeQuery(res.Outcome, spent, res.Access,
+				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
+			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
+				&ev.SpanVerifyWork, &ev.SpanTuneSlots, &ev.SpanDownloadSlots)
+		}
+		w.record(ev)
 	}
 
 	// Cache the gained verified knowledge: the window itself, or the

@@ -30,6 +30,16 @@ type Event struct {
 	TuningSlots    int64 `json:"tuning_slots"`
 	PacketsRead    int   `json:"packets_read"`
 	PacketsSkipped int   `json:"packets_skipped"`
+	// Per-phase span fields (internal/metrics), populated only when the
+	// simulator runs with metrics enabled. All five are deterministic
+	// simulated quantities — channel phases in broadcast slots, CPU
+	// phases in work units — and omitted from the encoding when zero, so
+	// metrics-off traces stay byte-identical to the original format.
+	SpanP2PSlots      int64 `json:"span_p2p_slots,omitempty"`
+	SpanMergeWork     int64 `json:"span_merge_work,omitempty"`
+	SpanVerifyWork    int64 `json:"span_verify_work,omitempty"`
+	SpanTuneSlots     int64 `json:"span_tune_slots,omitempty"`
+	SpanDownloadSlots int64 `json:"span_download_slots,omitempty"`
 }
 
 // Writer appends events as JSON Lines.
