@@ -8,7 +8,7 @@ GO ?= go
 GOFMT ?= gofmt
 
 # Packages that must stay above the coverage floor (see `make cover`).
-COVER_PKGS = internal/core internal/geom internal/metrics
+COVER_PKGS = internal/core internal/geom internal/metrics internal/trust
 COVER_MIN ?= 70
 
 .PHONY: all build vet test race lint cover fuzz-smoke verify soak bench bench-hot bench-smoke
@@ -48,19 +48,26 @@ cover:
 	$(GO) test -count=1 -coverprofile=results/cover.out ./...
 	$(GO) run ./cmd/lbsq-cover -profile results/cover.out -min $(COVER_MIN) $(COVER_PKGS)
 
-# Short native-fuzzing runs of the wire codecs: the decoders must survive
-# arbitrary bytes (the fault layer's truncation/corruption damage classes)
-# without panicking, and accepted inputs must round-trip canonically.
-# The seed corpus is part of the gate: a missing testdata corpus means the
-# fuzz targets silently lost their regression inputs, so fail loudly
-# instead of fuzzing from nothing. Explicit -timeout keeps a hung target
-# from stalling CI for go test's 10-minute default.
+# Short native-fuzzing runs of the wire codecs and the byzantine attack
+# mangler: the decoders must survive arbitrary bytes (the fault layer's
+# truncation/corruption damage classes) without panicking, accepted
+# inputs must round-trip canonically, and every attack profile must
+# produce a materially false claim over arbitrary geometry (the trust
+# layer's audits-always-convict contract). The seed corpora are part of
+# the gate: a missing testdata corpus means a fuzz target silently lost
+# its regression inputs, so fail loudly instead of fuzzing from nothing.
+# Explicit -timeout keeps a hung target from stalling CI for go test's
+# 10-minute default.
 fuzz-smoke:
 	@if [ ! -d internal/wire/testdata/fuzz ]; then \
 		echo "fuzz-smoke: internal/wire/testdata/fuzz corpus missing"; exit 1; \
 	fi
+	@if [ ! -d internal/faults/testdata/fuzz ]; then \
+		echo "fuzz-smoke: internal/faults/testdata/fuzz corpus missing"; exit 1; \
+	fi
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeReply -fuzztime=5s -timeout 5m ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s -timeout 5m ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzAttackClaim -fuzztime=5s -timeout 5m ./internal/faults
 
 verify: vet build race fuzz-smoke
 	@echo "verify: all gates passed"

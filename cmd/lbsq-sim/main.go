@@ -14,8 +14,9 @@
 //	         [-loss p] [-req-loss p] [-reply-loss p] [-corrupt p]
 //	         [-stale-rate p] [-retries n]
 //	         [-deadline-slots n] [-breaker-threshold n]
-//	         [-breaker-cooldown n] [-churn-rate p] [-json]
-//	         [-grid faults] [-parallel n]
+//	         [-breaker-cooldown n] [-churn-rate p]
+//	         [-byzantine-rate p] [-attack profile] [-audit-rate p]
+//	         [-json] [-grid faults] [-parallel n]
 //	         [-metrics] [-metrics-out file] [-metrics-listen addr]
 //
 // The metrics flags drive the observability layer (internal/metrics):
@@ -56,6 +57,17 @@
 // seeded jitter, retrying only unanswered peers; all-zero resilience
 // flags reproduce the seed behavior bit-identically.
 //
+// The trust flags drive the Byzantine-resilience layer (DESIGN.md §11):
+// -byzantine-rate makes that fraction of hosts lie about their cached
+// regions with the -attack profile (fabricate, omit, inflate, shift, or
+// the cycling mix), and -audit-rate arms the defense — cross-validation
+// of overlapping regions, on-air spot audits priced into query latency,
+// and reputation-driven quarantine wired into the circuit breakers.
+// With -audit-rate 0 the lies go unscreened (the paper's honest-peer
+// assumption fails open: -selfcheck then demonstrates verified-wrong
+// answers); with it on, lies degrade answers to the probabilistic or
+// broadcast path but never produce a verified-wrong result.
+//
 // -json suppresses the human-readable report and emits one machine-
 // readable JSON object (configuration + full statistics) on stdout.
 package main
@@ -71,6 +83,7 @@ import (
 	"time"
 
 	"lbsq/internal/cache"
+	"lbsq/internal/faults"
 	"lbsq/internal/metrics"
 	"lbsq/internal/perf"
 	"lbsq/internal/sim"
@@ -110,6 +123,9 @@ func main() {
 		brThresh  = flag.Int("breaker-threshold", 0, "consecutive peer failures that trip its circuit breaker (0 = breakers off)")
 		brCool    = flag.Int64("breaker-cooldown", 0, "breaker quarantine in collection cycles (0 = default 8 when breakers on)")
 		churn     = flag.Float64("churn-rate", 0, "per-peer per-round probability of powering off/on mid-collection [0, 0.95]")
+		byzRate   = flag.Float64("byzantine-rate", 0, "fraction of hosts that lie about their cached regions [0, 1]")
+		attack    = flag.String("attack", "", "byzantine attack profile: fabricate, omit, inflate, shift, mix (default mix when -byzantine-rate > 0)")
+		auditRate = flag.Float64("audit-rate", 0, "probability one peer contribution is spot-audited against the channel [0, 1]; 0 disables the trust layer")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
 		grid      = flag.String("grid", "", "run a benchmark grid instead of a single configuration: 'faults'")
 		parallel  = flag.Int("parallel", 0, "grid worker count (0 = GOMAXPROCS, 1 = serial; rows identical either way)")
@@ -193,6 +209,16 @@ func main() {
 	p.Faults.StaleRate = *staleRate
 	p.Faults.MaxRetries = *retries
 	p.Faults.ChurnRate = *churn
+	p.Faults.ByzantineRate = *byzRate
+	if *attack != "" {
+		a, err := faults.ParseAttack(*attack)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		p.Faults.Attack = a
+	}
+	p.AuditRate = *auditRate
 	p.DeadlineSlots = *deadline
 	p.BreakerThreshold = *brThresh
 	p.BreakerCooldown = *brCool
@@ -316,6 +342,16 @@ func main() {
 			stats.BreakerTrips, stats.BreakerShortCircuits, stats.BreakerRecoveries)
 		fmt.Printf("  churn departures / returns:    %d / %d (wasted retries: %d)\n",
 			stats.ChurnDepartures, stats.ChurnReturns, stats.WastedRetries)
+	}
+	if stats.TrustEvents() > 0 || stats.ByzantineLies > 0 {
+		fmt.Printf("\ntrust layer (byzantine=%.2f attack=%v audit=%.2f):\n",
+			p.Faults.ByzantineRate, p.Faults.Normalized().Attack, p.AuditRate)
+		fmt.Printf("  byzantine lies told:           %d\n", stats.ByzantineLies)
+		fmt.Printf("  audits run / failed:           %d / %d (cost: %d slots)\n",
+			stats.AuditsRun, stats.AuditFailures, stats.AuditSlots)
+		fmt.Printf("  cross-validation conflicts:    %d\n", stats.ConflictsDetected)
+		fmt.Printf("  peers quarantined:             %d (area: %.2f sq mi)\n",
+			stats.PeersQuarantined, stats.QuarantinedArea)
 	}
 	if *baseline && stats.BaselineSampled > 0 {
 		base := stats.BaselineMeanLatencySlots()

@@ -33,6 +33,13 @@ type Entry struct {
 	// relative to the last verified entry; zero when no entry is
 	// verified.
 	Surpassing float64
+	// Tainted marks a candidate supplied by an untrusted peer (one the
+	// trust layer has not vouched, or whose region conflicted). Tainted
+	// entries are permanently demoted to the Lemma 3.2 probabilistic
+	// path: they can never be Verified, never set the on-air upper
+	// search bound, and never enter exact merged answers — a fabricated
+	// POI must not be able to claim verification or truncate a search.
+	Tainted bool
 }
 
 // Heap is the bounded result container H of the NNV method: at most k
@@ -88,6 +95,17 @@ func (h *Heap) VerifiedCount() int {
 
 // UnverifiedCount returns how many entries are unverified.
 func (h *Heap) UnverifiedCount() int { return len(h.entries) - h.VerifiedCount() }
+
+// TaintedCount returns how many entries came from untrusted peers.
+func (h *Heap) TaintedCount() int {
+	n := 0
+	for _, e := range h.entries {
+		if e.Tainted {
+			n++
+		}
+	}
+	return n
+}
 
 // add appends an entry; NNV adds candidates in ascending distance order,
 // so the slice stays sorted.
@@ -189,6 +207,13 @@ func (h *Heap) State() State {
 
 // SearchBounds derives the on-air packet filtering bounds of Section
 // 3.3.3 from the heap state. A zero field means "no bound of that kind".
+//
+// Soundness under byzantine peers: a tainted entry's distance must never
+// become the upper bound — if the POI is fabricated, only k-1 real
+// candidates lie within that distance and skipping farther packets would
+// lose the true k-th neighbor. Any tainted entry therefore suppresses
+// the upper bound. The lower bound always comes from verified entries,
+// which are never tainted, so it stays sound unchanged.
 func (h *Heap) SearchBounds() broadcast.Bounds {
 	var b broadcast.Bounds
 	switch h.State() {
@@ -199,6 +224,9 @@ func (h *Heap) SearchBounds() broadcast.Bounds {
 		b.Upper, _ = h.LastDist()
 	case StatePartialMixed, StatePartialVerified:
 		b.Lower, _ = h.LastVerifiedDist()
+	}
+	if b.Upper > 0 && h.TaintedCount() > 0 {
+		b.Upper = 0
 	}
 	return b
 }
@@ -232,6 +260,21 @@ func (h *Heap) POIs() []broadcast.POI {
 // buffers.
 func (h *Heap) AppendPOIs(dst []broadcast.POI) []broadcast.POI {
 	for _, e := range h.entries {
+		dst = append(dst, e.POI)
+	}
+	return dst
+}
+
+// AppendTrustedPOIs appends the POIs of untainted entries in ascending
+// distance order to dst and returns it. Exact answer paths (the on-air
+// merge, cached verified knowledge) must use this variant: a tainted POI
+// may be fabricated and would silently poison an exact result set.
+// Identical to AppendPOIs when no entry is tainted.
+func (h *Heap) AppendTrustedPOIs(dst []broadcast.POI) []broadcast.POI {
+	for _, e := range h.entries {
+		if e.Tainted {
+			continue
+		}
 		dst = append(dst, e.POI)
 	}
 	return dst

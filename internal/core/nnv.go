@@ -18,6 +18,17 @@ import (
 type PeerData struct {
 	VR   geom.Rect
 	POIs []broadcast.POI
+	// Tainted marks a contribution from an untrusted peer (internal/trust
+	// demoted it: the peer is unvouched, conflicted, or paroled). A
+	// tainted VR is excluded from the merged verified region — Lemma 3.1
+	// must not rest on an unaudited claim — and its POIs enter
+	// verification as permanently-unverified candidates on the Lemma 3.2
+	// probabilistic path. Callers supplying tainted peers must keep the
+	// tainted and untainted POI ID sets disjoint (trust.Screen's
+	// cross-pool dedup enforces this); core's candidate dedup is
+	// per-pool. The zero value (untainted) reproduces seed behavior
+	// exactly.
+	Tainted bool
 }
 
 // Scratch holds the reusable per-client buffers of the query hot path:
@@ -34,6 +45,7 @@ type Scratch struct {
 	mvr        geom.RectUnion
 	heap       Heap
 	candidates []broadcast.POI
+	tainted    []broadcast.POI
 	poiBuf     []broadcast.POI
 }
 
@@ -58,9 +70,13 @@ type NNVResult struct {
 	// Merged is the number of peer verified regions merged into the MVR
 	// and Examined the number of candidates pushed through Lemma 3.1/3.2
 	// verification — the deterministic work units of the mvr_merge and
-	// nnv_verify phase spans (internal/metrics).
+	// nnv_verify phase spans (internal/metrics). Tainted regions are not
+	// merged, so Merged counts only untainted peers.
 	Merged   int
 	Examined int
+	// TaintedCandidates is the number of distinct candidates contributed
+	// by tainted peers (zero on the seed path).
+	TaintedCandidates int
 }
 
 // NNV is Algorithm 1: merge the peers' verified regions, sort their
@@ -86,43 +102,69 @@ func NNV(q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
 func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
 	s.mvr.Reset()
 	cands := s.candidates[:0]
+	taints := s.tainted[:0]
+	merged := 0
 	for _, p := range peers {
+		if p.Tainted {
+			// Untrusted: the VR must not strengthen Lemma 3.1, but the
+			// POIs may still compete as probabilistic candidates.
+			taints = append(taints, p.POIs...)
+			continue
+		}
 		s.mvr.Add(p.VR)
+		merged++
 		cands = append(cands, p.POIs...)
 	}
 	sortCandidates(cands, q)
 	cands = dedupSortedCandidates(cands)
 	s.candidates = cands
+	sortCandidates(taints, q)
+	taints = dedupSortedCandidates(taints)
+	s.tainted = taints
 
 	s.heap.Reset(k)
 	res := NNVResult{
-		Heap:       &s.heap,
-		MVR:        &s.mvr,
-		Candidates: len(cands),
-		Merged:     len(peers),
+		Heap:              &s.heap,
+		MVR:               &s.mvr,
+		Candidates:        len(cands) + len(taints),
+		Merged:            merged,
+		TaintedCandidates: len(taints),
 	}
 	if d, ok := s.mvr.Clearance(q); ok {
 		res.EdgeDist = d
 		res.InsideMVR = true
 	}
 
+	// Merge-walk the two sorted pools in global (distance², ID) order.
+	// With no tainted peers this reduces exactly to a walk of cands —
+	// the seed loop, bit for bit.
 	lastVerified := 0.0
 	hasVerified := false
-	for _, poi := range cands {
-		if res.Heap.Full() {
-			break
+	i, j := 0, 0
+	for (i < len(cands) || j < len(taints)) && !res.Heap.Full() {
+		pickTainted := i >= len(cands) ||
+			(j < len(taints) && candBefore(taints[j], cands[i], q))
+		var poi broadcast.POI
+		if pickTainted {
+			poi = taints[j]
+			j++
+		} else {
+			poi = cands[i]
+			i++
 		}
 		res.Examined++
 		d := poi.Pos.Dist(q)
-		e := Entry{POI: poi, Dist: d}
-		if res.InsideMVR && d <= res.EdgeDist {
+		e := Entry{POI: poi, Dist: d, Tainted: pickTainted}
+		if !pickTainted && res.InsideMVR && d <= res.EdgeDist {
 			e.Verified = true
 			e.Correctness = 1
 			lastVerified = d
 			hasVerified = true
 		} else {
-			// Unverified: the candidate's unverified region is the part
-			// of its distance disk not covered by the MVR.
+			// Unverified (or tainted — untrusted candidates can never be
+			// verified regardless of geometry): the candidate's
+			// unverified region is the part of its distance disk not
+			// covered by the (trusted) MVR.
 			u := s.mvr.UnverifiedArea(q, d)
 			e.Correctness = CorrectnessProbability(lambda, u)
 			if hasVerified && lastVerified > 0 {
@@ -132,6 +174,17 @@ func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float6
 		res.Heap.add(e)
 	}
 	return res
+}
+
+// candBefore reports whether a precedes b in the candidate order
+// (ascending distance² to q, POI ID as the deterministic tiebreak) —
+// the same total order sortCandidates establishes within each pool.
+func candBefore(a, b broadcast.POI, q geom.Point) bool {
+	da, db := a.Pos.DistSq(q), b.Pos.DistSq(q)
+	if da != db {
+		return da < db
+	}
+	return a.ID < b.ID
 }
 
 // dedupSortedCandidates removes adjacent duplicate POI IDs in place and

@@ -85,6 +85,9 @@ type SBNNResult struct {
 	// MVR and candidates pushed through verification (internal/metrics).
 	Merged   int
 	Examined int
+	// TaintedCandidates counts candidates supplied by untrusted peers
+	// (zero on the seed path; see PeerData.Tainted).
+	TaintedCandidates int
 }
 
 // verifiedSquare returns the largest axis-aligned square centered at q
@@ -120,7 +123,8 @@ func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Sched
 // always freshly allocated (callers insert them into caches).
 func SBNNScratch(s *Scratch, q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
 	nnv := NNVScratch(s, q, peers, cfg.K, cfg.Lambda)
-	res := SBNNResult{Heap: nnv.Heap, MVR: nnv.MVR, Merged: nnv.Merged, Examined: nnv.Examined}
+	res := SBNNResult{Heap: nnv.Heap, MVR: nnv.MVR, Merged: nnv.Merged,
+		Examined: nnv.Examined, TaintedCandidates: nnv.TaintedCandidates}
 
 	// Whatever the outcome, everything within the last verified distance
 	// is complete knowledge the client may cache.
@@ -158,22 +162,32 @@ func SBNNScratch(s *Scratch, q geom.Point, peers []PeerData, cfg SBNNConfig, sch
 	}
 
 	// Fall back to the broadcast channel with the heap-state bounds.
+	// (SearchBounds suppresses the upper bound whenever a tainted entry
+	// is present — an untrusted candidate must never truncate the on-air
+	// search.)
 	res.Outcome = OutcomeBroadcast
 	res.Bounds = nnv.Heap.SearchBounds()
 	if sched == nil {
-		res.POIs = heapPOIs()
+		// No channel to re-verify against: return only the trusted heap
+		// contents (identical to the full heap on the seed path).
+		s.poiBuf = nnv.Heap.AppendTrustedPOIs(s.poiBuf[:0])
+		res.POIs = s.poiBuf
 		fillVerifiedKnowledge()
 		return res
 	}
 	onAir, acc := sched.KNNWithBounds(q, cfg.K, now, res.Bounds)
 	res.Access = acc
 
-	// Merge: the heap's POIs (peer knowledge, covering any packets the
-	// lower bound skipped) plus the channel data. Duplicates between the
-	// channel and the heap are copies of the same database POI, so the
-	// sort-based dedup reproduces the former map-based merge exactly.
+	// Merge: the heap's trusted POIs (peer knowledge, covering any
+	// packets the lower bound skipped — the lower bound derives from
+	// verified entries, which are never tainted) plus the channel data.
+	// Tainted entries are excluded: the merged set is an exact answer,
+	// and a fabricated POI must not be able to enter it. Duplicates
+	// between the channel and the heap are copies of the same database
+	// POI, so the sort-based dedup reproduces the former map-based merge
+	// exactly.
 	merged := append(s.poiBuf[:0], onAir...)
-	merged = nnv.Heap.AppendPOIs(merged)
+	merged = nnv.Heap.AppendTrustedPOIs(merged)
 	sortCandidates(merged, q)
 	merged = dedupSortedCandidates(merged)
 	s.poiBuf = merged

@@ -78,8 +78,19 @@ func SBWQWithConfig(q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig,
 func SBWQScratch(s *Scratch, q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig, sched *broadcast.Schedule, now int64) SBWQResult {
 	s.mvr.Reset()
 	local := s.candidates[:0]
+	mergedVRs := 0
 	for _, p := range peers {
+		if p.Tainted {
+			// Untrusted contributions add nothing to a window query:
+			// every SBWQ answer path is exact (verified coverage or
+			// channel retrieval), and neither an unaudited VR nor its
+			// POIs may enter an exact answer. The uncovered window parts
+			// are resolved over the channel instead — the demotion from
+			// "verified by a stranger's claim" to "re-downloaded".
+			continue
+		}
 		s.mvr.Add(p.VR)
+		mergedVRs++
 		for _, poi := range p.POIs {
 			if w.Contains(poi.Pos) {
 				local = append(local, poi)
@@ -90,7 +101,7 @@ func SBWQScratch(s *Scratch, q geom.Point, w geom.Rect, peers []PeerData, cfg SB
 	local = dedupSortedCandidates(local)
 	s.candidates = local
 	mvr := &s.mvr
-	res := SBWQResult{MVR: mvr, Merged: len(peers), Examined: len(local)}
+	res := SBWQResult{MVR: mvr, Merged: mergedVRs, Examined: len(local)}
 
 	if !w.Empty() {
 		res.CoveredFraction = mvr.IntersectRectArea(w) / w.Area()

@@ -93,6 +93,18 @@ type Profile struct {
 	// verification. This is a test knob demonstrating the soundness
 	// hazard; production configurations leave it false.
 	TrustStale bool
+	// ByzantineRate is the fraction of mobile hosts that are byzantine:
+	// every claim such a host shares is materially false (see attack.go
+	// for the adversary model). Byzantine status is a property of the
+	// host, assigned once at world construction from a dedicated seeded
+	// stream; the rate is a population fraction, not a per-reply
+	// probability. Zero (the default) means every peer is honest and the
+	// attack path makes no draws at all.
+	ByzantineRate float64 `json:",omitempty"`
+	// Attack selects the lie byzantine hosts tell. Normalized defaults
+	// it to AttackMix when ByzantineRate > 0 and clears it to AttackNone
+	// when the rate is zero (an attack with no attackers is inert).
+	Attack Attack `json:",omitempty"`
 }
 
 // Enabled reports whether any fault process is active.
@@ -122,6 +134,20 @@ func (p Profile) Normalized() Profile {
 	out.BroadcastLoss = clamp(p.BroadcastLoss)
 	out.StaleRate = clamp(p.StaleRate)
 	out.ChurnRate = clamp(p.ChurnRate)
+	// The byzantine rate is a population fraction, not a channel loss
+	// rate, so it clamps to [0, 1] rather than MaxRate.
+	if out.ByzantineRate < 0 {
+		out.ByzantineRate = 0
+	}
+	if out.ByzantineRate > 1 {
+		out.ByzantineRate = 1
+	}
+	if out.ByzantineRate > 0 && out.Attack == AttackNone {
+		out.Attack = AttackMix
+	}
+	if out.ByzantineRate == 0 {
+		out.Attack = AttackNone
+	}
 	if out.MaxRetries < 0 {
 		out.MaxRetries = 0
 	}
@@ -156,6 +182,15 @@ func (p Profile) Validate() error {
 	}
 	if p.MaxRetries < 0 || p.MaxRetries > 16 {
 		return fmt.Errorf("faults: MaxRetries %d out of [0, 16]", p.MaxRetries)
+	}
+	if p.ByzantineRate != p.ByzantineRate {
+		return fmt.Errorf("faults: ByzantineRate is NaN")
+	}
+	if p.ByzantineRate < 0 || p.ByzantineRate > 1 {
+		return fmt.Errorf("faults: ByzantineRate %v out of [0, 1]", p.ByzantineRate)
+	}
+	if p.Attack < AttackNone || p.Attack > AttackMix {
+		return fmt.Errorf("faults: unknown Attack %d", int(p.Attack))
 	}
 	return nil
 }
@@ -208,6 +243,9 @@ type Counters struct {
 	// ChurnReturns counts departed peers that powered back on or drifted
 	// back into range before the same collection finished.
 	ChurnReturns int64
+	// ByzantineLies counts materially false claims emitted by byzantine
+	// hosts (one per AttackClaim application).
+	ByzantineLies int64 `json:",omitempty"`
 }
 
 // Injector is a seeded, deterministic fault source. A nil *Injector is
@@ -218,6 +256,9 @@ type Counters struct {
 type Injector struct {
 	prof Profile
 	rng  *rand.Rand
+	// lieSeq counts AttackClaim applications: it cycles AttackMix through
+	// the concrete attacks and makes every fabricated POI ID unique.
+	lieSeq int64
 	// Counters tallies the injected faults.
 	Counters Counters
 }

@@ -1,0 +1,157 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Edge cases of SubtractRect hit by the trust layer's quarantine
+// subtraction: conflict rectangles are carved out of peer VRs one at a
+// time, producing degenerate slivers, full containment, and repeated
+// subtraction of the same rectangle.
+
+func subtractArea(rects []Rect) float64 {
+	a := 0.0
+	for _, r := range rects {
+		a += r.Area()
+	}
+	return a
+}
+
+func disjoint(rects []Rect) bool {
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			if ov, ok := rects[i].Intersect(rects[j]); ok && !ov.Empty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSubtractRectNoCover(t *testing.T) {
+	w := NewRect(0, 0, 4, 4)
+	got := SubtractRect(w, nil)
+	if len(got) != 1 || got[0] != w {
+		t.Fatalf("SubtractRect(w, nil) = %v, want [w]", got)
+	}
+	got = SubtractRect(w, []Rect{NewRect(10, 10, 12, 12)})
+	if len(got) != 1 || got[0] != w {
+		t.Fatalf("non-intersecting cover changed result: %v", got)
+	}
+}
+
+func TestSubtractRectFullContainment(t *testing.T) {
+	w := NewRect(1, 1, 3, 3)
+	got := SubtractRect(w, []Rect{NewRect(0, 0, 4, 4)})
+	if len(got) != 0 {
+		t.Fatalf("fully covered window left pieces: %v", got)
+	}
+	// Exact self-cover is full containment too.
+	got = SubtractRect(w, []Rect{w})
+	if len(got) != 0 {
+		t.Fatalf("self-cover left pieces: %v", got)
+	}
+}
+
+func TestSubtractRectEmptyWindow(t *testing.T) {
+	if got := SubtractRect(Rect{}, []Rect{NewRect(0, 0, 1, 1)}); got != nil {
+		t.Fatalf("empty window produced pieces: %v", got)
+	}
+	// Degenerate (zero-area) covers must not corrupt the decomposition.
+	w := NewRect(0, 0, 4, 4)
+	got := SubtractRect(w, []Rect{NewRect(2, 0, 2, 4)}) // zero-width line
+	if subtractArea(got) != w.Area() {
+		t.Fatalf("zero-area cover removed area: %v", got)
+	}
+}
+
+// Repeated subtraction of the same rect is idempotent — the quarantine
+// set can contain the same conflict rect from successive screens.
+func TestSubtractRectRepeatedIdempotent(t *testing.T) {
+	w := NewRect(0, 0, 10, 10)
+	c := NewRect(4, 4, 6, 6)
+	once := SubtractRect(w, []Rect{c})
+	twice := SubtractRect(w, []Rect{c, c})
+	if subtractArea(once) != subtractArea(twice) {
+		t.Fatalf("repeated cover changed area: %v vs %v", subtractArea(once), subtractArea(twice))
+	}
+	// Chained: subtracting c from every piece of (w − c) is a no-op.
+	var chained []Rect
+	for _, piece := range once {
+		chained = append(chained, SubtractRect(piece, []Rect{c})...)
+	}
+	if subtractArea(chained) != subtractArea(once) || len(chained) != len(once) {
+		t.Fatalf("chained re-subtraction changed pieces: %v vs %v", chained, once)
+	}
+}
+
+// Degenerate slivers: a cover leaving an ulp-thin remainder must yield
+// valid, disjoint rectangles whose area matches the uncovered area.
+func TestSubtractRectDegenerateSlivers(t *testing.T) {
+	w := NewRect(0, 0, 1, 1)
+	eps := 1e-12
+	covers := []Rect{NewRect(eps, eps, 1-eps, 1-eps)}
+	got := SubtractRect(w, covers)
+	for _, r := range got {
+		if !r.Valid() {
+			t.Fatalf("invalid sliver %v", r)
+		}
+	}
+	if !disjoint(got) {
+		t.Fatalf("slivers overlap: %v", got)
+	}
+	want := w.Area() - covers[0].Area()
+	if diff := subtractArea(got) - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sliver area %v, want %v", subtractArea(got), want)
+	}
+	// Sliver flush to one edge.
+	got = SubtractRect(w, []Rect{NewRect(0, 0, 1, 1-eps)})
+	if len(got) == 0 {
+		t.Fatal("edge sliver lost entirely")
+	}
+	if diff := subtractArea(got) - eps; diff > 1e-13 || diff < -1e-13 {
+		t.Fatalf("edge sliver area %v, want %v", subtractArea(got), eps)
+	}
+}
+
+// Area conservation invariant under randomized quarantine-like loads:
+// area(w − covers) + area(w ∩ union(covers)) == area(w), pieces disjoint
+// and inside w, and no piece intersects any cover's interior.
+func TestSubtractRectAreaConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	var u RectUnion
+	for trial := 0; trial < 300; trial++ {
+		w := NewRect(rng.Float64()*4, rng.Float64()*4, 4+rng.Float64()*4, 4+rng.Float64()*4)
+		n := rng.Intn(6)
+		covers := make([]Rect, 0, n)
+		for i := 0; i < n; i++ {
+			cx, cy := rng.Float64()*8, rng.Float64()*8
+			covers = append(covers, NewRect(cx, cy, cx+rng.Float64()*3, cy+rng.Float64()*3))
+		}
+		got := SubtractRect(w, covers)
+		if !disjoint(got) {
+			t.Fatalf("trial %d: pieces overlap: %v", trial, got)
+		}
+		for _, r := range got {
+			if !w.ContainsRect(r) {
+				t.Fatalf("trial %d: piece %v outside window %v", trial, r, w)
+			}
+			for _, c := range covers {
+				if ov, ok := r.Intersect(c); ok && ov.Area() > 1e-9 {
+					t.Fatalf("trial %d: piece %v overlaps cover %v", trial, r, c)
+				}
+			}
+		}
+		u.Reset()
+		for _, c := range covers {
+			if ov, ok := c.Intersect(w); ok {
+				u.Add(ov)
+			}
+		}
+		want := w.Area() - u.Area()
+		if diff := subtractArea(got) - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: area %v, want %v", trial, subtractArea(got), want)
+		}
+	}
+}

@@ -195,7 +195,13 @@ func (bs *BreakerSet) Allow(id int) bool {
 
 // RecordSuccess reports that peer id delivered a sound reply: a closed
 // breaker forgets accumulated failures, a half-open breaker closes
-// (recovery). Safe on nil.
+// (recovery). An *open* breaker ignores the success: no request was
+// allowed through, so the reply is a leftover from an earlier round (a
+// peer can trip mid-collection and still have a pre-trip reply in
+// flight, or depart and return across a conviction), and honoring it
+// would re-enter closed state on stale reputation, bypassing both the
+// cooldown and any trust-conviction ForceOpen. Recovery must go through
+// the half-open probe. Safe on nil.
 func (bs *BreakerSet) RecordSuccess(id int) {
 	if bs == nil {
 		return
@@ -204,11 +210,16 @@ func (bs *BreakerSet) RecordSuccess(id int) {
 	if !ok {
 		return
 	}
-	if rec.state == BreakerHalfOpen {
+	switch rec.state {
+	case BreakerHalfOpen:
 		bs.stats.Recoveries++
+		rec.state = BreakerClosed
+		rec.failures = 0
+	case BreakerClosed:
+		rec.failures = 0
+	case BreakerOpen:
+		// Late delivery from a pre-trip round: not a probe, no recovery.
 	}
-	rec.state = BreakerClosed
-	rec.failures = 0
 }
 
 // RecordFailure reports one misbehavior of peer id (CRC-rejected reply,
@@ -242,6 +253,31 @@ func (bs *BreakerSet) trip(rec *breakerRec) {
 	rec.failures = 0
 	rec.reopenAt = bs.cycle + bs.cfg.Cooldown
 	bs.stats.Trips++
+}
+
+// ForceOpen trips peer id's breaker open immediately, regardless of its
+// accumulated failure count — the trust layer's conviction hook (a peer
+// caught lying by a spot audit or cross-validation conflict is
+// quarantined without waiting for Threshold channel failures). Parole
+// still runs through the ordinary machine: after Cooldown cycles the
+// breaker half-opens and one probe decides. Forcing an already-open
+// breaker refreshes its cooldown without recounting the trip. Safe on
+// nil (breakers disabled — the trust layer's own quarantine set still
+// applies).
+func (bs *BreakerSet) ForceOpen(id int) {
+	if bs == nil {
+		return
+	}
+	rec, ok := bs.peers[id]
+	if !ok {
+		rec = &breakerRec{}
+		bs.peers[id] = rec
+	}
+	if rec.state == BreakerOpen {
+		rec.reopenAt = bs.cycle + bs.cfg.Cooldown
+		return
+	}
+	bs.trip(rec)
 }
 
 // State returns peer id's breaker state (without side effects — an open

@@ -5,6 +5,7 @@ import (
 	"lbsq/internal/core"
 	"lbsq/internal/geom"
 	"lbsq/internal/metrics"
+	"lbsq/internal/trust"
 )
 
 // worldMetrics bundles one World's registered instruments — the
@@ -38,13 +39,25 @@ type worldMetrics struct {
 	nowSec *metrics.Gauge
 	hosts  *metrics.Gauge
 
+	// Trust-layer instruments, registered only when the AuditRate knob is
+	// on (trust off must leave the snapshot byte-identical to a build
+	// without the layer). All nil otherwise — observeTrust checks one.
+	audits        *metrics.Counter
+	auditFailures *metrics.Counter
+	conflicts     *metrics.Counter
+	convictions   *metrics.Counter
+	auditSlots    *metrics.Counter
+	auditCost     *metrics.Histogram
+
 	// lastPeerBytes tracks the Stats.PeerBytes high-water mark so the
 	// ad-hoc traffic counter advances by per-query deltas.
 	lastPeerBytes int64
 }
 
-// newWorldMetrics registers the simulator's instrument set.
-func newWorldMetrics() *worldMetrics {
+// newWorldMetrics registers the simulator's instrument set. trustOn
+// additionally registers the trust-layer instruments; with it false the
+// registry contents are identical to a build without the trust layer.
+func newWorldMetrics(trustOn bool) *worldMetrics {
 	reg := metrics.NewRegistry()
 	m := &worldMetrics{
 		reg:    reg,
@@ -73,7 +86,33 @@ func newWorldMetrics() *worldMetrics {
 		nowSec: reg.Gauge("lbsq_sim_now_seconds", "simulated clock"),
 		hosts:  reg.Gauge("lbsq_sim_hosts", "mobile hosts in the world"),
 	}
+	if trustOn {
+		m.audits = reg.Counter("lbsq_trust_audits_total", "on-air spot audits run")
+		m.auditFailures = reg.Counter("lbsq_trust_audit_failures_total", "spot audits that convicted the contributor")
+		m.conflicts = reg.Counter("lbsq_trust_conflicts_total", "cross-validation overlap disagreements")
+		m.convictions = reg.Counter("lbsq_trust_convictions_total", "peer convictions (audit failures plus strike accumulations)")
+		m.auditSlots = reg.Counter("lbsq_trust_audit_slots_total", "broadcast slots spent auditing, priced into query latency")
+		m.auditCost = reg.Histogram("lbsq_trust_audit_cost_slots",
+			"audit slot cost per audited query",
+			"slots", metrics.SlotBuckets())
+	}
 	return m
+}
+
+// observeTrust records one query's trust-screen activity. No-op when the
+// trust instruments are not registered (trust off) or nothing happened.
+func (m *worldMetrics) observeTrust(rep trust.Report) {
+	if m.audits == nil {
+		return
+	}
+	m.audits.Add(int64(rep.Audits))
+	m.auditFailures.Add(int64(rep.AuditFailures))
+	m.conflicts.Add(int64(rep.Conflicts))
+	m.convictions.Add(int64(rep.Convictions))
+	m.auditSlots.Add(rep.AuditSlots)
+	if rep.Audits > 0 {
+		m.auditCost.ObserveInt(rep.AuditSlots)
+	}
 }
 
 // observeQuery records one counted query: the per-phase span record,
@@ -81,11 +120,15 @@ func newWorldMetrics() *worldMetrics {
 // Allocation-free once warm (the bench-smoke and alloc-test gates pin
 // this), and called only inside the post-warm-up counted window so the
 // distributions describe the same steady state as Stats.
-func (m *worldMetrics) observeQuery(outcome core.Outcome, spent int64,
+func (m *worldMetrics) observeQuery(outcome core.Outcome, spent, auditSlots int64,
 	acc broadcast.Access, merged, examined int,
 	knownRegion geom.Rect, peerBytes int64) {
 	m.spans.Reset()
-	m.spans.Add(metrics.PhaseP2PCollect, spent)
+	// Audit slots belong to the P2P phase of the query's wall clock (the
+	// host is tuned in re-verifying peer claims before the algorithms
+	// run); the backoff counter below stays collection-only so it keeps
+	// matching Stats.BackoffSlots.
+	m.spans.Add(metrics.PhaseP2PCollect, spent+auditSlots)
 	m.spans.Add(metrics.PhaseMVRMerge, int64(merged))
 	m.spans.Add(metrics.PhaseNNVVerify, int64(examined))
 	acc.AddTo(&m.spans)
@@ -100,9 +143,9 @@ func (m *worldMetrics) observeQuery(outcome core.Outcome, spent int64,
 		m.approximate.Inc()
 	default:
 		m.broadcastQ.Inc()
-		// The backoff slots the P2P phase burned are part of the
-		// end-to-end latency, matching Stats.LatencySlots accounting.
-		latency = acc.Latency + spent
+		// The backoff and audit slots the P2P phase burned are part of
+		// the end-to-end latency, matching Stats.LatencySlots accounting.
+		latency = acc.Latency + spent + auditSlots
 	}
 	m.latency.ObserveInt(latency)
 	m.tuning.ObserveInt(acc.Tuning)

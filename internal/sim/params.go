@@ -16,6 +16,7 @@ import (
 	"lbsq/internal/faults"
 	"lbsq/internal/geom"
 	"lbsq/internal/p2p"
+	"lbsq/internal/trust"
 )
 
 // MetersPerMile converts the paper's transmission ranges (meters) into
@@ -176,6 +177,21 @@ type Params struct {
 	// p2p.DefaultBreakerCooldown when BreakerThreshold is set.
 	BreakerCooldown int64
 
+	// AuditRate enables the Byzantine-resilience layer (internal/trust):
+	// the probability that one peer contribution is spot-audited against
+	// the broadcast channel during one query's screen. Zero (the default)
+	// disables the whole defense — no trust engine exists, peer
+	// contributions flow to the core algorithms unscreened, and every
+	// output is bit-identical to a build without the layer. Nonzero arms
+	// audit-gated vouching: contributions from unvouched peers are
+	// tainted (demoted to the Lemma 3.2 probabilistic path), overlapping
+	// verified regions are cross-validated, and convictions quarantine
+	// the peer and force its circuit breaker open. Audit slot costs are
+	// priced into the audited query's access latency and charged against
+	// its DeadlineSlots budget. Byzantine peers themselves are configured
+	// through Faults.ByzantineRate and Faults.Attack.
+	AuditRate float64
+
 	// Broadcast configures the air index; the Area field is filled in by
 	// the simulator. Faults.BroadcastLoss, when set, overrides
 	// Broadcast.LossRate so one profile drives every channel.
@@ -259,8 +275,20 @@ func (p *Params) Validate() error {
 	if err := p.BreakerConfig().Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
+	if err := p.TrustConfig().Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
+
+// TrustConfig assembles the trust-engine configuration; its zero value
+// (AuditRate 0) disables the defense entirely.
+func (p *Params) TrustConfig() trust.Config {
+	return trust.Config{AuditRate: p.AuditRate}
+}
+
+// TrustEnabled reports whether the Byzantine-resilience layer is armed.
+func (p *Params) TrustEnabled() bool { return p.TrustConfig().Enabled() }
 
 // BreakerConfig assembles the per-peer circuit-breaker configuration.
 func (p *Params) BreakerConfig() p2p.BreakerConfig {

@@ -30,9 +30,13 @@ type Report struct {
 	DeadlineSlots   int     `json:"deadline_slots"`
 	BreakerThresh   int     `json:"breaker_threshold"`
 	BreakerCooldown int64   `json:"breaker_cooldown"`
-	SelfCheck       bool    `json:"self_check_passed"`
-	Stats           Stats   `json:"stats"`
-	Derived         Derived `json:"derived"`
+	// AuditRate is the trust-layer knob (internal/trust); omitted when
+	// zero so zero-knob rows keep the earlier schema byte-for-byte (the
+	// byzantine knobs live inside Faults, omitempty likewise).
+	AuditRate float64 `json:"audit_rate,omitempty"`
+	SelfCheck bool    `json:"self_check_passed"`
+	Stats     Stats   `json:"stats"`
+	Derived   Derived `json:"derived"`
 	// Metrics is the final registry snapshot of a metrics-enabled run
 	// (World.Metrics().Snapshot()). Nil — and absent from the encoding —
 	// when the Metrics knob is off, preserving byte-identity with
@@ -60,6 +64,7 @@ type Derived struct {
 	AvgPeerBytes           float64 `json:"avg_peer_bytes"`
 	FaultEvents            int64   `json:"fault_events"`
 	ResilienceEvents       int64   `json:"resilience_events"`
+	TrustEvents            int64   `json:"trust_events,omitempty"`
 }
 
 // NewReport assembles the Report for a finished run.
@@ -82,6 +87,7 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 		DeadlineSlots:   p.DeadlineSlots,
 		BreakerThresh:   p.BreakerThreshold,
 		BreakerCooldown: p.BreakerCooldown,
+		AuditRate:       p.AuditRate,
 		SelfCheck:       selfChecked,
 		Stats:           stats,
 		Derived: Derived{
@@ -95,6 +101,7 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 			AvgPeerBytes:           stats.AvgPeerBytes(),
 			FaultEvents:            stats.FaultEvents(),
 			ResilienceEvents:       stats.ResilienceEvents(),
+			TrustEvents:            stats.TrustEvents(),
 		},
 		WallSeconds: wallSeconds,
 	}

@@ -7,9 +7,10 @@ package sim
 //	go test -run Soak    # the default 20-schedule acceptance sweep
 //
 // Each schedule draws a random fault profile (loss, damage, staleness,
-// churn) and random resilience knobs (slot deadline, breaker threshold
-// and cooldown, retry budget) from its own seeded stream, runs a small
-// dense world with SelfCheck on, and asserts:
+// churn), random resilience knobs (slot deadline, breaker threshold
+// and cooldown, retry budget), and — on odd schedules — a byzantine
+// attack profile with the audit defense armed, from its own seeded
+// stream, runs a small dense world with SelfCheck on, and asserts:
 //
 //   - soundness: every exact result matched the R-tree ground truth, and
 //     approximate results are only reported when the run accepts them;
@@ -90,6 +91,20 @@ func soakParams(schedule int) Params {
 		p.BreakerThreshold = 0
 		p.BreakerCooldown = 0
 	}
+
+	// Byzantine/trust schedules (drawn after every legacy knob so the
+	// trust-free schedules keep their exact historical draws). Odd
+	// schedules arm lying peers together with the audit defense — the
+	// soundness assert in checkSoakInvariants then doubles as the
+	// "SelfCheck stays green under attack" acceptance invariant. Lies are
+	// never soaked without audits: that configuration fails open by
+	// design and is pinned separately by TestByzantineNoTrustFailsOpen.
+	if schedule%2 == 1 {
+		p.PrefillQueriesPerHost = 5 // caches worth lying about from t=0
+		p.Faults.ByzantineRate = rng.Float64() * 0.5
+		p.Faults.Attack = faults.Attack(1 + rng.Intn(5))
+		p.AuditRate = 0.25 + rng.Float64()*0.75
+	}
 	return p
 }
 
@@ -156,6 +171,22 @@ func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
 	if s.WastedRetries > 0 && s.ChurnDepartures == 0 {
 		t.Errorf("wasted retries %d without departures", s.WastedRetries)
 	}
+	if p.AuditRate == 0 && s.TrustEvents() != 0 {
+		t.Errorf("trust counters fired with audits off: %+v", s)
+	}
+	if p.Faults.ByzantineRate == 0 && s.ByzantineLies != 0 {
+		t.Errorf("lies counted with byzantine off: %d", s.ByzantineLies)
+	}
+	// Honest substrate (no lies, no stale regions surviving to the
+	// screen) must never be convicted by the defense itself.
+	if p.Faults.ByzantineRate == 0 &&
+		(s.AuditFailures != 0 || s.ConflictsDetected != 0 || s.PeersQuarantined != 0) {
+		t.Errorf("defense convicted honest peers: failures=%d conflicts=%d quarantined=%d",
+			s.AuditFailures, s.ConflictsDetected, s.PeersQuarantined)
+	}
+	if s.AuditFailures > s.AuditsRun {
+		t.Errorf("audit failures %d exceed audits %d", s.AuditFailures, s.AuditsRun)
+	}
 }
 
 // TestChaosSoak is the acceptance harness: randomized fault/churn
@@ -196,6 +227,9 @@ func TestChaosSoak(t *testing.T) {
 			agg.BreakerShortCircuits += s.BreakerShortCircuits
 			agg.ChurnDepartures += s.ChurnDepartures
 			agg.WastedRetries += s.WastedRetries
+			agg.ByzantineLies += s.ByzantineLies
+			agg.AuditsRun += s.AuditsRun
+			agg.PeersQuarantined += s.PeersQuarantined
 		})
 	}
 
@@ -216,6 +250,15 @@ func TestChaosSoak(t *testing.T) {
 		}
 		if agg.WastedRetries == 0 {
 			t.Error("no schedule ever wasted a retry on a departed peer")
+		}
+		if agg.ByzantineLies == 0 {
+			t.Error("no schedule ever told a byzantine lie")
+		}
+		if agg.AuditsRun == 0 {
+			t.Error("no schedule ever ran a spot audit")
+		}
+		if agg.PeersQuarantined == 0 {
+			t.Error("no schedule ever quarantined a lying peer")
 		}
 	}
 }
@@ -250,5 +293,8 @@ func TestSoakZeroKnobIdentity(t *testing.T) {
 	}
 	if a.Breakers() != nil || b.Breakers() != nil {
 		t.Fatal("breaker set allocated with breakers disabled")
+	}
+	if a.Trust() != nil || b.Trust() != nil {
+		t.Fatal("trust engine allocated with audits disabled")
 	}
 }

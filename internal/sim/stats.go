@@ -94,6 +94,31 @@ type Stats struct {
 	// peers (spent channel time that could not possibly be answered).
 	WastedRetries int64
 
+	// Trust-layer visibility (internal/trust). All of these are zero when
+	// the trust knobs (Faults.ByzantineRate, Params.AuditRate) are zero;
+	// the new fields are omitted from JSON encodings then, so zero-knob
+	// report rows stay byte-identical to earlier schema versions.
+	//
+	// ByzantineLies counts materially false claims byzantine hosts told
+	// (one per mangled shared region).
+	ByzantineLies int64 `json:",omitempty"`
+	// AuditsRun counts on-air spot audits (passed or failed) and
+	// AuditFailures how many of them convicted the contributor.
+	AuditsRun     int64 `json:",omitempty"`
+	AuditFailures int64 `json:",omitempty"`
+	// ConflictsDetected counts overlap disagreements cross-validation
+	// found between peers' verified regions.
+	ConflictsDetected int64 `json:",omitempty"`
+	// PeersQuarantined counts peer convictions (failed audits plus strike
+	// accumulations); each forces the peer's circuit breaker open.
+	PeersQuarantined int64 `json:",omitempty"`
+	// AuditSlots is the broadcast-slot cost of all audits, priced into the
+	// audited queries' access latency.
+	AuditSlots int64 `json:",omitempty"`
+	// QuarantinedArea is the total area (square miles) subtracted from
+	// merges by conflict quarantine and convictions.
+	QuarantinedArea float64 `json:",omitempty"`
+
 	// AvgPeersPerQuery tracks mean reachable peers (encounter density).
 	peersSum int64
 }
@@ -167,7 +192,16 @@ func (s Stats) AvgPeers() float64 {
 // statistics — zero exactly when the run saw an ideal substrate.
 func (s Stats) FaultEvents() int64 {
 	return s.RequestsUnheard + s.RepliesDropped + s.RepliesRejected +
-		s.StaleVRs + s.Retransmissions + s.IndexRetries + s.ChurnDepartures
+		s.StaleVRs + s.Retransmissions + s.IndexRetries + s.ChurnDepartures +
+		s.ByzantineLies
+}
+
+// TrustEvents returns the total activity of the trust layer — zero
+// exactly when the AuditRate knob was zero (the engine then never
+// exists, and screening never runs).
+func (s Stats) TrustEvents() int64 {
+	return s.AuditsRun + s.AuditFailures + s.ConflictsDetected +
+		s.PeersQuarantined + s.AuditSlots
 }
 
 // ResilienceEvents returns the total activity of the resilient query
@@ -198,6 +232,13 @@ func (s Stats) String() string {
 			s.DeadlineAborts, s.BackoffSlots, s.BreakerTrips,
 			s.BreakerShortCircuits, s.BreakerRecoveries,
 			s.ChurnDepartures, s.ChurnReturns, s.WastedRetries,
+		)
+	}
+	if s.TrustEvents() > 0 || s.ByzantineLies > 0 {
+		out += fmt.Sprintf(
+			" trust[lies=%d audits=%d/%d conflicts=%d quarantined=%d auditslots=%d area=%.2f]",
+			s.ByzantineLies, s.AuditsRun, s.AuditFailures, s.ConflictsDetected,
+			s.PeersQuarantined, s.AuditSlots, s.QuarantinedArea,
 		)
 	}
 	return out

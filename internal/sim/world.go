@@ -14,6 +14,7 @@ import (
 	"lbsq/internal/p2p"
 	"lbsq/internal/rtree"
 	"lbsq/internal/trace"
+	"lbsq/internal/trust"
 	"lbsq/internal/wire"
 )
 
@@ -22,6 +23,16 @@ import (
 // shares draws with the world, so enabling faults does not perturb
 // movement, query launching, or the POI field.
 const faultSeedSalt = 0x6661756c74 // "fault"
+
+// byzSeedSalt seeds the one-shot byzantine host assignment and
+// trustSeedSalt the trust engine's audit-sampling stream. Both are
+// decorrelated from the world and fault streams for the same reason as
+// faultSeedSalt: arming either knob must not perturb movement, query
+// launching, the POI field, or the fault draws.
+const (
+	byzSeedSalt   = 0x62797a61 // "byza"
+	trustSeedSalt = 0x74727573 // "trus"
+)
 
 // World is one simulation instance: the POI database and its broadcast
 // schedule, the mobile host population, and the sharing layer.
@@ -56,6 +67,17 @@ type World struct {
 	resilient bool
 	breakers  *p2p.BreakerSet
 
+	// byzAttack is the per-host byzantine assignment (AttackNone for
+	// honest hosts), drawn once at world construction from a dedicated
+	// seeded stream. Nil when Faults.ByzantineRate is zero — no draws, no
+	// branch costs on the honest path.
+	byzAttack []faults.Attack
+	// tr is the trust engine (nil unless Params.AuditRate > 0). It models
+	// the reputation state the hosts share through their ordinary P2P
+	// exchanges — one engine per world, the same simplification the
+	// breaker set makes.
+	tr *trust.Engine
+
 	// mx is the observability layer (nil unless Params.Metrics): the
 	// per-world registry, phase-span scratch, and instrument handles.
 	// Observation is allocation-free and draws no randomness, so the
@@ -84,13 +106,16 @@ type World struct {
 // candidate before returning (see core.PeerData); all other buffers are
 // consumed before the query completes.
 type queryScratch struct {
-	ids     []int           // neighbor lookup buffer
-	heard   []int           // per-attempt heard list (legacy) / heard target indexes (resilient)
-	peers   []core.PeerData // collected verified regions
-	targets []collectTarget // resilient lifecycle per-peer state
-	shared  []sharedRegion  // receiveReply staging
-	regs    []wire.Region   // wire-encoding staging (damaged-reply path)
-	core    core.Scratch    // NNV/SBNN/SBWQ hot-path scratch
+	ids      []int                // neighbor lookup buffer
+	heard    []int                // per-attempt heard list (legacy) / heard target indexes (resilient)
+	peers    []core.PeerData      // collected verified regions
+	owners   []int                // contributing host per peers entry (trust.Self for own cache)
+	targets  []collectTarget      // resilient lifecycle per-peer state
+	shared   []sharedRegion       // receiveReply staging
+	regs     []wire.Region        // wire-encoding staging (damaged-reply path)
+	contribs []trust.Contribution // trust-screen staging
+	screened []core.PeerData      // trust-screened PeerData
+	core     core.Scratch         // NNV/SBNN/SBWQ hot-path scratch
 }
 
 // collectTarget is one addressed peer's state during the resilient
@@ -195,8 +220,22 @@ func NewWorld(p Params) (*World, error) {
 		breakers:    p2p.NewBreakerSet(p.BreakerConfig()),
 	}
 	w.warmupSec = w.durationSec * p.WarmupFrac
+	w.tr = trust.NewEngine(p.Seed^trustSeedSalt, p.TrustConfig(), w.breakers)
+	if prof.ByzantineRate > 0 {
+		// Byzantine status is a per-host property, assigned once from a
+		// dedicated seeded stream (the attacker's population, not a
+		// per-message coin flip): the same hosts lie for the whole run, so
+		// reputation has something real to learn.
+		byzRng := rand.New(rand.NewSource(p.Seed ^ byzSeedSalt))
+		w.byzAttack = make([]faults.Attack, p.MHNumber)
+		for i := range w.byzAttack {
+			if byzRng.Float64() < prof.ByzantineRate {
+				w.byzAttack[i] = prof.Attack
+			}
+		}
+	}
 	if p.Metrics {
-		w.mx = newWorldMetrics()
+		w.mx = newWorldMetrics(w.tr != nil)
 		w.mx.hosts.Set(float64(p.MHNumber))
 		w.net.FanoutHist = w.mx.fanout
 	}
@@ -338,8 +377,20 @@ func (w *World) Stats() Stats {
 	s.BreakerTrips = b.Trips
 	s.BreakerShortCircuits = b.ShortCircuits
 	s.BreakerRecoveries = b.Recoveries
+	s.ByzantineLies = c.ByzantineLies
+	tc := w.tr.Counters()
+	s.AuditsRun = tc.AuditsRun
+	s.AuditFailures = tc.AuditFailures
+	s.ConflictsDetected = tc.ConflictsDetected
+	s.PeersQuarantined = tc.PeersQuarantined
+	s.AuditSlots = tc.AuditSlots
+	s.QuarantinedArea = tc.QuarantinedArea
 	return s
 }
+
+// Trust exposes the trust engine (nil when the AuditRate knob is off) —
+// the soak harness asserts its reputation invariants.
+func (w *World) Trust() *trust.Engine { return w.tr }
 
 // Breakers exposes the per-peer circuit-breaker set (nil when disabled) —
 // the chaos soak harness asserts its state-machine invariants.
@@ -472,6 +523,7 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 	}
 
 	peers := w.qs.peers[:0]
+	w.qs.owners = w.qs.owners[:0]
 	stamp := int64(w.nowSec)
 	if w.Params.UseOwnCache {
 		// The host's own cache is a zero-cost "peer": no wire traffic, no
@@ -479,6 +531,7 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 		for _, r := range w.hosts[idx].caches[ti].Regions() {
 			if r.Rect.Intersects(relevance) {
 				peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+				w.qs.owners = append(w.qs.owners, trust.Self)
 			}
 		}
 	}
@@ -499,6 +552,43 @@ func (w *World) gatherPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData, 
 	}
 	peers, nPeers := w.collectPeers(idx, ti, relevance)
 	return peers, nPeers, 0
+}
+
+// trustScreen runs one query's trust pass (DESIGN.md §11) over the
+// collected contributions: cross-validation of overlapping VRs, on-air
+// spot audits priced against the remaining deadline budget, and taint
+// verdicts. Returns the screened PeerData, the total slots the query has
+// now spent (collection backoff plus audit cost), and the per-screen
+// report. A nil engine (AuditRate zero) passes the peers through
+// untouched — the seed behavior, with zero draws and zero branches past
+// the first.
+func (w *World) trustScreen(ti int, peers []core.PeerData, spent int64) ([]core.PeerData, int64, trust.Report) {
+	if w.tr == nil {
+		return peers, spent, trust.Report{}
+	}
+	contribs := w.qs.contribs[:0]
+	for i, pd := range peers {
+		contribs = append(contribs, trust.Contribution{
+			Peer: w.qs.owners[i], VR: pd.VR, POIs: pd.POIs})
+	}
+	w.qs.contribs = contribs
+	// Audits spend broadcast slots; they must fit in whatever the
+	// deadline budget has left after collection backoff.
+	budget := int64(-1)
+	if w.Params.DeadlineSlots > 0 {
+		budget = int64(w.Params.DeadlineSlots) - spent
+		if budget < 0 {
+			budget = 0
+		}
+	}
+	oracle := func(r geom.Rect) []broadcast.POI { return w.poisInRect(ti, r) }
+	screened, rep := w.tr.Screen(contribs, oracle, budget)
+	out := w.qs.screened[:0]
+	for _, r := range screened {
+		out = append(out, core.PeerData{VR: r.VR, POIs: r.POIs, Tainted: r.Tainted})
+	}
+	w.qs.screened = out
+	return out, spent + rep.AuditSlots, rep
 }
 
 // collectPeersResilient is the resilient query lifecycle (active whenever
@@ -541,12 +631,14 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 	count := w.counted()
 	stamp := int64(w.nowSec)
 	peers := w.qs.peers[:0]
+	w.qs.owners = w.qs.owners[:0]
 	if w.Params.UseOwnCache {
 		// The host's own cache is a zero-cost "peer": no wire traffic, no
 		// transport faults, no staleness, no breaker.
 		for _, r := range w.hosts[idx].caches[ti].Regions() {
 			if r.Rect.Intersects(relevance) {
 				peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+				w.qs.owners = append(w.qs.owners, trust.Self)
 			}
 		}
 	}
@@ -707,6 +799,10 @@ type replyOutcome struct {
 // byte-for-byte the ideal exchange.
 func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.Rect, stamp int64, count bool) ([]core.PeerData, replyOutcome) {
 	c := w.hosts[id].caches[ti]
+	atk := faults.AttackNone
+	if w.byzAttack != nil {
+		atk = w.byzAttack[id]
+	}
 	// shared stages the served regions in World scratch; its contents are
 	// consumed (copied into PeerData values or wire frames) before this
 	// function returns, so reuse across replies is safe.
@@ -718,6 +814,13 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 		// The peer serves the region regardless of freshness — it cannot
 		// know the POI-update process invalidated it.
 		c.Touch(ri, stamp)
+		if atk != faults.AttackNone {
+			// A byzantine host mangles the claim before it leaves its
+			// radio: the lie rides every downstream path (delivery, loss,
+			// wire damage) exactly like an honest claim would. AttackClaim
+			// returns fresh copies, so the host's own cache stays intact.
+			r.Rect, r.POIs = w.inj.AttackClaim(r.Rect, r.POIs, atk)
+		}
 		shared = append(shared, sharedRegion{region: r, stale: w.inj.StaleVR()})
 	}
 	w.qs.shared = shared
@@ -743,6 +846,7 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 				pd = w.poisonRegion(pd)
 			}
 			peers = append(peers, pd)
+			w.qs.owners = append(w.qs.owners, id)
 		}
 		return peers
 	}
@@ -793,6 +897,7 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 				continue
 			}
 			peers = append(peers, core.PeerData{VR: reg.Rect, POIs: reg.POIs})
+			w.qs.owners = append(w.qs.owners, id)
 		}
 		return peers, replyOutcome{kind: replyDelivered, staleDiscards: staleDiscards}
 	}
@@ -839,7 +944,8 @@ func (w *World) runKNNQuery(idx, ti int) {
 	q := h.mob.Pos
 	k := w.drawK()
 	relevance := geom.RectAround(q, w.knnRelevanceRadius(ti, k))
-	peers, nPeers, spent := w.gatherPeers(idx, ti, relevance)
+	peers, nPeers, collected := w.gatherPeers(idx, ti, relevance)
+	peers, spent, trep := w.trustScreen(ti, peers, collected)
 
 	cfg := core.SBNNConfig{
 		K:                 k,
@@ -881,11 +987,15 @@ func (w *World) runKNNQuery(idx, ti int) {
 			Outcome: res.Outcome.String(), K: k, Peers: nPeers,
 			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
 			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
+			Audits: trep.Audits, AuditFailures: trep.AuditFailures,
+			Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
+			TaintedPeers: trep.Tainted,
 		}
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
-			w.mx.observeQuery(res.Outcome, spent, res.Access,
+			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots, res.Access,
 				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
+			w.mx.observeTrust(trep)
 			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
 				&ev.SpanVerifyWork, &ev.SpanTuneSlots, &ev.SpanDownloadSlots)
 		}
@@ -907,7 +1017,8 @@ func (w *World) runWindowQuery(idx, ti int) {
 	if !ok {
 		return
 	}
-	peers, nPeers, spent := w.gatherPeers(idx, ti, win)
+	peers, nPeers, collected := w.gatherPeers(idx, ti, win)
+	peers, spent, trep := w.trustScreen(ti, peers, collected)
 	// Cap cached retrieval regions at what the cache can hold: CacheSize
 	// POIs cover about CacheSize/lambda square miles.
 	cfg := core.SBWQConfig{
@@ -938,11 +1049,15 @@ func (w *World) runWindowQuery(idx, ti int) {
 			Outcome: res.Outcome.String(), Peers: nPeers,
 			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
 			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
+			Audits: trep.Audits, AuditFailures: trep.AuditFailures,
+			Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
+			TaintedPeers: trep.Tainted,
 		}
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
-			w.mx.observeQuery(res.Outcome, spent, res.Access,
+			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots, res.Access,
 				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
+			w.mx.observeTrust(trep)
 			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
 				&ev.SpanVerifyWork, &ev.SpanTuneSlots, &ev.SpanDownloadSlots)
 		}

@@ -40,6 +40,17 @@ type Event struct {
 	SpanVerifyWork    int64 `json:"span_verify_work,omitempty"`
 	SpanTuneSlots     int64 `json:"span_tune_slots,omitempty"`
 	SpanDownloadSlots int64 `json:"span_download_slots,omitempty"`
+	// Trust-screen fields (internal/trust), populated only when the
+	// simulator runs with the AuditRate knob on: spot audits run and
+	// failed, cross-validation conflicts, the audit slot cost priced into
+	// this query, and surviving contributions demoted to the
+	// probabilistic path. All omitted when zero, so trust-off traces stay
+	// byte-identical to the earlier formats.
+	Audits        int   `json:"audits,omitempty"`
+	AuditFailures int   `json:"audit_failures,omitempty"`
+	Conflicts     int   `json:"conflicts,omitempty"`
+	AuditSlots    int64 `json:"audit_slots,omitempty"`
+	TaintedPeers  int   `json:"tainted_peers,omitempty"`
 }
 
 // Writer appends events as JSON Lines.

@@ -1,0 +1,663 @@
+// Package trust is the Byzantine-resilience subsystem of the sharing
+// architecture. The fault layer (internal/faults) models a lossy but
+// honest substrate and the breaker lifecycle (internal/p2p) tolerates
+// crash-style misbehavior; neither catches a *lying* peer, because a
+// fabricated verified region passes the wire CRC and arrives on time.
+// internal/core/byzantine_test.go documents the consequence: one lying
+// peer poisons Lemma 3.1 into a verified-wrong nearest neighbor.
+//
+// The defense is audit-gated vouching built from three mechanisms:
+//
+//  1. Cross-validation of overlapping VRs at MVR-merge time. Two peers
+//     whose verified regions overlap must agree on the POI set
+//     restricted to the overlap — both claim complete knowledge of it.
+//     Any disagreement is a conflict. When exactly one claimant is
+//     currently vouched, the vouch is audit-backed ground-truth
+//     evidence: only the unvouched claimant is struck and the vouched
+//     claim stands (a byzantine peer can never be vouched, so this
+//     verdict is sound — and it stops one liar from shredding the
+//     honest population's trust, the failure mode that otherwise
+//     collapses sharing coverage entirely). When neither (or both —
+//     only possible through the TrustStale bypass) is vouched the
+//     engine cannot tell who lied: the overlap rectangle is
+//     quarantined out of the merge (subtracted from every unvouched
+//     contribution via geom.SubtractRect; vouched claims stand whole)
+//     for QuarantineCycles screens and both peers are struck and
+//     unvouched. The live rectangle set is deduplicated and capped
+//     (maxQuarRects) so a sustained attack cannot make the screening
+//     pass itself unaffordable.
+//  2. On-air spot audits. A seeded, rate-limited sample of contributions
+//     is re-verified against the broadcast channel while the MH is
+//     already tuned in; the cost is priced in slots against the query's
+//     remaining deadline budget. The audit re-verifies the *sampled
+//     contribution in full* (sampling is at the contribution level, so
+//     the cost stays bounded while a sampled lie cannot hide): a failed
+//     audit convicts the peer on the spot, a passed audit vouches it
+//     for VouchCycles screens and forgives its standing strikes (the
+//     ground truth just testified for it).
+//  3. Reputation-driven quarantine. Convictions (failed audit, or
+//     ConvictStrikes accumulated conflict strikes) quarantine the peer
+//     for QuarantineCycles screens and force its circuit breaker open
+//     (p2p.BreakerSet.ForceOpen); parole runs through the breaker's
+//     ordinary half-open probe once the trust quarantine decays.
+//
+// Soundness contract (the property the soak grid pins): a contribution
+// is *untainted* only if it is the host's own cache or its peer is
+// currently vouched with no standing strikes. Under the byzantine model
+// of internal/faults — every byzantine claim is materially false — a
+// byzantine peer can never pass an audit, hence never be vouched, hence
+// never contribute to the trusted MVR or a verified answer. Byzantine
+// contributions survive only as Tainted results, which core demotes to
+// the Lemma 3.2 probabilistic path (never Verified, never a search
+// upper bound, never merged into exact channel answers). Lies can
+// therefore degrade answers from verified to probabilistic or
+// broadcast, but never produce a verified-wrong result. The one
+// documented bypass is the faults.TrustStale knob, which poisons
+// regions *after* honesty screening by construction; audits still
+// convict its victims when they sample them.
+package trust
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/geom"
+	"lbsq/internal/p2p"
+)
+
+// Self is the Contribution.Peer value for the querying host's own cached
+// regions: never audited, never struck, always untainted (a host trusts
+// its own storage; staleness of that storage is the consistency layer's
+// problem, not the trust layer's).
+const Self = -1
+
+// Defaults for Config fields left at zero.
+const (
+	DefaultMaxAuditsPerQuery = 4
+	// DefaultVouchCycles trades audit traffic against trusted-peer
+	// coverage: the steady-state vouched population is roughly
+	// audits-per-screen × VouchCycles, so a short horizon starves the
+	// trusted MVR even on an honest substrate (measured in
+	// EXPERIMENTS.md: 64 screens left under half the queries verified
+	// with zero liars).
+	DefaultVouchCycles      = 512
+	DefaultQuarantineCycles = 128
+	DefaultConvictStrikes   = 3
+	DefaultAuditBaseSlots   = 2
+	DefaultAuditPOIsPerSlot = 8
+)
+
+// Config parameterizes the trust engine. The zero value disables the
+// defense entirely (NewEngine returns nil).
+type Config struct {
+	// AuditRate is the probability that one peer contribution is spot
+	// audited during one screen. Zero disables the whole defense — the
+	// engine only exists when audits can vouch peers, because without
+	// vouching every contribution would be permanently tainted.
+	AuditRate float64
+	// MaxAuditsPerQuery caps audits per screen so a dense neighborhood
+	// cannot blow the deadline budget. Zero selects the default.
+	MaxAuditsPerQuery int
+	// VouchCycles is how many screens a passed audit vouches a peer for.
+	// Zero selects the default.
+	VouchCycles int64
+	// QuarantineCycles is how many screens a conviction quarantines a
+	// peer (and a conflict quarantines its rectangle) for. Zero selects
+	// the default.
+	QuarantineCycles int64
+	// ConvictStrikes is how many cross-validation strikes convict a peer
+	// without an audit. Zero selects the default.
+	ConvictStrikes int
+	// AuditBaseSlots and AuditPOIsPerSlot price one audit in broadcast
+	// slots: base tuning cost plus one slot per so-many POIs re-checked.
+	// Zero selects the defaults.
+	AuditBaseSlots   int64
+	AuditPOIsPerSlot int
+}
+
+// Enabled reports whether the defense is active.
+func (c Config) Enabled() bool { return c.AuditRate > 0 }
+
+// Normalized returns the config with rates clamped and zero fields
+// defaulted.
+func (c Config) Normalized() Config {
+	out := c
+	if out.AuditRate < 0 {
+		out.AuditRate = 0
+	}
+	if out.AuditRate > 1 {
+		out.AuditRate = 1
+	}
+	if out.MaxAuditsPerQuery <= 0 {
+		out.MaxAuditsPerQuery = DefaultMaxAuditsPerQuery
+	}
+	if out.VouchCycles <= 0 {
+		out.VouchCycles = DefaultVouchCycles
+	}
+	if out.QuarantineCycles <= 0 {
+		out.QuarantineCycles = DefaultQuarantineCycles
+	}
+	if out.ConvictStrikes <= 0 {
+		out.ConvictStrikes = DefaultConvictStrikes
+	}
+	if out.AuditBaseSlots <= 0 {
+		out.AuditBaseSlots = DefaultAuditBaseSlots
+	}
+	if out.AuditPOIsPerSlot <= 0 {
+		out.AuditPOIsPerSlot = DefaultAuditPOIsPerSlot
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.AuditRate != c.AuditRate {
+		return fmt.Errorf("trust: AuditRate is NaN")
+	}
+	if c.AuditRate < 0 || c.AuditRate > 1 {
+		return fmt.Errorf("trust: AuditRate %v out of [0, 1]", c.AuditRate)
+	}
+	return nil
+}
+
+// Contribution is one shared verified region entering a query's merge:
+// the claiming peer, the region, and every POI the peer claims is inside
+// it. The POIs slice is borrowed (never mutated, never retained).
+type Contribution struct {
+	Peer int
+	VR   geom.Rect
+	POIs []broadcast.POI
+}
+
+// Result is one screened piece of a contribution. Quarantine subtraction
+// can split one contribution into several disjoint pieces; each carries
+// the claimed POIs inside it and the taint verdict of its peer.
+type Result struct {
+	Peer    int
+	VR      geom.Rect
+	POIs    []broadcast.POI
+	Tainted bool
+}
+
+// Oracle returns the ground-truth POIs inside r — the content the
+// broadcast channel would deliver for that region. The simulator wraps
+// its POI database; audits charge the tuning cost separately through the
+// slot budget.
+type Oracle func(r geom.Rect) []broadcast.POI
+
+// Report is the per-screen activity record (what one query's trust pass
+// did), used for latency pricing, metrics, and tracing.
+type Report struct {
+	// Audits is how many spot audits ran (passed or failed).
+	Audits int
+	// AuditFailures is how many of them convicted the contributor.
+	AuditFailures int
+	// Conflicts is how many overlap disagreements cross-validation found.
+	Conflicts int
+	// Convictions is how many peers were convicted this screen (audit
+	// failures plus strike accumulations).
+	Convictions int
+	// Tainted is how many surviving contributions were demoted to the
+	// probabilistic path.
+	Tainted int
+	// AuditSlots is the broadcast-slot cost charged to the query.
+	AuditSlots int64
+	// QuarantinedArea is the area newly quarantined this screen
+	// (conflict overlaps plus convicted regions).
+	QuarantinedArea float64
+}
+
+// Counters is the engine's cumulative activity (the sim's Stats source).
+type Counters struct {
+	AuditsRun         int64
+	AuditFailures     int64
+	ConflictsDetected int64
+	PeersQuarantined  int64
+	AuditSlots        int64
+	QuarantinedArea   float64
+}
+
+// peerRec is one peer's reputation record.
+type peerRec struct {
+	vouchedUntil     int64 // screen seq until which the peer is vouched
+	quarantinedUntil int64 // screen seq until which the peer is dropped
+	strikes          int   // standing cross-validation strikes
+}
+
+// quarRect is one quarantined rectangle with its decay horizon.
+type quarRect struct {
+	r     geom.Rect
+	until int64
+}
+
+// maxQuarRects caps the live rectangle-quarantine set. Dense sustained
+// attacks produce the same conflicting overlaps screen after screen;
+// without dedup and a cap the set grows into the tens of thousands and
+// the per-contribution subtraction pass both pulverizes every region
+// and dominates wall time. Evicting the oldest rectangle early is sound:
+// rectangle quarantine is defense-in-depth (taint gating alone carries
+// the soundness contract), so forgetting a rectangle can only re-admit
+// claims into the *probabilistic* path.
+const maxQuarRects = 1024
+
+// Engine is the per-host trust state: reputation records, the decaying
+// rectangle quarantine, and the seeded audit-sampling stream. It is
+// deterministic — identical seeds and call sequences produce identical
+// verdicts — and single-goroutine like the rest of the query path.
+type Engine struct {
+	cfg      Config
+	rng      *rand.Rand
+	breakers *p2p.BreakerSet
+	seq      int64
+	peers    map[int]*peerRec
+	quar     []quarRect
+	quarIdx  map[geom.Rect]int // rect → index in quar (dedup)
+	counters Counters
+
+	// scratch reused across screens
+	pieces []geom.Rect
+}
+
+// NewEngine creates a trust engine, or returns nil when the config
+// disables the defense. A nil *Engine is valid everywhere downstream
+// (the sim threads it without checks); breakers may be nil (convictions
+// then rely on the engine's own quarantine alone).
+func NewEngine(seed int64, cfg Config, breakers *p2p.BreakerSet) *Engine {
+	cfg = cfg.Normalized()
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Engine{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		breakers: breakers,
+		peers:    make(map[int]*peerRec),
+		quarIdx:  make(map[geom.Rect]int),
+	}
+}
+
+// Config returns the active (normalized) config. Safe on nil.
+func (e *Engine) Config() Config {
+	if e == nil {
+		return Config{}
+	}
+	return e.cfg
+}
+
+// Enabled reports whether the defense is active. Safe on nil.
+func (e *Engine) Enabled() bool { return e != nil }
+
+// Counters returns the cumulative activity tallies. Safe on nil (zero).
+func (e *Engine) Counters() Counters {
+	if e == nil {
+		return Counters{}
+	}
+	return e.counters
+}
+
+// Quarantined reports whether peer id is currently quarantined. Safe on
+// nil (never).
+func (e *Engine) Quarantined(id int) bool {
+	if e == nil || id == Self {
+		return false
+	}
+	rec, ok := e.peers[id]
+	return ok && rec.quarantinedUntil > e.seq
+}
+
+// Vouched reports whether peer id is currently vouched with no standing
+// strikes — the condition for its contributions to stay untainted. Safe
+// on nil (never).
+func (e *Engine) Vouched(id int) bool {
+	if e == nil {
+		return false
+	}
+	if id == Self {
+		return true
+	}
+	rec, ok := e.peers[id]
+	return ok && rec.vouchedUntil > e.seq && rec.strikes == 0 && rec.quarantinedUntil <= e.seq
+}
+
+// QuarantinedRects returns the number of rectangles currently in the
+// decaying quarantine set. Safe on nil.
+func (e *Engine) QuarantinedRects() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.quar)
+}
+
+// rec returns (creating if needed) peer id's reputation record.
+func (e *Engine) rec(id int) *peerRec {
+	r, ok := e.peers[id]
+	if !ok {
+		r = &peerRec{}
+		e.peers[id] = r
+	}
+	return r
+}
+
+// convict quarantines peer id and forces its breaker open. Idempotent
+// within one screen (a peer both conflicted and audit-failed counts
+// once, tracked through the screen's convicted set).
+func (e *Engine) convict(id int, rep *Report, convicted map[int]bool) {
+	if id == Self || convicted[id] {
+		return
+	}
+	convicted[id] = true
+	r := e.rec(id)
+	r.quarantinedUntil = e.seq + e.cfg.QuarantineCycles
+	r.vouchedUntil = 0
+	r.strikes = 0
+	e.counters.PeersQuarantined++
+	rep.Convictions++
+	e.breakers.ForceOpen(id)
+}
+
+// strike records one cross-validation strike against peer id, unvouching
+// it; ConvictStrikes standing strikes convict.
+func (e *Engine) strike(id int, rep *Report, convicted map[int]bool) {
+	if id == Self {
+		return
+	}
+	r := e.rec(id)
+	r.vouchedUntil = 0
+	r.strikes++
+	if r.strikes >= e.cfg.ConvictStrikes {
+		e.convict(id, rep, convicted)
+	}
+}
+
+// quarantineRect adds (or refreshes) one rectangle in the decaying
+// quarantine set. The same pair of disagreeing regions resurfaces
+// screen after screen under a sustained attack, so an already-known
+// rectangle only has its decay horizon extended — it is not re-counted
+// as newly quarantined area. The live set is capped at maxQuarRects by
+// evicting the oldest entry.
+func (e *Engine) quarantineRect(r geom.Rect, rep *Report) {
+	until := e.seq + e.cfg.QuarantineCycles
+	if i, ok := e.quarIdx[r]; ok {
+		if e.quar[i].until < until {
+			e.quar[i].until = until
+		}
+		return
+	}
+	if len(e.quar) >= maxQuarRects {
+		delete(e.quarIdx, e.quar[0].r)
+		e.quar = append(e.quar[:0], e.quar[1:]...)
+		for i, q := range e.quar {
+			e.quarIdx[q.r] = i
+		}
+	}
+	e.quarIdx[r] = len(e.quar)
+	e.quar = append(e.quar, quarRect{r: r, until: until})
+	rep.QuarantinedArea += r.Area()
+	e.counters.QuarantinedArea += r.Area()
+}
+
+// auditCost prices one audit in broadcast slots.
+func (e *Engine) auditCost(nPOIs int) int64 {
+	per := int64(e.cfg.AuditPOIsPerSlot)
+	return e.cfg.AuditBaseSlots + (int64(nPOIs)+per-1)/per
+}
+
+// claimHonest re-verifies one claim against the ground truth: the
+// claimed POI set must be exactly the truth restricted to the claimed
+// region (same IDs, same positions — a peer claiming complete knowledge
+// of VR must know precisely its contents).
+func claimHonest(vr geom.Rect, claimed, truth []broadcast.POI) bool {
+	if len(claimed) != len(truth) {
+		return false
+	}
+	// Both sets are small (one cached region); quadratic matching avoids
+	// imposing an ordering contract on the oracle.
+	for _, c := range claimed {
+		found := false
+		for _, t := range truth {
+			if c == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// restrictAgree reports whether two claims agree on the overlap rect:
+// each claim's POIs inside the overlap must appear identically in the
+// other claim.
+func restrictAgree(overlap geom.Rect, a, b []broadcast.POI) bool {
+	contains := func(set []broadcast.POI, p broadcast.POI) bool {
+		for _, q := range set {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range a {
+		if overlap.Contains(p.Pos) && !contains(b, p) {
+			return false
+		}
+	}
+	for _, p := range b {
+		if overlap.Contains(p.Pos) && !contains(a, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Screen runs one query's trust pass over the collected contributions:
+// drops quarantined peers, cross-validates overlapping VRs, spot-audits
+// a seeded sample against the oracle within the slot budget, subtracts
+// quarantined rectangles, and marks every surviving piece with its taint
+// verdict. budget is the query's remaining deadline budget in slots
+// (negative means unlimited); audits that do not fit are skipped.
+//
+// Safe on nil: contributions pass through untainted and unscreened (the
+// defense is off; this is the seed behavior).
+func (e *Engine) Screen(contribs []Contribution, oracle Oracle, budget int64) ([]Result, Report) {
+	if e == nil {
+		out := make([]Result, 0, len(contribs))
+		for _, c := range contribs {
+			out = append(out, Result{Peer: c.Peer, VR: c.VR, POIs: c.POIs})
+		}
+		return out, Report{}
+	}
+	e.seq++
+	var rep Report
+
+	// Decay expired quarantine rectangles (insertion order preserved).
+	live := e.quar[:0]
+	for _, q := range e.quar {
+		if q.until > e.seq {
+			live = append(live, q)
+		} else {
+			delete(e.quarIdx, q.r)
+		}
+	}
+	e.quar = live
+	for i, q := range e.quar {
+		e.quarIdx[q.r] = i
+	}
+
+	// Drop contributions from quarantined peers outright.
+	kept := make([]Contribution, 0, len(contribs))
+	for _, c := range contribs {
+		if e.Quarantined(c.Peer) {
+			continue
+		}
+		kept = append(kept, c)
+	}
+
+	// Cross-validation: every overlapping pair must agree on the overlap.
+	convicted := make(map[int]bool)
+	for i := 0; i < len(kept); i++ {
+		for j := i + 1; j < len(kept); j++ {
+			if kept[i].Peer == kept[j].Peer {
+				continue // two regions of one cache cannot witness each other
+			}
+			overlap, ok := kept[i].VR.Intersect(kept[j].VR)
+			if !ok || overlap.Empty() {
+				continue
+			}
+			if restrictAgree(overlap, kept[i].POIs, kept[j].POIs) {
+				continue
+			}
+			rep.Conflicts++
+			e.counters.ConflictsDetected++
+			// An audit-backed vouch outweighs an unvouched accuser: when
+			// exactly one claimant is vouched, the other one lied (a
+			// byzantine peer can never be vouched), so strike it alone and
+			// let the vouched claim stand. Otherwise the engine cannot
+			// tell who lied: quarantine the overlap out of the merge and
+			// strike both claimants.
+			iv, jv := e.Vouched(kept[i].Peer), e.Vouched(kept[j].Peer)
+			switch {
+			case iv && !jv:
+				e.strike(kept[j].Peer, &rep, convicted)
+			case jv && !iv:
+				e.strike(kept[i].Peer, &rep, convicted)
+			default:
+				e.quarantineRect(overlap, &rep)
+				e.strike(kept[i].Peer, &rep, convicted)
+				e.strike(kept[j].Peer, &rep, convicted)
+			}
+		}
+	}
+
+	// Spot audits: seeded contribution-level sampling, priced in slots
+	// against the deadline budget, capped per query. The audit runs on
+	// the *original* claim (pre-subtraction): under the always-material
+	// adversary model this makes a sampled lie impossible to miss, which
+	// is what keeps byzantine peers permanently unvouchable.
+	audits := 0
+	for _, c := range kept {
+		if c.Peer == Self || convicted[c.Peer] || e.Quarantined(c.Peer) {
+			continue
+		}
+		if audits >= e.cfg.MaxAuditsPerQuery {
+			break
+		}
+		if e.rng.Float64() >= e.cfg.AuditRate {
+			continue
+		}
+		cost := e.auditCost(len(c.POIs))
+		if budget >= 0 && rep.AuditSlots+cost > budget {
+			continue // cannot afford within the deadline
+		}
+		audits++
+		rep.Audits++
+		rep.AuditSlots += cost
+		e.counters.AuditsRun++
+		e.counters.AuditSlots += cost
+		truth := oracle(c.VR)
+		if claimHonest(c.VR, c.POIs, truth) {
+			// Vouch and forgive standing strikes: the ground truth just
+			// testified for the peer, so conflicts it lost to unvouched
+			// accusers no longer count against it.
+			r := e.rec(c.Peer)
+			r.vouchedUntil = e.seq + e.cfg.VouchCycles
+			r.strikes = 0
+			continue
+		}
+		rep.AuditFailures++
+		e.counters.AuditFailures++
+		e.convict(c.Peer, &rep, convicted)
+		rep.QuarantinedArea += c.VR.Area()
+		e.counters.QuarantinedArea += c.VR.Area()
+	}
+
+	// Assemble: convicted peers drop out entirely; everything else is
+	// reduced by the quarantine set and marked with its taint verdict.
+	out := make([]Result, 0, len(kept))
+	taintedPeers := make(map[int]bool)
+	for _, c := range kept {
+		if convicted[c.Peer] || e.Quarantined(c.Peer) {
+			continue
+		}
+		tainted := !e.Vouched(c.Peer)
+		if tainted && !taintedPeers[c.Peer] {
+			taintedPeers[c.Peer] = true
+			rep.Tainted++
+		}
+		e.pieces = e.pieces[:0]
+		e.pieces = append(e.pieces, c.VR)
+		// Rectangle quarantine is defense-in-depth for *unvouched*
+		// claims. A vouched claim is audit-backed, so it stands whole:
+		// subtracting disputed rectangles from the trusted population
+		// would let an attacker pulverize the honest MVR merely by
+		// disputing it (the coverage-collapse failure mode).
+		if tainted {
+			for _, q := range e.quar {
+				if !c.VR.Intersects(q.r) {
+					continue
+				}
+				next := e.pieces[:0:0]
+				for _, piece := range e.pieces {
+					next = append(next, geom.SubtractRect(piece, []geom.Rect{q.r})...)
+				}
+				e.pieces = next
+			}
+		}
+		for _, piece := range e.pieces {
+			if piece.Empty() {
+				continue
+			}
+			r := Result{Peer: c.Peer, VR: piece, Tainted: tainted}
+			for _, p := range c.POIs {
+				if pieceOwns(e.pieces, piece, p.Pos) {
+					r.POIs = append(r.POIs, p)
+				}
+			}
+			out = append(out, r)
+		}
+	}
+
+	// Cross-pool POI dedup: core's candidate dedup assumes one POI ID
+	// appears in only one trust pool, so drop from tainted pieces any
+	// POI an untainted piece already vouches for (the untrusted copy
+	// adds nothing).
+	trusted := make(map[int64]bool)
+	for _, r := range out {
+		if !r.Tainted {
+			for _, p := range r.POIs {
+				trusted[p.ID] = true
+			}
+		}
+	}
+	for i := range out {
+		if !out[i].Tainted {
+			continue
+		}
+		kept := out[i].POIs[:0]
+		for _, p := range out[i].POIs {
+			if !trusted[p.ID] {
+				kept = append(kept, p)
+			}
+		}
+		out[i].POIs = kept
+	}
+	return out, rep
+}
+
+// pieceOwns reports whether piece is the first piece in pieces (closed)
+// containing pos — the tiebreak that keeps a boundary POI from being
+// duplicated across adjacent subtraction pieces.
+func pieceOwns(pieces []geom.Rect, piece geom.Rect, pos geom.Point) bool {
+	for _, p := range pieces {
+		if p.Empty() {
+			continue
+		}
+		if p.Contains(pos) {
+			return p == piece
+		}
+	}
+	return false
+}
