@@ -8,7 +8,7 @@ GO ?= go
 GOFMT ?= gofmt
 
 # Packages that must stay above the coverage floor (see `make cover`).
-COVER_PKGS = internal/core internal/geom internal/metrics internal/trust
+COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache
 COVER_MIN ?= 70
 
 .PHONY: all build vet test race lint cover fuzz-smoke verify soak bench bench-hot bench-smoke
@@ -67,6 +67,7 @@ fuzz-smoke:
 	fi
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeReply -fuzztime=5s -timeout 5m ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s -timeout 5m ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzInvalidationReport -fuzztime=5s -timeout 5m ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzAttackClaim -fuzztime=5s -timeout 5m ./internal/faults
 
 verify: vet build race fuzz-smoke

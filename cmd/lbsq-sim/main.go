@@ -16,6 +16,8 @@
 //	         [-deadline-slots n] [-breaker-threshold n]
 //	         [-breaker-cooldown n] [-churn-rate p]
 //	         [-byzantine-rate p] [-attack profile] [-audit-rate p]
+//	         [-update-rate n] [-ir-period sec] [-ir-window n]
+//	         [-vr-ttl sec] [-ir-discard]
 //	         [-json] [-grid faults] [-parallel n]
 //	         [-metrics] [-metrics-out file] [-metrics-listen addr]
 //
@@ -67,6 +69,20 @@
 // assumption fails open: -selfcheck then demonstrates verified-wrong
 // answers); with it on, lies degrade answers to the probabilistic or
 // broadcast path but never produce a verified-wrong result.
+//
+// The consistency flags drive the dynamic-POI layer (DESIGN.md §12):
+// -update-rate sets POI mutations per minute (insert/delete/move; 0
+// keeps the database static and every output bit-identical to earlier
+// builds), -ir-period is the invalidation-report broadcast period in
+// simulated seconds (default 30 when updates are on), -ir-window is how
+// many past epochs each IR frame retains (default 8; hosts further
+// behind demote their caches instead of repairing them), -vr-ttl expires
+// cached verified regions after that many seconds (usable without
+// -update-rate), and -ir-discard replaces surgical reconciliation with
+// whole-region discard (the ablation EXPERIMENTS.md compares against).
+// The legacy -stale-rate fault is re-expressed through this layer when
+// updates are on: an injector-stale region is treated as superseded
+// beyond the IR horizon (demoted, not silently wrong).
 //
 // -json suppresses the human-readable report and emits one machine-
 // readable JSON object (configuration + full statistics) on stdout.
@@ -126,6 +142,11 @@ func main() {
 		byzRate   = flag.Float64("byzantine-rate", 0, "fraction of hosts that lie about their cached regions [0, 1]")
 		attack    = flag.String("attack", "", "byzantine attack profile: fabricate, omit, inflate, shift, mix (default mix when -byzantine-rate > 0)")
 		auditRate = flag.Float64("audit-rate", 0, "probability one peer contribution is spot-audited against the channel [0, 1]; 0 disables the trust layer")
+		updRate   = flag.Float64("update-rate", 0, "POI mutations per minute (insert/delete/move); 0 keeps the database static")
+		irPeriod  = flag.Float64("ir-period", 0, "invalidation-report broadcast period in seconds (0 = default 30 when -update-rate > 0)")
+		irWindow  = flag.Int("ir-window", 0, "epochs each invalidation report retains (0 = default 8; older caches demote)")
+		vrTTL     = flag.Float64("vr-ttl", 0, "cached verified-region time-to-live in seconds (0 = no expiry)")
+		irDiscard = flag.Bool("ir-discard", false, "discard whole superseded regions instead of surgically reconciling them (ablation)")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
 		grid      = flag.String("grid", "", "run a benchmark grid instead of a single configuration: 'faults'")
 		parallel  = flag.Int("parallel", 0, "grid worker count (0 = GOMAXPROCS, 1 = serial; rows identical either way)")
@@ -219,6 +240,21 @@ func main() {
 		p.Faults.Attack = a
 	}
 	p.AuditRate = *auditRate
+	p.UpdateRate = *updRate
+	p.IRPeriodSec = *irPeriod
+	p.IRWindow = *irWindow
+	p.VRTTLSec = *vrTTL
+	p.IRDiscard = *irDiscard
+	if p.UpdateRate > 0 {
+		// Mirror the sim defaults so the reports below show the values
+		// actually simulated.
+		if p.IRPeriodSec == 0 {
+			p.IRPeriodSec = 30
+		}
+		if p.IRWindow == 0 {
+			p.IRWindow = 8
+		}
+	}
 	p.DeadlineSlots = *deadline
 	p.BreakerThreshold = *brThresh
 	p.BreakerCooldown = *brCool
@@ -352,6 +388,18 @@ func main() {
 		fmt.Printf("  cross-validation conflicts:    %d\n", stats.ConflictsDetected)
 		fmt.Printf("  peers quarantined:             %d (area: %.2f sq mi)\n",
 			stats.PeersQuarantined, stats.QuarantinedArea)
+	}
+	if stats.ConsistencyEvents() > 0 {
+		fmt.Printf("\nconsistency layer (update-rate=%.2f/min ir-period=%.0fs ir-window=%d vr-ttl=%.0fs discard=%v):\n",
+			p.UpdateRate, p.IRPeriodSec, p.IRWindow, p.VRTTLSec, p.IRDiscard)
+		fmt.Printf("  POI updates applied:           %d (%d IR broadcasts)\n",
+			stats.POIUpdates, stats.IRBroadcasts)
+		fmt.Printf("  IR listens:                    %d (%d slots, %d replica waits)\n",
+			stats.IRListens, stats.IRListenSlots, stats.IRListenRetries)
+		fmt.Printf("  VRs reconciled / demoted / discarded: %d / %d / %d\n",
+			stats.VRsReconciled, stats.VRsDemoted, stats.VRsDiscarded)
+		fmt.Printf("  VRs expired (TTL):             %d\n", stats.VRsExpired)
+		fmt.Printf("  stale verdicts (amnestied):    %d\n", stats.StaleVerdicts)
 	}
 	if *baseline && stats.BaselineSampled > 0 {
 		base := stats.BaselineMeanLatencySlots()

@@ -431,6 +431,36 @@ func (s *Schedule) probeIndex(start int64) (int64, Access) {
 	return done, acc
 }
 
+// ListenIR models a client tuning in for the invalidation report that
+// rides every (1, m) index segment (consistency layer, DESIGN.md §12):
+// wait for the next index replica, read the segment, and on reception
+// failure stay tuned through the wasted segment and retry at the next
+// replica — the same replica-wait discipline as probeIndex. lost is
+// consulted once per reception attempt and reports whether that copy of
+// the IR was lost on air; nil means a clean channel. The returned access
+// carries the latency and tuning cost of the listen; IndexRetries counts
+// the lost copies.
+//
+// Loss draws come from the caller rather than the schedule's own loss
+// stream so that IR listening — active only when the consistency layer is
+// armed — never perturbs the query path's random sequence.
+func (s *Schedule) ListenIR(start int64, lost func() bool) Access {
+	is := s.nextIndexStart(start)
+	segTuning := int64(s.indexSlots)
+	if s.treeIndex {
+		segTuning = 1 // the IR rides the directory slot
+	}
+	acc := Access{Tuning: 1, IndexReads: 1}
+	for lost != nil && lost() {
+		acc.Tuning += segTuning
+		acc.IndexRetries++
+		is = s.nextIndexStart(is + int64(s.indexSlots))
+	}
+	acc.Tuning += segTuning
+	acc.Latency = is + int64(s.indexSlots) - start
+	return acc
+}
+
 // indexTuning returns the extra index slots a tree-index client tunes:
 // the distinct leaf slots holding the entries of the candidate packets.
 // Zero for the flat index (already fully read by probeIndex).

@@ -55,6 +55,11 @@ type Region struct {
 	Rect  geom.Rect
 	POIs  []broadcast.POI
 	Stamp int64 // last use time (for LRU)
+	// Epoch is the POI-database version this region was verified
+	// against (consistency layer; zero when the POI set is static).
+	Epoch int64
+	// Born is the insertion time, for TTL expiry (VRTTLSec knob).
+	Born int64
 }
 
 // Cache is a bounded store of verified regions.
@@ -121,6 +126,7 @@ func (c *Cache) Insert(r Region, pos, heading geom.Point, now int64) {
 		return
 	}
 	r.Stamp = now
+	r.Born = now
 	if len(r.POIs) > c.capacity {
 		r = shrinkRegion(r, c.capacity)
 		if r.Rect.Empty() {
@@ -240,5 +246,5 @@ func shrinkRegion(r Region, maxPOIs int) Region {
 			inside = append(inside, p)
 		}
 	}
-	return Region{Rect: rect, POIs: inside, Stamp: r.Stamp}
+	return Region{Rect: rect, POIs: inside, Stamp: r.Stamp, Epoch: r.Epoch, Born: r.Born}
 }

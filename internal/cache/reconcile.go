@@ -1,0 +1,189 @@
+// Versioned cache reconciliation (DESIGN.md §12). When the POI database
+// mutates, the server broadcasts invalidation reports; this file applies
+// them to cached verified regions. The repair is surgical: instead of
+// discarding a whole region because one POI inside it churned, the region
+// is shrunk around the invalidated index cells with geom.SubtractRect and
+// the surviving sub-rectangles stay exact at the new epoch.
+//
+// Soundness argument (the invariant NNV relies on is "a region's POI list
+// is exactly the database ∩ rect"): a mutation with epoch newer than the
+// region's either (a) removes a POI by ID — delete and move both strip
+// the stale entry from the list — or (b) places a POI inside an announced
+// index cell — insert and move both subtract that cell from the rect, so
+// the new POI's position cannot lie in any surviving piece. A region too
+// old for the report's horizon cannot be repaired and is left in place
+// for the caller to demote to the probabilistic path (missed-IR window
+// policy: demotion, not fabricated exactness).
+package cache
+
+import "lbsq/internal/geom"
+
+// InvalKind is the mutation class of one invalidation.
+type InvalKind uint8
+
+// Invalidation kinds, mirroring the wire IR item kinds.
+const (
+	InvalInsert InvalKind = 1
+	InvalDelete InvalKind = 2
+	InvalMove   InvalKind = 3
+)
+
+// Invalidation is one POI mutation to reconcile against: the epoch that
+// created it, the POI id it removes (delete/move), and the index cell now
+// containing the POI (insert/move).
+type Invalidation struct {
+	Epoch int64
+	Kind  InvalKind
+	ID    int64
+	Cell  geom.Rect
+}
+
+// maxReconcilePieces bounds the fragmentation one repair may produce;
+// past it the region is dropped instead (sound: losing coverage never
+// fabricates exactness, and a region shredded this badly is worth little).
+const maxReconcilePieces = 32
+
+// Recon summarizes one cache-wide reconciliation pass.
+type Recon struct {
+	// Repaired counts regions surgically shrunk (content was affected).
+	Repaired int
+	// Pieces is the total sub-regions the repaired regions became.
+	Pieces int
+	// Discarded counts regions dropped: every superseded region in
+	// whole-discard mode, or repairs that fragmented past the cap or
+	// shrank to nothing.
+	Discarded int
+	// BeyondHorizon counts regions older than the report horizon, left
+	// in place for demotion at query time.
+	BeyondHorizon int
+}
+
+// ReconcileRegion applies the invalidations newer than r.Epoch and
+// returns the surviving exact sub-regions, each stamped with epoch. The
+// second result reports whether any mutation touched the region; when
+// false the region was already current in content and is returned as-is
+// with its epoch bumped. A nil slice with touched=true means the region
+// could not be soundly repaired (shrunk to nothing or over-fragmented).
+func ReconcileRegion(r Region, invals []Invalidation, epoch int64) ([]Region, bool) {
+	var cells []geom.Rect
+	var removed map[int64]bool
+	for _, inv := range invals {
+		if inv.Epoch <= r.Epoch {
+			continue
+		}
+		if inv.Kind == InvalDelete || inv.Kind == InvalMove {
+			if removed == nil {
+				removed = make(map[int64]bool)
+			}
+			removed[inv.ID] = true
+		}
+		if (inv.Kind == InvalInsert || inv.Kind == InvalMove) && inv.Cell.Intersects(r.Rect) {
+			cells = append(cells, inv.Cell)
+		}
+	}
+	survivors := r.POIs
+	if removed != nil {
+		survivors = nil
+		hit := false
+		for _, p := range r.POIs {
+			if removed[p.ID] {
+				hit = true
+				continue
+			}
+			survivors = append(survivors, p)
+		}
+		if !hit {
+			survivors = r.POIs
+			removed = nil
+		}
+	}
+	if len(cells) == 0 && removed == nil {
+		// No relevant mutation: content already matches the new epoch.
+		r.Epoch = epoch
+		return []Region{r}, false
+	}
+	rects := geom.SubtractRect(r.Rect, cells)
+	if len(rects) == 0 || len(rects) > maxReconcilePieces {
+		return nil, true
+	}
+	pieces := make([]Region, len(rects))
+	for i, rect := range rects {
+		pieces[i] = Region{Rect: rect, Stamp: r.Stamp, Epoch: epoch, Born: r.Born}
+	}
+	// First-containing-piece assignment keeps POI ownership disjoint when
+	// a survivor sits exactly on a shared piece boundary.
+	for _, p := range survivors {
+		for i := range pieces {
+			if pieces[i].Rect.Contains(p.Pos) {
+				pieces[i].POIs = append(pieces[i].POIs, p)
+				break
+			}
+		}
+	}
+	return pieces, true
+}
+
+// Reconcile applies an invalidation report to every cached region.
+// Regions already at the report epoch are untouched; superseded regions
+// are surgically repaired (or all dropped when discard is set — the
+// whole-discard ablation); regions older than horizon-1 predate the
+// report's memory and stay cached for query-time demotion.
+func (c *Cache) Reconcile(epoch, horizon int64, invals []Invalidation, discard bool) Recon {
+	var rec Recon
+	// A repair can fan one region out into several pieces, so the output
+	// cannot reuse the backing array being iterated.
+	out := make([]Region, 0, len(c.regions))
+	size := 0
+	for _, r := range c.regions {
+		switch {
+		case r.Epoch >= epoch:
+			out = append(out, r)
+			size += cost(r)
+		case discard:
+			rec.Discarded++
+		case r.Epoch < horizon-1:
+			rec.BeyondHorizon++
+			out = append(out, r)
+			size += cost(r)
+		default:
+			pieces, touched := ReconcileRegion(r, invals, epoch)
+			if pieces == nil {
+				rec.Discarded++
+				continue
+			}
+			if touched {
+				rec.Repaired++
+				rec.Pieces += len(pieces)
+			}
+			for _, p := range pieces {
+				out = append(out, p)
+				size += cost(p)
+			}
+		}
+	}
+	c.regions = out
+	c.size = size
+	return rec
+}
+
+// ExpireBefore evicts every region born at or before cutoff (TTL expiry:
+// a region exactly at the boundary is already too old) and returns how
+// many were removed.
+func (c *Cache) ExpireBefore(cutoff int64) int {
+	out := c.regions[:0]
+	size := 0
+	for _, r := range c.regions {
+		if r.Born <= cutoff {
+			continue
+		}
+		out = append(out, r)
+		size += cost(r)
+	}
+	n := len(c.regions) - len(out)
+	for i := len(out); i < len(c.regions); i++ {
+		c.regions[i] = Region{}
+	}
+	c.regions = out
+	c.size = size
+	return n
+}

@@ -10,26 +10,36 @@ import (
 
 // FaultCell is one cell of the fault/resilience benchmark grid: a
 // symmetric request/reply loss rate, with or without the resilient
-// query lifecycle (bounded retries, churn, deadlines, breakers).
+// query lifecycle (bounded retries, churn, deadlines, breakers), and
+// optionally with the dynamic-POI consistency layer (UpdateRate > 0
+// arms it; Discard replaces surgical reconciliation with whole-region
+// discard — the ablation the churn rows compare).
 type FaultCell struct {
-	Loss      float64
-	Resilient bool
+	Loss       float64
+	Resilient  bool
+	UpdateRate float64
+	Discard    bool
 }
 
 // FaultGrid returns the standard grid `make bench` sweeps: loss rates
 // {0, 0.05, 0.1, 0.2}, first with the blind retry loop of the fault
-// layer, then with the full resilient lifecycle. The cell order (and
-// therefore the BENCH_faults.json row order) matches the historical
-// shell loop, so downstream row consumers keep working.
+// layer, then with the full resilient lifecycle, then the two POI-churn
+// cells (surgical reconciliation vs whole-discard at the same churn and
+// loss). The legacy cell order (and therefore the BENCH_faults.json row
+// prefix) matches the historical shell loop, so downstream row
+// consumers keep working; churn rows append, carrying bench_schema 3.
 func FaultGrid() []FaultCell {
 	rates := []float64{0, 0.05, 0.1, 0.2}
-	cells := make([]FaultCell, 0, 2*len(rates))
+	cells := make([]FaultCell, 0, 2*len(rates)+2)
 	for _, p := range rates {
 		cells = append(cells, FaultCell{Loss: p})
 	}
 	for _, p := range rates {
 		cells = append(cells, FaultCell{Loss: p, Resilient: true})
 	}
+	cells = append(cells,
+		FaultCell{Loss: 0.1, Resilient: true, UpdateRate: 2},
+		FaultCell{Loss: 0.1, Resilient: true, UpdateRate: 2, Discard: true})
 	return cells
 }
 
@@ -53,6 +63,13 @@ func (c FaultCell) Params(side, hours float64) sim.Params {
 		p.DeadlineSlots = 16
 		p.BreakerThreshold = 3
 		p.BreakerCooldown = 8
+	}
+	if c.UpdateRate > 0 {
+		p.UpdateRate = c.UpdateRate
+		p.IRPeriodSec = 30
+		p.IRWindow = 8
+		p.IRDiscard = c.Discard
+		p.UseOwnCache = true // churn rows exercise the own-cache reconcile path too
 	}
 	return p
 }

@@ -38,12 +38,16 @@ func TestFaultGridParallelIdentity(t *testing.T) {
 }
 
 // TestFaultGridCellOrder pins the row order to the historical shell
-// loop: plain cells first in ascending loss, then resilient cells.
+// loop: plain cells first in ascending loss, then resilient cells, then
+// the appended POI-churn pair (surgical, then whole-discard).
 func TestFaultGridCellOrder(t *testing.T) {
 	grid := FaultGrid()
 	want := []FaultCell{
-		{0, false}, {0.05, false}, {0.1, false}, {0.2, false},
-		{0, true}, {0.05, true}, {0.1, true}, {0.2, true},
+		{Loss: 0}, {Loss: 0.05}, {Loss: 0.1}, {Loss: 0.2},
+		{Loss: 0, Resilient: true}, {Loss: 0.05, Resilient: true},
+		{Loss: 0.1, Resilient: true}, {Loss: 0.2, Resilient: true},
+		{Loss: 0.1, Resilient: true, UpdateRate: 2},
+		{Loss: 0.1, Resilient: true, UpdateRate: 2, Discard: true},
 	}
 	if !reflect.DeepEqual(grid, want) {
 		t.Fatalf("FaultGrid order changed: %+v", grid)

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/cache"
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/mobility"
+	"lbsq/internal/rtree"
+	"lbsq/internal/wire"
+)
+
+// updateSeedSalt seeds the POI-mutation stream and irSeedSalt the
+// IR-listen loss stream. Both are decorrelated from the world, fault,
+// byzantine, and trust streams for the same reason as faultSeedSalt:
+// arming the consistency layer must not perturb movement, query
+// launching, the POI field, or any other layer's draws (and the listen
+// stream stays off the schedule's own lossRng so the query path's loss
+// sequence is untouched by IR traffic).
+const (
+	updateSeedSalt = 0x75706474 // "updt"
+	irSeedSalt     = 0x69726c73 // "irls"
+)
+
+// maxUpdatesPerEpoch caps how many mutations one IR period may batch into
+// a single epoch, keeping every IR frame within wire.MaxIRItems even at
+// the full IRWindow retention. Poisson draws above the cap are clamped
+// (at sane update rates the cap is orders of magnitude away).
+const maxUpdatesPerEpoch = wire.MaxIRItems / 4
+
+// consState is the server side of the consistency layer (DESIGN.md §12):
+// the seeded update process, the per-type version state, and the loss
+// stream for client IR listens. Nil when UpdateRate is zero — no state,
+// no draws, and the zero-knob outputs stay bit-identical to the seed.
+type consState struct {
+	updRng  *rand.Rand
+	lossRng *rand.Rand
+	loss    float64 // BroadcastLoss applied to IR receptions
+	// nextIRSec is the simulated time of the next IR broadcast tick.
+	nextIRSec float64
+	types     []typeConsState
+}
+
+// typeConsState is one data type's version state.
+type typeConsState struct {
+	// epoch is the monotone database version; it advances once per IR
+	// period that saw at least one mutation.
+	epoch int64
+	// nextID is the next fresh POI id (inserts never reuse ids).
+	nextID int64
+	// records holds the last IRWindow epochs' mutation items — the
+	// server-side memory the broadcast IR frame carries.
+	records []epochRecord
+	// horizon and invals mirror the *decoded* current IR frame: the
+	// oldest epoch the frame retains and its items as cache
+	// invalidations. Clients reconcile strictly from these, so the wire
+	// codec is load-bearing, not decorative.
+	horizon int64
+	invals  []cache.Invalidation
+	// frameBytes is the encoded size of the current IR frame.
+	frameBytes int
+}
+
+// epochRecord is one epoch's batch of mutation items.
+type epochRecord struct {
+	epoch int64
+	items []wire.IRItem
+}
+
+// newConsState builds the consistency state for an armed world.
+func newConsState(p Params, types []typeState) *consState {
+	c := &consState{
+		updRng:    rand.New(rand.NewSource(p.Seed ^ updateSeedSalt)),
+		lossRng:   rand.New(rand.NewSource(p.Seed ^ irSeedSalt)),
+		loss:      p.Faults.Normalized().BroadcastLoss,
+		nextIRSec: p.IRPeriodSec,
+		types:     make([]typeConsState, len(types)),
+	}
+	for ti := range c.types {
+		c.types[ti].nextID = int64(len(types[ti].db))
+	}
+	return c
+}
+
+// advanceConsistency runs every IR broadcast tick that has come due:
+// mutations accumulate into one epoch per period and the refreshed IR
+// frame goes on air. Called once per Step, before query launches, so
+// every query of a step sees a settled epoch.
+func (w *World) advanceConsistency() {
+	c := w.cons
+	if c == nil {
+		return
+	}
+	for w.nowSec >= c.nextIRSec {
+		for ti := range w.types {
+			w.applyUpdates(ti)
+		}
+		c.nextIRSec += w.Params.IRPeriodSec
+	}
+}
+
+// applyUpdates mutates one data type's POI set for one IR period and
+// rebuilds its ground truth, broadcast schedule, and IR frame. The
+// mutation mix is uniform over insert/delete/move; deletes and moves
+// pick a uniform victim, inserts and moves draw a uniform fresh
+// position. Every draw comes from the dedicated update stream.
+func (w *World) applyUpdates(ti int) {
+	c := w.cons
+	ts := &w.types[ti]
+	tc := &c.types[ti]
+	mean := w.Params.UpdateRate / 60 * w.Params.IRPeriodSec
+	n := mobility.Poisson(c.updRng, mean)
+	if n > maxUpdatesPerEpoch {
+		n = maxUpdatesPerEpoch
+	}
+	if n == 0 {
+		return // quiet period: no epoch advance, no new frame
+	}
+	tc.epoch++
+	curve := ts.sched.Curve()
+	items := make([]wire.IRItem, 0, n)
+	for i := 0; i < n; i++ {
+		op := c.updRng.Intn(3)
+		if len(ts.db) <= 1 && op != 0 {
+			op = 0 // keep the database non-empty (the channel needs content)
+		}
+		switch op {
+		case 1: // delete
+			j := c.updRng.Intn(len(ts.db))
+			id := ts.db[j].ID
+			ts.db = append(ts.db[:j], ts.db[j+1:]...)
+			items = append(items, wire.IRItem{Epoch: tc.epoch, Kind: wire.IRDelete, ID: id})
+		case 2: // move
+			j := c.updRng.Intn(len(ts.db))
+			pos := geom.Pt(c.updRng.Float64()*w.Params.AreaMiles, c.updRng.Float64()*w.Params.AreaMiles)
+			ts.db[j].Pos = pos
+			cx, cy := curve.CellOf(pos)
+			items = append(items, wire.IRItem{
+				Epoch: tc.epoch, Kind: wire.IRMove, ID: ts.db[j].ID, Cell: curve.CellRect(cx, cy)})
+		default: // insert
+			pos := geom.Pt(c.updRng.Float64()*w.Params.AreaMiles, c.updRng.Float64()*w.Params.AreaMiles)
+			id := tc.nextID
+			tc.nextID++
+			ts.db = append(ts.db, broadcast.POI{ID: id, Pos: pos})
+			cx, cy := curve.CellOf(pos)
+			items = append(items, wire.IRItem{
+				Epoch: tc.epoch, Kind: wire.IRInsert, ID: id, Cell: curve.CellRect(cx, cy)})
+		}
+	}
+	w.stats.POIUpdates += int64(n)
+	w.stats.IRBroadcasts++
+	w.mx.observeUpdates(int64(n))
+
+	// Retain the last IRWindow epochs, bounded by the wire item limit
+	// (dropping the oldest record raises the horizon — clients that far
+	// behind demote instead of repairing).
+	tc.records = append(tc.records, epochRecord{epoch: tc.epoch, items: items})
+	for len(tc.records) > w.Params.IRWindow && len(tc.records) > 1 {
+		tc.records = tc.records[1:]
+	}
+	total := 0
+	for _, r := range tc.records {
+		total += len(r.items)
+	}
+	for total > wire.MaxIRItems && len(tc.records) > 1 {
+		total -= len(tc.records[0].items)
+		tc.records = tc.records[1:]
+	}
+
+	// Rebuild the ground truth and the broadcast schedule at the new
+	// epoch. The loss seed mixes the epoch in so each rebuilt channel has
+	// an independent (but reproducible) error stream.
+	rt := make([]rtree.Item, len(ts.db))
+	for i, poi := range ts.db {
+		rt[i] = rtree.Item{ID: poi.ID, Pos: poi.Pos}
+	}
+	ts.truth = rtree.Bulk(rt, 16)
+	bcfg := ts.bcfg
+	if bcfg.LossRate > 0 {
+		bcfg.LossSeed ^= tc.epoch << 24
+	}
+	sched, err := broadcast.NewSchedule(ts.db, bcfg)
+	if err != nil {
+		// Cannot happen with a non-empty database; surface loudly if the
+		// model drifts.
+		if w.selfCheckErr == nil {
+			w.selfCheckErr = fmt.Errorf("consistency: schedule rebuild at epoch %d: %w", tc.epoch, err)
+		}
+		return
+	}
+	ts.sched = sched
+
+	// Assemble, encode, and decode the IR frame. The decoded view is what
+	// clients reconcile from: a frame the codec rejects would take the
+	// whole layer down, exactly as it should.
+	flat := make([]wire.IRItem, 0, total)
+	for _, r := range tc.records {
+		flat = append(flat, r.items...)
+	}
+	ir := wire.InvalidationReport{Epoch: tc.epoch, Horizon: tc.records[0].epoch, Items: flat}
+	enc, err := wire.EncodeInvalidationReport(ir)
+	if err == nil {
+		ir, err = wire.DecodeInvalidationReport(enc)
+	}
+	if err != nil {
+		if w.selfCheckErr == nil {
+			w.selfCheckErr = fmt.Errorf("consistency: IR frame at epoch %d: %w", tc.epoch, err)
+		}
+		return
+	}
+	tc.frameBytes = len(enc)
+	tc.horizon = ir.Horizon
+	tc.invals = tc.invals[:0]
+	for _, it := range ir.Items {
+		tc.invals = append(tc.invals, cache.Invalidation{
+			Epoch: it.Epoch, Kind: cache.InvalKind(it.Kind), ID: it.ID, Cell: it.Cell})
+	}
+}
+
+// syncIR is the client side of one query's consistency pass, run before
+// peer collection: TTL-expire the host's own cache, and if the host has
+// not heard the current epoch's IR yet, tune in for it (paying the listen
+// latency) and reconcile the own cache against it. Returns the broadcast
+// slots spent listening; zero (with zero draws) when the layer is off and
+// the host is current.
+func (w *World) syncIR(idx, ti int) int64 {
+	h := &w.hosts[idx]
+	w.expireTTL(h.caches[ti])
+	c := w.cons
+	if c == nil {
+		return 0
+	}
+	tc := &c.types[ti]
+	if h.irEpoch[ti] >= tc.epoch {
+		return 0
+	}
+	var lost func() bool
+	if c.loss > 0 {
+		lost = func() bool {
+			if c.lossRng.Float64() < c.loss {
+				w.stats.IRListenRetries++
+				return true
+			}
+			return false
+		}
+	}
+	acc := w.types[ti].sched.ListenIR(w.slotNow(), lost)
+	w.stats.IRListens++
+	w.stats.IRListenSlots += acc.Latency
+	w.mx.observeIRListen(acc.Latency)
+	rec := h.caches[ti].Reconcile(tc.epoch, tc.horizon, tc.invals, w.Params.IRDiscard)
+	w.stats.VRsReconciled += int64(rec.Repaired)
+	w.stats.VRsDiscarded += int64(rec.Discarded)
+	w.mx.observeReconcile(rec)
+	h.irEpoch[ti] = tc.epoch
+	return acc.Latency
+}
+
+// expireTTL applies the VRTTLSec time-to-live to one cache. Lazy: caches
+// are swept when their owner queries or serves, not on a global clock.
+func (w *World) expireTTL(c *cache.Cache) {
+	ttl := w.Params.VRTTLSec
+	if ttl <= 0 {
+		return
+	}
+	cutoff := int64(w.nowSec) - int64(ttl)
+	if cutoff < 0 {
+		return
+	}
+	if n := int64(c.ExpireBefore(cutoff)); n > 0 {
+		w.stats.VRsExpired += n
+		w.mx.observeExpired(n)
+	}
+}
+
+// admitShared is the receiving client's consistency gate for one region a
+// peer served (only reachable when the layer is armed): regions at the
+// current epoch enter exact, superseded ones are surgically repaired from
+// the current IR frame, and regions older than the repair horizon are
+// demoted to the probabilistic path — served, but never exact. The legacy
+// stale-rate fault rides the same path: an injector-stale region is
+// assigned an epoch beyond the horizon, so "silently diverged" and
+// "slept past the IR window" degrade identically (and without the
+// breaker-feeding discard of the consistency-off path: staleness under
+// an armed layer is amnestied, like the trust layer's stale verdict).
+func (w *World) admitShared(peers []core.PeerData, id, ti int, r cache.Region, stale, trustStale bool) []core.PeerData {
+	tc := &w.cons.types[ti]
+	if stale {
+		if trustStale {
+			// The documented TrustStale hazard: the diverged region is
+			// trusted at face value, claimed epoch included.
+			pd := w.poisonRegion(core.PeerData{VR: r.Rect, POIs: r.POIs})
+			w.qs.owners = append(w.qs.owners, id)
+			return append(peers, pd)
+		}
+		r.Epoch = tc.horizon - 2
+	}
+	switch {
+	case r.Epoch >= tc.epoch:
+		w.qs.owners = append(w.qs.owners, id)
+		return append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+	case w.Params.IRDiscard:
+		// Whole-discard ablation: any superseded region is thrown away.
+		w.stats.VRsDiscarded++
+		w.mx.observeReconcile(cache.Recon{Discarded: 1})
+		return peers
+	case r.Epoch >= tc.horizon-1:
+		pieces, touched := cache.ReconcileRegion(r, tc.invals, tc.epoch)
+		if pieces == nil {
+			w.stats.VRsDiscarded++
+			w.mx.observeReconcile(cache.Recon{Discarded: 1})
+			return peers
+		}
+		if touched {
+			w.stats.VRsReconciled++
+			w.mx.observeReconcile(cache.Recon{Repaired: 1, Pieces: len(pieces)})
+		}
+		for _, p := range pieces {
+			w.qs.owners = append(w.qs.owners, id)
+			peers = append(peers, core.PeerData{VR: p.Rect, POIs: p.POIs})
+		}
+		return peers
+	default:
+		// Missed-IR window policy: too old to repair, never exact again —
+		// but still probabilistic evidence (Lemma 3.2), not garbage.
+		w.stats.VRsDemoted++
+		w.mx.observeDemoted()
+		w.qs.owners = append(w.qs.owners, id)
+		return append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs, Tainted: true})
+	}
+}
+
+// Epoch returns the current database epoch of data type ti (zero when
+// the consistency layer is off) — testing and tools.
+func (w *World) Epoch(ti int) int64 {
+	if w.cons == nil {
+		return 0
+	}
+	return w.cons.types[ti].epoch
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"lbsq/internal/broadcast"
+	"lbsq/internal/cache"
 	"lbsq/internal/core"
 	"lbsq/internal/geom"
 	"lbsq/internal/metrics"
@@ -49,15 +50,29 @@ type worldMetrics struct {
 	auditSlots    *metrics.Counter
 	auditCost     *metrics.Histogram
 
+	// Consistency-layer instruments, registered only when the UpdateRate
+	// or VRTTLSec knob is on (same zero-knob contract as the trust
+	// block). All nil otherwise — every observe helper checks one.
+	poiUpdates    *metrics.Counter
+	irBroadcasts  *metrics.Counter
+	irListens     *metrics.Counter
+	irListenSlots *metrics.Counter
+	vrsReconciled *metrics.Counter
+	vrsDemoted    *metrics.Counter
+	vrsDiscarded  *metrics.Counter
+	vrsExpired    *metrics.Counter
+	reconcileCost *metrics.Histogram
+
 	// lastPeerBytes tracks the Stats.PeerBytes high-water mark so the
 	// ad-hoc traffic counter advances by per-query deltas.
 	lastPeerBytes int64
 }
 
 // newWorldMetrics registers the simulator's instrument set. trustOn
-// additionally registers the trust-layer instruments; with it false the
-// registry contents are identical to a build without the trust layer.
-func newWorldMetrics(trustOn bool) *worldMetrics {
+// additionally registers the trust-layer instruments and consOn the
+// consistency-layer ones; with both false the registry contents are
+// identical to a build without those layers.
+func newWorldMetrics(trustOn, consOn bool) *worldMetrics {
 	reg := metrics.NewRegistry()
 	m := &worldMetrics{
 		reg:    reg,
@@ -96,7 +111,69 @@ func newWorldMetrics(trustOn bool) *worldMetrics {
 			"audit slot cost per audited query",
 			"slots", metrics.SlotBuckets())
 	}
+	if consOn {
+		m.poiUpdates = reg.Counter("lbsq_consistency_poi_updates_total", "POI mutations applied by the update process")
+		m.irBroadcasts = reg.Counter("lbsq_consistency_ir_broadcasts_total", "invalidation-report frames put on air (epoch advances)")
+		m.irListens = reg.Counter("lbsq_consistency_ir_listens_total", "client IR listen passes (one per host behind the current epoch)")
+		m.irListenSlots = reg.Counter("lbsq_consistency_ir_listen_slots_total", "broadcast slots spent listening for IR frames, priced into query latency")
+		m.vrsReconciled = reg.Counter("lbsq_consistency_vrs_reconciled_total", "verified regions surgically repaired against an IR frame")
+		m.vrsDemoted = reg.Counter("lbsq_consistency_vrs_demoted_total", "beyond-horizon regions demoted to the probabilistic path")
+		m.vrsDiscarded = reg.Counter("lbsq_consistency_vrs_discarded_total", "regions dropped outright (shrunk to empty, over the piece cap, or whole-discard ablation)")
+		m.vrsExpired = reg.Counter("lbsq_consistency_vrs_expired_total", "cached regions evicted by the VR time-to-live")
+		m.reconcileCost = reg.Histogram("lbsq_consistency_reconcile_cost_pieces",
+			"surviving pieces per surgically repaired region",
+			"work", metrics.WorkBuckets())
+	}
 	return m
+}
+
+// observeUpdates records one IR period's server-side mutation batch.
+// Nil-safe: no-op without the consistency instruments.
+func (m *worldMetrics) observeUpdates(n int64) {
+	if m == nil || m.poiUpdates == nil {
+		return
+	}
+	m.poiUpdates.Add(n)
+	m.irBroadcasts.Inc()
+}
+
+// observeIRListen records one client IR listen pass and its slot cost.
+func (m *worldMetrics) observeIRListen(slots int64) {
+	if m == nil || m.irListens == nil {
+		return
+	}
+	m.irListens.Inc()
+	m.irListenSlots.Add(slots)
+}
+
+// observeReconcile records one reconciliation pass's repair/discard
+// tallies and the piece-count cost distribution.
+func (m *worldMetrics) observeReconcile(rec cache.Recon) {
+	if m == nil || m.vrsReconciled == nil {
+		return
+	}
+	m.vrsReconciled.Add(int64(rec.Repaired))
+	m.vrsDiscarded.Add(int64(rec.Discarded))
+	if rec.Repaired > 0 {
+		m.reconcileCost.ObserveInt(int64(rec.Pieces))
+	}
+}
+
+// observeDemoted records beyond-horizon demotions to the probabilistic
+// path.
+func (m *worldMetrics) observeDemoted() {
+	if m == nil || m.vrsDemoted == nil {
+		return
+	}
+	m.vrsDemoted.Inc()
+}
+
+// observeExpired records TTL evictions.
+func (m *worldMetrics) observeExpired(n int64) {
+	if m == nil || m.vrsExpired == nil {
+		return
+	}
+	m.vrsExpired.Add(n)
 }
 
 // observeTrust records one query's trust-screen activity. No-op when the

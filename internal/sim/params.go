@@ -207,6 +207,37 @@ type Params struct {
 	// output is bit-identical to a build without the layer — the same
 	// zero-knob identity contract as Faults and the resilience knobs.
 	Metrics bool
+
+	// UpdateRate arms the consistency layer (DESIGN.md §12): the mean
+	// number of POI mutations (insert/delete/move) per minute, per data
+	// type. Zero (the default) keeps the paper's immutable POI set — no
+	// update process exists, no IR frames ride the index slots, and every
+	// output is bit-identical to a build without the layer. Nonzero
+	// versions the POI database with a monotone epoch counter, broadcasts
+	// invalidation reports every IRPeriodSec, and makes every client
+	// reconcile its cached verified regions (surgical shrink with
+	// geom.SubtractRect) before querying.
+	UpdateRate float64
+	// IRPeriodSec is the invalidation-report broadcast period in
+	// simulated seconds; mutations accumulate into one epoch per period.
+	// Defaults to 30 when UpdateRate is set.
+	IRPeriodSec float64
+	// IRWindow is how many past epochs of mutation items one IR frame
+	// retains (the paper's broadcast-window w of Tabassum et al.): a
+	// client whose cached region slept past IRWindow epochs cannot repair
+	// it and must demote it to the probabilistic path. Defaults to 8 when
+	// UpdateRate is set.
+	IRWindow int
+	// VRTTLSec is an optional time-to-live for cached verified regions:
+	// regions older than this are evicted at the owner's next IR sync (a
+	// defense-in-depth bound on how long any cache entry can matter).
+	// Zero disables TTL expiry.
+	VRTTLSec float64
+	// IRDiscard switches reconciliation to the whole-region-discard
+	// ablation: any superseded region is dropped instead of surgically
+	// shrunk. The EXPERIMENTS.md freshness curve quantifies what the
+	// surgical repair buys over this baseline.
+	IRDiscard bool
 }
 
 // applyDefaults fills unset simulator knobs with the paper-faithful
@@ -241,6 +272,16 @@ func (p *Params) applyDefaults() {
 	}
 	if p.Broadcast.M == 0 {
 		p.Broadcast.M = 4
+	}
+	// Consistency defaults only materialize when the layer is armed, so a
+	// zero-knob Params round-trips through reports byte-identically.
+	if p.UpdateRate > 0 {
+		if p.IRPeriodSec == 0 {
+			p.IRPeriodSec = 30
+		}
+		if p.IRWindow == 0 {
+			p.IRWindow = 8
+		}
 	}
 }
 
@@ -278,8 +319,22 @@ func (p *Params) Validate() error {
 	if err := p.TrustConfig().Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
+	switch {
+	case p.UpdateRate != p.UpdateRate || p.UpdateRate < 0:
+		return fmt.Errorf("sim: UpdateRate %v must be a non-negative number", p.UpdateRate)
+	case p.IRPeriodSec != p.IRPeriodSec || p.IRPeriodSec < 0:
+		return fmt.Errorf("sim: IRPeriodSec %v must be a non-negative number", p.IRPeriodSec)
+	case p.IRWindow < 0:
+		return fmt.Errorf("sim: negative IRWindow %d", p.IRWindow)
+	case p.VRTTLSec != p.VRTTLSec || p.VRTTLSec < 0:
+		return fmt.Errorf("sim: VRTTLSec %v must be a non-negative number", p.VRTTLSec)
+	}
 	return nil
 }
+
+// ConsistencyEnabled reports whether the POI-update process (and with it
+// the IR broadcast and cache reconciliation) is armed.
+func (p *Params) ConsistencyEnabled() bool { return p.UpdateRate > 0 }
 
 // TrustConfig assembles the trust-engine configuration; its zero value
 // (AuditRate 0) disables the defense entirely.

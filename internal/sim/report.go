@@ -34,9 +34,17 @@ type Report struct {
 	// zero so zero-knob rows keep the earlier schema byte-for-byte (the
 	// byzantine knobs live inside Faults, omitempty likewise).
 	AuditRate float64 `json:"audit_rate,omitempty"`
-	SelfCheck bool    `json:"self_check_passed"`
-	Stats     Stats   `json:"stats"`
-	Derived   Derived `json:"derived"`
+	// Consistency-layer knobs (DESIGN.md §12), all omitted when zero or
+	// false under the same contract. Rows carrying any of them report
+	// BenchSchemaConsistency.
+	UpdateRate  float64 `json:"update_rate,omitempty"`
+	IRPeriodSec float64 `json:"ir_period_sec,omitempty"`
+	IRWindow    int     `json:"ir_window,omitempty"`
+	VRTTLSec    float64 `json:"vr_ttl_sec,omitempty"`
+	IRDiscard   bool    `json:"ir_discard,omitempty"`
+	SelfCheck   bool    `json:"self_check_passed"`
+	Stats       Stats   `json:"stats"`
+	Derived     Derived `json:"derived"`
 	// Metrics is the final registry snapshot of a metrics-enabled run
 	// (World.Metrics().Snapshot()). Nil — and absent from the encoding —
 	// when the Metrics knob is off, preserving byte-identity with
@@ -48,8 +56,15 @@ type Report struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// BenchSchemaVersion is the Report row format emitted by this build.
-const BenchSchemaVersion = 2
+// BenchSchemaVersion is the Report row format emitted by this build for
+// runs with the consistency layer off. BenchSchemaConsistency marks rows
+// that carry the consistency knob fields and counters (v2 rows are a
+// strict subset, so v2 consumers keep working if they ignore unknown
+// keys — the bump is a courtesy signal, same convention as v1→v2).
+const (
+	BenchSchemaVersion     = 2
+	BenchSchemaConsistency = 3
+)
 
 // Derived holds the rates the human-readable report prints, precomputed
 // so JSONL consumers need no knowledge of the Stats accessor methods.
@@ -65,12 +80,28 @@ type Derived struct {
 	FaultEvents            int64   `json:"fault_events"`
 	ResilienceEvents       int64   `json:"resilience_events"`
 	TrustEvents            int64   `json:"trust_events,omitempty"`
+	ConsistencyEvents      int64   `json:"consistency_events,omitempty"`
 }
 
 // NewReport assembles the Report for a finished run.
 func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Report {
+	schema := BenchSchemaVersion
+	if p.UpdateRate > 0 || p.VRTTLSec > 0 {
+		schema = BenchSchemaConsistency
+	}
+	if p.UpdateRate > 0 {
+		// Callers may pass pre-default Params; fill the consistency
+		// defaults so armed rows record the period/window actually
+		// simulated. Zero-knob rows are untouched.
+		if p.IRPeriodSec == 0 {
+			p.IRPeriodSec = 30
+		}
+		if p.IRWindow == 0 {
+			p.IRWindow = 8
+		}
+	}
 	return Report{
-		BenchSchema:     BenchSchemaVersion,
+		BenchSchema:     schema,
 		Set:             p.Name,
 		Kind:            p.Kind.String(),
 		Seed:            p.Seed,
@@ -88,6 +119,11 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 		BreakerThresh:   p.BreakerThreshold,
 		BreakerCooldown: p.BreakerCooldown,
 		AuditRate:       p.AuditRate,
+		UpdateRate:      p.UpdateRate,
+		IRPeriodSec:     p.IRPeriodSec,
+		IRWindow:        p.IRWindow,
+		VRTTLSec:        p.VRTTLSec,
+		IRDiscard:       p.IRDiscard,
 		SelfCheck:       selfChecked,
 		Stats:           stats,
 		Derived: Derived{
@@ -102,6 +138,7 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 			FaultEvents:            stats.FaultEvents(),
 			ResilienceEvents:       stats.ResilienceEvents(),
 			TrustEvents:            stats.TrustEvents(),
+			ConsistencyEvents:      stats.ConsistencyEvents(),
 		},
 		WallSeconds: wallSeconds,
 	}

@@ -105,6 +105,26 @@ func soakParams(schedule int) Params {
 		p.Faults.Attack = faults.Attack(1 + rng.Intn(5))
 		p.AuditRate = 0.25 + rng.Float64()*0.75
 	}
+
+	// Consistency schedules (drawn after every legacy knob so the
+	// consistency-free schedules keep their exact historical draws).
+	// Every third schedule arms the POI-update process — including odd
+	// ones, so churn soaks together with byzantine attack and the
+	// stale-vs-byzantine verdict split gets exercised; every ninth also
+	// runs the whole-discard ablation. VR TTL arms independently on
+	// multiples of six (it works without the update process).
+	if schedule%3 == 0 {
+		p.UpdateRate = 1 + rng.Float64()*8
+		p.IRPeriodSec = 15 + rng.Float64()*30
+		p.IRWindow = 2 + rng.Intn(10)
+		p.UseOwnCache = true // soak the own-cache reconcile/demote path
+		if schedule%9 == 0 {
+			p.IRDiscard = true
+		}
+	}
+	if schedule%6 == 0 {
+		p.VRTTLSec = 60 + rng.Float64()*240
+	}
 	return p
 }
 
@@ -187,6 +207,29 @@ func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
 	if s.AuditFailures > s.AuditsRun {
 		t.Errorf("audit failures %d exceed audits %d", s.AuditFailures, s.AuditsRun)
 	}
+
+	// Consistency counter causality: the layer off must leave every one of
+	// its counters at zero, TTL expiry fires only with a TTL, and IR
+	// replica waits require broadcast loss.
+	if p.UpdateRate == 0 &&
+		(s.POIUpdates != 0 || s.IRBroadcasts != 0 || s.IRListens != 0 ||
+			s.IRListenSlots != 0 || s.IRListenRetries != 0 ||
+			s.VRsReconciled != 0 || s.VRsDemoted != 0 || s.VRsDiscarded != 0 ||
+			s.StaleVerdicts != 0) {
+		t.Errorf("consistency counters fired with updates off: %+v", s)
+	}
+	if p.VRTTLSec == 0 && s.VRsExpired != 0 {
+		t.Errorf("TTL expiry %d with no TTL", s.VRsExpired)
+	}
+	if s.IRListenRetries > 0 && p.Faults.BroadcastLoss == 0 {
+		t.Errorf("IR replica waits %d without broadcast loss", s.IRListenRetries)
+	}
+	if s.IRListens > 0 && s.IRBroadcasts == 0 {
+		t.Errorf("IR listens %d without any IR broadcast", s.IRListens)
+	}
+	if s.POIUpdates > 0 && s.IRBroadcasts == 0 {
+		t.Errorf("POI updates %d never announced on air", s.POIUpdates)
+	}
 }
 
 // TestChaosSoak is the acceptance harness: randomized fault/churn
@@ -230,6 +273,10 @@ func TestChaosSoak(t *testing.T) {
 			agg.ByzantineLies += s.ByzantineLies
 			agg.AuditsRun += s.AuditsRun
 			agg.PeersQuarantined += s.PeersQuarantined
+			agg.POIUpdates += s.POIUpdates
+			agg.VRsReconciled += s.VRsReconciled
+			agg.VRsDemoted += s.VRsDemoted
+			agg.VRsExpired += s.VRsExpired
 		})
 	}
 
@@ -259,6 +306,18 @@ func TestChaosSoak(t *testing.T) {
 		}
 		if agg.PeersQuarantined == 0 {
 			t.Error("no schedule ever quarantined a lying peer")
+		}
+		if agg.POIUpdates == 0 {
+			t.Error("no schedule ever mutated a POI")
+		}
+		if agg.VRsReconciled == 0 {
+			t.Error("no schedule ever reconciled a verified region")
+		}
+		if agg.VRsDemoted == 0 {
+			t.Error("no schedule ever demoted a beyond-horizon region")
+		}
+		if agg.VRsExpired == 0 {
+			t.Error("no schedule ever expired a region by TTL")
 		}
 	}
 }

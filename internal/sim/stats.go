@@ -118,6 +118,38 @@ type Stats struct {
 	// QuarantinedArea is the total area (square miles) subtracted from
 	// merges by conflict quarantine and convictions.
 	QuarantinedArea float64 `json:",omitempty"`
+	// StaleVerdicts counts cross-validation disagreements amnestied
+	// because a claimant's region carried a superseded epoch — the third
+	// verdict of the stale-vs-byzantine table (DESIGN.md §12). Zero
+	// unless both the trust and consistency layers are armed.
+	StaleVerdicts int64 `json:",omitempty"`
+
+	// Consistency-layer visibility (DESIGN.md §12). All of these are zero
+	// when UpdateRate and VRTTLSec are zero; the fields are omitted from
+	// JSON encodings then, so zero-knob report rows stay byte-identical
+	// to earlier schema versions.
+	//
+	// POIUpdates counts POI mutations applied (insert/delete/move) and
+	// IRBroadcasts the epochs those mutations were batched into.
+	POIUpdates   int64 `json:",omitempty"`
+	IRBroadcasts int64 `json:",omitempty"`
+	// IRListens counts clients tuning in for an invalidation report
+	// before querying, IRListenSlots the broadcast slots that cost, and
+	// IRListenRetries the IR copies lost to channel errors (the client
+	// waited for the next index replica each time).
+	IRListens       int64 `json:",omitempty"`
+	IRListenSlots   int64 `json:",omitempty"`
+	IRListenRetries int64 `json:",omitempty"`
+	// VRsReconciled counts cached regions surgically repaired around
+	// invalidated cells, VRsDemoted regions too old for the IR window
+	// that entered a query tainted (probabilistic path only), and
+	// VRsDiscarded regions dropped (whole-discard mode, shrink-to-empty,
+	// or over-fragmented repairs).
+	VRsReconciled int64 `json:",omitempty"`
+	VRsDemoted    int64 `json:",omitempty"`
+	VRsDiscarded  int64 `json:",omitempty"`
+	// VRsExpired counts regions evicted by the VRTTLSec time-to-live.
+	VRsExpired int64 `json:",omitempty"`
 
 	// AvgPeersPerQuery tracks mean reachable peers (encounter density).
 	peersSum int64
@@ -204,6 +236,15 @@ func (s Stats) TrustEvents() int64 {
 		s.PeersQuarantined + s.AuditSlots
 }
 
+// ConsistencyEvents returns the total activity of the consistency layer
+// — zero exactly when UpdateRate and VRTTLSec were both zero (no update
+// process, no IR frames, no TTL expiry).
+func (s Stats) ConsistencyEvents() int64 {
+	return s.POIUpdates + s.IRBroadcasts + s.IRListens + s.IRListenSlots +
+		s.IRListenRetries + s.VRsReconciled + s.VRsDemoted + s.VRsDiscarded +
+		s.VRsExpired + s.StaleVerdicts
+}
+
 // ResilienceEvents returns the total activity of the resilient query
 // lifecycle — zero exactly when every resilience knob was zero.
 func (s Stats) ResilienceEvents() int64 {
@@ -239,6 +280,14 @@ func (s Stats) String() string {
 			" trust[lies=%d audits=%d/%d conflicts=%d quarantined=%d auditslots=%d area=%.2f]",
 			s.ByzantineLies, s.AuditsRun, s.AuditFailures, s.ConflictsDetected,
 			s.PeersQuarantined, s.AuditSlots, s.QuarantinedArea,
+		)
+	}
+	if s.ConsistencyEvents() > 0 {
+		out += fmt.Sprintf(
+			" consistency[updates=%d irs=%d listens=%d listenslots=%d reconciled=%d demoted=%d discarded=%d expired=%d staleverdicts=%d]",
+			s.POIUpdates, s.IRBroadcasts, s.IRListens, s.IRListenSlots,
+			s.VRsReconciled, s.VRsDemoted, s.VRsDiscarded, s.VRsExpired,
+			s.StaleVerdicts,
 		)
 	}
 	return out

@@ -84,6 +84,11 @@ type World struct {
 	// simulation trajectory is identical with or without it.
 	mx *worldMetrics
 
+	// cons is the consistency layer (nil unless Params.UpdateRate > 0):
+	// the POI-update process, the per-type epoch state, and the on-air
+	// invalidation-report frames (DESIGN.md §12).
+	cons *consState
+
 	nowSec      float64
 	durationSec float64
 	warmupSec   float64
@@ -136,6 +141,10 @@ type sharedRegion struct {
 type host struct {
 	mob    mobility.State
 	caches []*cache.Cache // one per POI data type (Table 4: CSize per type)
+	// irEpoch is the newest database epoch this host has heard an
+	// invalidation report for, per data type. Nil when the consistency
+	// layer is off.
+	irEpoch []int64
 }
 
 // typeState is the per-data-type substrate: its POI field, ground truth,
@@ -147,6 +156,9 @@ type typeState struct {
 	truth  *rtree.Tree
 	sched  *broadcast.Schedule
 	lambda float64 // POI density (per square mile)
+	// bcfg is the channel configuration the schedule was built with, kept
+	// for epoch rebuilds when the POI-update process mutates db.
+	bcfg broadcast.Config
 }
 
 // NewWorld builds a simulation world from the parameter set.
@@ -188,6 +200,7 @@ func NewWorld(p Params) (*World, error) {
 			truth:  rtree.Bulk(items, 16),
 			sched:  sched,
 			lambda: p.POIDensity(),
+			bcfg:   bcfg,
 		}
 	}
 
@@ -234,8 +247,11 @@ func NewWorld(p Params) (*World, error) {
 			}
 		}
 	}
+	if p.ConsistencyEnabled() {
+		w.cons = newConsState(p, types)
+	}
 	if p.Metrics {
-		w.mx = newWorldMetrics(w.tr != nil)
+		w.mx = newWorldMetrics(w.tr != nil, w.cons != nil || p.VRTTLSec > 0)
 		w.mx.hosts.Set(float64(p.MHNumber))
 		w.net.FanoutHist = w.mx.fanout
 	}
@@ -249,6 +265,9 @@ func NewWorld(p Params) (*World, error) {
 		w.hosts[i] = host{
 			mob:    model.Init(rng),
 			caches: caches,
+		}
+		if w.cons != nil {
+			w.hosts[i].irEpoch = make([]int64, nTypes)
 		}
 		w.net.Update(i, w.hosts[i].mob.Pos)
 	}
@@ -385,6 +404,7 @@ func (w *World) Stats() Stats {
 	s.PeersQuarantined = tc.PeersQuarantined
 	s.AuditSlots = tc.AuditSlots
 	s.QuarantinedArea = tc.QuarantinedArea
+	s.StaleVerdicts = tc.StaleVerdicts
 	return s
 }
 
@@ -442,6 +462,7 @@ func (w *World) Step(dt float64) {
 	if w.mx != nil {
 		w.mx.nowSec.Set(w.nowSec)
 	}
+	w.advanceConsistency()
 
 	mean := w.Params.QueryRate / 60 * dt
 	n := mobility.Poisson(w.rng, mean)
@@ -526,11 +547,19 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 	w.qs.owners = w.qs.owners[:0]
 	stamp := int64(w.nowSec)
 	if w.Params.UseOwnCache {
-		// The host's own cache is a zero-cost "peer": no wire traffic, no
-		// transport faults, and no staleness (the host maintains it).
+		// The host's own cache is a zero-cost "peer": no wire traffic and
+		// no transport faults. With the consistency layer armed, regions
+		// that survived reconciliation beyond the repair horizon are still
+		// offered, but demoted to the probabilistic path (never exact).
 		for _, r := range w.hosts[idx].caches[ti].Regions() {
 			if r.Rect.Intersects(relevance) {
-				peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+				pd := core.PeerData{VR: r.Rect, POIs: r.POIs}
+				if w.cons != nil && r.Epoch < w.cons.types[ti].epoch {
+					pd.Tainted = true
+					w.stats.VRsDemoted++
+					w.mx.observeDemoted()
+				}
+				peers = append(peers, pd)
 				w.qs.owners = append(w.qs.owners, trust.Self)
 			}
 		}
@@ -568,8 +597,11 @@ func (w *World) trustScreen(ti int, peers []core.PeerData, spent int64) ([]core.
 	}
 	contribs := w.qs.contribs[:0]
 	for i, pd := range peers {
+		// A demoted (epoch-stale) region enters the screen flagged Stale:
+		// disagreements it causes are reconciliation work, not evidence of
+		// lying, and must not strike the contributing peer.
 		contribs = append(contribs, trust.Contribution{
-			Peer: w.qs.owners[i], VR: pd.VR, POIs: pd.POIs})
+			Peer: w.qs.owners[i], VR: pd.VR, POIs: pd.POIs, Stale: pd.Tainted})
 	}
 	w.qs.contribs = contribs
 	// Audits spend broadcast slots; they must fit in whatever the
@@ -634,10 +666,17 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 	w.qs.owners = w.qs.owners[:0]
 	if w.Params.UseOwnCache {
 		// The host's own cache is a zero-cost "peer": no wire traffic, no
-		// transport faults, no staleness, no breaker.
+		// transport faults, no breaker. Beyond-horizon regions demote as
+		// in the legacy collection path above.
 		for _, r := range w.hosts[idx].caches[ti].Regions() {
 			if r.Rect.Intersects(relevance) {
-				peers = append(peers, core.PeerData{VR: r.Rect, POIs: r.POIs})
+				pd := core.PeerData{VR: r.Rect, POIs: r.POIs}
+				if w.cons != nil && r.Epoch < w.cons.types[ti].epoch {
+					pd.Tainted = true
+					w.stats.VRsDemoted++
+					w.mx.observeDemoted()
+				}
+				peers = append(peers, pd)
 				w.qs.owners = append(w.qs.owners, trust.Self)
 			}
 		}
@@ -799,6 +838,9 @@ type replyOutcome struct {
 // byte-for-byte the ideal exchange.
 func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.Rect, stamp int64, count bool) ([]core.PeerData, replyOutcome) {
 	c := w.hosts[id].caches[ti]
+	// Serving is a cache touchpoint: the peer lazily expires its own
+	// timed-out regions before offering anything (no-op unless VRTTLSec).
+	w.expireTTL(c)
 	atk := faults.AttackNone
 	if w.byzAttack != nil {
 		atk = w.byzAttack[id]
@@ -836,6 +878,18 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 	trustStale := w.inj.Profile().TrustStale
 	var staleDiscards int
 	deliver := func() []core.PeerData {
+		if w.cons != nil {
+			// Versioned admission: every shared region passes the epoch
+			// gate — repair, demote, or accept — instead of the binary
+			// keep/discard below. Injector staleness rides the same path
+			// (assigned a beyond-horizon epoch), so staleDiscards stays
+			// zero: under an armed layer staleness is amnestied, and the
+			// breakers see an ordinary successful delivery.
+			for _, s := range shared {
+				peers = w.admitShared(peers, id, ti, s.region, s.stale, trustStale)
+			}
+			return peers
+		}
 		for _, s := range shared {
 			if s.stale && !trustStale {
 				staleDiscards++
@@ -892,6 +946,20 @@ func (w *World) receiveReply(peers []core.PeerData, id, ti int, relevance geom.R
 			return peers, replyOutcome{kind: replyRejected} // sound degradation, already counted
 		}
 		for i, reg := range dec.Regions {
+			if w.cons != nil {
+				if i < len(shared) {
+					// The staged region carries the epoch/staleness fate;
+					// the wire frame carries the (possibly damage-passed)
+					// geometry. Recombine and run the versioned gate.
+					r := shared[i].region
+					r.Rect, r.POIs = reg.Rect, reg.POIs
+					peers = w.admitShared(peers, id, ti, r, shared[i].stale, trustStale)
+				} else {
+					peers = append(peers, core.PeerData{VR: reg.Rect, POIs: reg.POIs})
+					w.qs.owners = append(w.qs.owners, id)
+				}
+				continue
+			}
 			if i < len(shared) && shared[i].stale && !trustStale {
 				staleDiscards++
 				continue
@@ -944,8 +1012,9 @@ func (w *World) runKNNQuery(idx, ti int) {
 	q := h.mob.Pos
 	k := w.drawK()
 	relevance := geom.RectAround(q, w.knnRelevanceRadius(ti, k))
+	irSlots := w.syncIR(idx, ti)
 	peers, nPeers, collected := w.gatherPeers(idx, ti, relevance)
-	peers, spent, trep := w.trustScreen(ti, peers, collected)
+	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots)
 
 	cfg := core.SBNNConfig{
 		K:                 k,
@@ -990,10 +1059,11 @@ func (w *World) runKNNQuery(idx, ti int) {
 			Audits: trep.Audits, AuditFailures: trep.AuditFailures,
 			Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
 			TaintedPeers: trep.Tainted,
+			IRSlots:      irSlots, StaleConflicts: trep.StaleConflicts,
 		}
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
-			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots, res.Access,
+			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots+irSlots, res.Access,
 				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
 			w.mx.observeTrust(trep)
 			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
@@ -1002,10 +1072,14 @@ func (w *World) runKNNQuery(idx, ti int) {
 		w.record(ev)
 	}
 
-	// Store the gained verified knowledge (Section 4.1 cache policies).
+	// Store the gained verified knowledge (Section 4.1 cache policies),
+	// stamped with the epoch it was verified against.
 	if !res.KnownRegion.Empty() {
-		h.caches[ti].Insert(cache.Region{Rect: res.KnownRegion, POIs: res.Known},
-			q, h.mob.Heading(), int64(w.nowSec))
+		reg := cache.Region{Rect: res.KnownRegion, POIs: res.Known}
+		if w.cons != nil {
+			reg.Epoch = w.cons.types[ti].epoch
+		}
+		h.caches[ti].Insert(reg, q, h.mob.Heading(), int64(w.nowSec))
 	}
 }
 
@@ -1017,8 +1091,9 @@ func (w *World) runWindowQuery(idx, ti int) {
 	if !ok {
 		return
 	}
+	irSlots := w.syncIR(idx, ti)
 	peers, nPeers, collected := w.gatherPeers(idx, ti, win)
-	peers, spent, trep := w.trustScreen(ti, peers, collected)
+	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots)
 	// Cap cached retrieval regions at what the cache can hold: CacheSize
 	// POIs cover about CacheSize/lambda square miles.
 	cfg := core.SBWQConfig{
@@ -1052,10 +1127,11 @@ func (w *World) runWindowQuery(idx, ti int) {
 			Audits: trep.Audits, AuditFailures: trep.AuditFailures,
 			Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
 			TaintedPeers: trep.Tainted,
+			IRSlots:      irSlots, StaleConflicts: trep.StaleConflicts,
 		}
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
-			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots, res.Access,
+			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots+irSlots, res.Access,
 				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
 			w.mx.observeTrust(trep)
 			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
@@ -1065,10 +1141,14 @@ func (w *World) runWindowQuery(idx, ti int) {
 	}
 
 	// Cache the gained verified knowledge: the window itself, or the
-	// larger collective MBR of a broadcast retrieval.
+	// larger collective MBR of a broadcast retrieval — stamped with the
+	// epoch it was verified against.
 	if !res.KnownRegion.Empty() {
-		h.caches[ti].Insert(cache.Region{Rect: res.KnownRegion, POIs: res.Known},
-			q, h.mob.Heading(), int64(w.nowSec))
+		reg := cache.Region{Rect: res.KnownRegion, POIs: res.Known}
+		if w.cons != nil {
+			reg.Epoch = w.cons.types[ti].epoch
+		}
+		h.caches[ti].Insert(reg, q, h.mob.Heading(), int64(w.nowSec))
 	}
 }
 

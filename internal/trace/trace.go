@@ -51,6 +51,13 @@ type Event struct {
 	Conflicts     int   `json:"conflicts,omitempty"`
 	AuditSlots    int64 `json:"audit_slots,omitempty"`
 	TaintedPeers  int   `json:"tainted_peers,omitempty"`
+	// Consistency fields (internal/sim consistency layer), populated only
+	// when the UpdateRate knob is on: slots this query spent listening for
+	// the current invalidation report, and cross-validation disagreements
+	// amnestied as staleness rather than counted as conflicts. Omitted
+	// when zero, so consistency-off traces stay byte-identical.
+	IRSlots        int64 `json:"ir_slots,omitempty"`
+	StaleConflicts int   `json:"stale_conflicts,omitempty"`
 }
 
 // Writer appends events as JSON Lines.

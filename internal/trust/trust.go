@@ -168,6 +168,14 @@ type Contribution struct {
 	Peer int
 	VR   geom.Rect
 	POIs []broadcast.POI
+	// Stale marks a region verified against a superseded POI epoch
+	// (consistency layer): honestly reported, but possibly diverged from
+	// current truth. A stale contribution is demoted to the probabilistic
+	// path like any tainted piece, but disagreements it causes are a
+	// *stale* verdict, not a byzantine one — no strikes, no quarantine,
+	// no audit (an audit would convict an honest peer for churn it has
+	// not heard about yet).
+	Stale bool
 }
 
 // Result is one screened piece of a contribution. Quarantine subtraction
@@ -193,8 +201,12 @@ type Report struct {
 	Audits int
 	// AuditFailures is how many of them convicted the contributor.
 	AuditFailures int
-	// Conflicts is how many overlap disagreements cross-validation found.
+	// Conflicts is how many overlap disagreements cross-validation found
+	// between fresh claimants (the byzantine-suspect kind).
 	Conflicts int
+	// StaleConflicts is how many disagreements involved a stale claimant
+	// and were amnestied: reconciliation's problem, not reputation's.
+	StaleConflicts int
 	// Convictions is how many peers were convicted this screen (audit
 	// failures plus strike accumulations).
 	Convictions int
@@ -213,6 +225,7 @@ type Counters struct {
 	AuditsRun         int64
 	AuditFailures     int64
 	ConflictsDetected int64
+	StaleVerdicts     int64
 	PeersQuarantined  int64
 	AuditSlots        int64
 	QuarantinedArea   float64
@@ -466,7 +479,7 @@ func (e *Engine) Screen(contribs []Contribution, oracle Oracle, budget int64) ([
 	if e == nil {
 		out := make([]Result, 0, len(contribs))
 		for _, c := range contribs {
-			out = append(out, Result{Peer: c.Peer, VR: c.VR, POIs: c.POIs})
+			out = append(out, Result{Peer: c.Peer, VR: c.VR, POIs: c.POIs, Tainted: c.Stale})
 		}
 		return out, Report{}
 	}
@@ -510,6 +523,16 @@ func (e *Engine) Screen(contribs []Contribution, oracle Oracle, budget int64) ([
 			if restrictAgree(overlap, kept[i].POIs, kept[j].POIs) {
 				continue
 			}
+			// Third verdict: a disagreement involving a stale claimant is
+			// expected under churn — the stale side is already demoted, so
+			// amnesty both and leave reputations untouched. Counting it as
+			// a byzantine conflict would let honest churn strike honest
+			// peers into quarantine.
+			if kept[i].Stale || kept[j].Stale {
+				rep.StaleConflicts++
+				e.counters.StaleVerdicts++
+				continue
+			}
 			rep.Conflicts++
 			e.counters.ConflictsDetected++
 			// An audit-backed vouch outweighs an unvouched accuser: when
@@ -539,7 +562,10 @@ func (e *Engine) Screen(contribs []Contribution, oracle Oracle, budget int64) ([
 	// is what keeps byzantine peers permanently unvouchable.
 	audits := 0
 	for _, c := range kept {
-		if c.Peer == Self || convicted[c.Peer] || e.Quarantined(c.Peer) {
+		// Stale contributions are skipped before the sampling draw: the
+		// claim predates the current epoch, so re-verifying it against
+		// current truth would convict an honest peer for churn.
+		if c.Peer == Self || c.Stale || convicted[c.Peer] || e.Quarantined(c.Peer) {
 			continue
 		}
 		if audits >= e.cfg.MaxAuditsPerQuery {
@@ -582,7 +608,7 @@ func (e *Engine) Screen(contribs []Contribution, oracle Oracle, budget int64) ([
 		if convicted[c.Peer] || e.Quarantined(c.Peer) {
 			continue
 		}
-		tainted := !e.Vouched(c.Peer)
+		tainted := c.Stale || !e.Vouched(c.Peer)
 		if tainted && !taintedPeers[c.Peer] {
 			taintedPeers[c.Peer] = true
 			rep.Tainted++

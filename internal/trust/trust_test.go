@@ -462,3 +462,66 @@ func TestBoundaryPOINotDuplicated(t *testing.T) {
 		t.Fatalf("boundary POI appeared %d times, want 1", seen)
 	}
 }
+
+// A stale (superseded-epoch) contribution that disagrees with a fresh
+// one is classified as reconciliation work, not lying: the conflict is
+// amnestied (StaleConflicts, not Conflicts), neither peer is struck,
+// and no overlap is quarantined. This keeps honest peers with outdated
+// caches from being convicted under POI churn.
+func TestStaleConflictAmnesty(t *testing.T) {
+	e := newTestEngine(t, Config{AuditRate: 0.0001, ConvictStrikes: 1}, nil)
+	fresh := honest(0, geom.NewRect(0, 0, 6, 6))
+	outdated := honest(1, geom.NewRect(4, 4, 10, 10))
+	// The stale peer's cache predates a POI insert at (5, 4.5): its list
+	// disagrees with the fresh peer's in the overlap.
+	outdated.POIs = append(append([]broadcast.POI(nil), outdated.POIs...),
+		broadcast.POI{ID: 500, Pos: geom.Pt(5, 4.5)})
+	outdated.Stale = true
+	out, rep := e.Screen([]Contribution{fresh, outdated}, oracle, -1)
+	if rep.Conflicts != 0 || rep.StaleConflicts != 1 {
+		t.Fatalf("stale disagreement misclassified: %+v", rep)
+	}
+	if c := e.Counters(); c.ConflictsDetected != 0 || c.StaleVerdicts != 1 {
+		t.Fatalf("counters misclassified stale verdict: %+v", c)
+	}
+	if e.QuarantinedRects() != 0 || rep.QuarantinedArea != 0 {
+		t.Fatal("stale conflict quarantined an overlap")
+	}
+	if e.Quarantined(0) || e.Quarantined(1) {
+		t.Fatal("stale conflict convicted a peer")
+	}
+	// The stale claim must still come through demoted, never exact.
+	for _, r := range out {
+		if r.Peer == 1 && !r.Tainted {
+			t.Fatalf("stale contribution passed untainted: %+v", r)
+		}
+	}
+}
+
+// Stale contributions are exempt from spot audits: the region is known
+// to be outdated, so an audit "failure" against current ground truth
+// proves nothing about the peer's honesty (and must not convict it).
+func TestStaleContributionNeverAudited(t *testing.T) {
+	e := newTestEngine(t, Config{AuditRate: 1, ConvictStrikes: 1}, nil)
+	c := honest(0, geom.NewRect(0, 0, 6, 6))
+	// The outdated cache is missing POI 2 — an audit would see an
+	// omission and convict.
+	var kept []broadcast.POI
+	for _, p := range c.POIs {
+		if p.ID != 2 {
+			kept = append(kept, p)
+		}
+	}
+	c.POIs = kept
+	c.Stale = true
+	_, rep := e.Screen([]Contribution{c}, oracle, -1)
+	if rep.Audits != 0 || rep.AuditFailures != 0 {
+		t.Fatalf("stale contribution audited: %+v", rep)
+	}
+	if e.Quarantined(0) {
+		t.Fatal("stale contribution convicted its peer")
+	}
+	if cn := e.Counters(); cn.AuditsRun != 0 || cn.AuditFailures != 0 {
+		t.Fatalf("audit counters moved: %+v", cn)
+	}
+}

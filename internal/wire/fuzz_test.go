@@ -60,6 +60,66 @@ func FuzzDecodeRequest(f *testing.F) {
 	})
 }
 
+// FuzzInvalidationReport: the IR decoder must never panic; accepted
+// frames must satisfy the version algebra (horizon ≤ epoch, items inside
+// the window, deletes cell-less, insert/move cells valid) and re-encode
+// byte-identically — the reconciler trusts decoded frames blindly, so
+// everything it relies on must be enforced here.
+func FuzzInvalidationReport(f *testing.F) {
+	fuzzSeeds(f, func() []byte {
+		r := InvalidationReport{
+			Epoch:   5,
+			Horizon: 3,
+			Items: []IRItem{
+				{Epoch: 3, Kind: IRInsert, ID: 41, Cell: geom.NewRect(0, 0, 1, 1)},
+				{Epoch: 4, Kind: IRDelete, ID: 7},
+				{Epoch: 5, Kind: IRMove, ID: 12, Cell: geom.NewRect(2, 2, 3, 3)},
+			},
+		}
+		b, err := EncodeInvalidationReport(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ir, err := DecodeInvalidationReport(b)
+		if err != nil {
+			return
+		}
+		if ir.Epoch < 0 || ir.Horizon < 0 || ir.Horizon > ir.Epoch {
+			t.Fatalf("accepted invalid version window [%d, %d]", ir.Horizon, ir.Epoch)
+		}
+		if len(ir.Items) > MaxIRItems {
+			t.Fatalf("accepted %d items above limit", len(ir.Items))
+		}
+		for i, it := range ir.Items {
+			if it.Epoch < ir.Horizon || it.Epoch > ir.Epoch {
+				t.Fatalf("item %d: epoch %d outside window [%d, %d]", i, it.Epoch, ir.Horizon, ir.Epoch)
+			}
+			switch it.Kind {
+			case IRDelete:
+				if it.Cell != (geom.Rect{}) {
+					t.Fatalf("item %d: delete with cell accepted", i)
+				}
+			case IRInsert, IRMove:
+				if !it.Cell.Valid() || it.Cell.Min == it.Cell.Max {
+					t.Fatalf("item %d: bad cell accepted", i)
+				}
+			default:
+				t.Fatalf("item %d: unknown kind %d accepted", i, it.Kind)
+			}
+		}
+		re, err := EncodeInvalidationReport(ir)
+		if err != nil {
+			t.Fatalf("re-encode of accepted IR failed: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted IR is not canonical: %d vs %d bytes", len(re), len(b))
+		}
+	})
+}
+
 // FuzzDecodeReply: the reply decoder must never panic; accepted inputs
 // must be structurally sound (valid rects, finite points, bounded counts)
 // and survive an encode/decode round trip byte-identically.

@@ -16,6 +16,16 @@
 //	            Region* crc(4)
 //	Region   := rect(32) nPOIs(4) POI*
 //	POI      := id(8) pos(16)
+//	IR       := magic(2) ver(1) kind(1)=3 epoch(8) horizon(8) nItems(2)
+//	            IRItem* crc(4)
+//	IRItem   := epoch(8) kind(1) id(8) cell(32)
+//
+// The IR frame is the on-air invalidation report of the consistency
+// layer (DESIGN.md §12): the base station piggybacks it on every (1, m)
+// index segment so clients can reconcile cached verified regions against
+// POI churn. Epoch is the current database version, Horizon the oldest
+// epoch whose mutation items the frame still carries; a region older
+// than Horizon-1 cannot be repaired from this frame and must be demoted.
 package wire
 
 import (
@@ -32,8 +42,9 @@ const (
 	magic   = 0x5B51 // "[Q"
 	version = 1
 
-	kindRequest = 1
-	kindReply   = 2
+	kindRequest      = 1
+	kindReply        = 2
+	kindInvalidation = 3
 
 	headerSize = 2 + 1 + 1 + 8 // magic, version, kind, queryID
 
@@ -46,7 +57,47 @@ const (
 	MaxRegions = 1 << 12
 	// MaxPOIsPerRegion bounds POIs per region.
 	MaxPOIsPerRegion = 1 << 16
+	// MaxIRItems bounds mutation items per invalidation report; a frame
+	// that would exceed it must raise its horizon (drop oldest epochs)
+	// instead.
+	MaxIRItems = 1 << 12
 )
+
+// Invalidation-report item kinds.
+const (
+	// IRInsert announces a new POI at Cell.
+	IRInsert IRKind = 1
+	// IRDelete announces the removal of POI ID; Cell is zero.
+	IRDelete IRKind = 2
+	// IRMove announces POI ID relocated into Cell.
+	IRMove IRKind = 3
+)
+
+// IRKind is the mutation class of one invalidation item.
+type IRKind uint8
+
+// IRItem is one POI mutation carried by an invalidation report. Epoch is
+// the database version the mutation created, so a client holding a region
+// stamped with epoch e applies exactly the items with Epoch > e.
+type IRItem struct {
+	Epoch int64
+	Kind  IRKind
+	ID    int64
+	// Cell is the index cell now containing the POI (insert/move); the
+	// report quantizes positions to Hilbert cells so clients shrink
+	// around the cell, never learning exact positions off-air.
+	Cell geom.Rect
+}
+
+// InvalidationReport is the versioned IR frame broadcast in the (1, m)
+// index slots. Items carries every mutation with Epoch in
+// (Horizon-1, Epoch]; a cached region older than Horizon-1 cannot be
+// repaired from it.
+type InvalidationReport struct {
+	Epoch   int64
+	Horizon int64
+	Items   []IRItem
+}
 
 // Request is a cache request broadcast to single-hop neighbors.
 type Request struct {
@@ -200,6 +251,107 @@ func DecodeReply(b []byte) (Reply, error) {
 		return Reply{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
 	}
 	return out, nil
+}
+
+// IROverhead is the fixed encoded size of an invalidation report outside
+// its items: header (epoch rides the header's 8-byte id slot), horizon,
+// item count, and the CRC trailer.
+const IROverhead = headerSize + 8 + 2 + TrailerSize
+
+// irItemSize is the encoded size of one IRItem: epoch, kind, id, cell.
+const irItemSize = 8 + 1 + 8 + 32
+
+// IRSize returns the exact encoded size of a report with nItems items.
+func IRSize(nItems int) int { return IROverhead + irItemSize*nItems }
+
+// EncodeInvalidationReport serializes an IR frame.
+func EncodeInvalidationReport(r InvalidationReport) ([]byte, error) {
+	if len(r.Items) > MaxIRItems {
+		return nil, fmt.Errorf("wire: %d IR items exceeds limit %d", len(r.Items), MaxIRItems)
+	}
+	if err := validIRShape(r); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, IRSize(len(r.Items)))
+	buf = appendHeader(buf, kindInvalidation, uint64(r.Epoch))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Horizon))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Items)))
+	for _, it := range r.Items {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.Epoch))
+		buf = append(buf, byte(it.Kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.ID))
+		buf = appendRect(buf, it.Cell)
+	}
+	return appendTrailer(buf), nil
+}
+
+// DecodeInvalidationReport parses an IR frame. Beyond CRC integrity it
+// enforces the version algebra a reconciler relies on: Horizon never
+// ahead of Epoch, every item inside the [Horizon, Epoch] window, deletes
+// cell-less, inserts and moves carrying a real cell.
+func DecodeInvalidationReport(b []byte) (InvalidationReport, error) {
+	var out InvalidationReport
+	rest, epoch, err := parseHeader(b, kindInvalidation)
+	if err != nil {
+		return out, err
+	}
+	out.Epoch = int64(epoch)
+	if len(rest) < 8+2 {
+		return out, fmt.Errorf("wire: IR truncated before item count")
+	}
+	out.Horizon = int64(binary.LittleEndian.Uint64(rest))
+	n := int(binary.LittleEndian.Uint16(rest[8:]))
+	rest = rest[10:]
+	if n > MaxIRItems {
+		return InvalidationReport{}, fmt.Errorf("wire: IR item count %d exceeds limit", n)
+	}
+	if len(rest) != irItemSize*n {
+		return InvalidationReport{}, fmt.Errorf("wire: IR payload %d bytes, want %d", len(rest), irItemSize*n)
+	}
+	out.Items = make([]IRItem, n)
+	for i := range out.Items {
+		it := &out.Items[i]
+		it.Epoch = int64(binary.LittleEndian.Uint64(rest))
+		it.Kind = IRKind(rest[8])
+		it.ID = int64(binary.LittleEndian.Uint64(rest[9:]))
+		it.Cell, rest = parseRect(rest[17:])
+	}
+	if err := validIRShape(out); err != nil {
+		return InvalidationReport{}, err
+	}
+	return out, nil
+}
+
+// validIRShape checks the semantic invariants shared by encode and
+// decode, so every accepted frame round-trips canonically.
+func validIRShape(r InvalidationReport) error {
+	if r.Epoch < 0 || r.Horizon < 0 || r.Horizon > r.Epoch {
+		return fmt.Errorf("wire: IR version window [%d, %d] invalid", r.Horizon, r.Epoch)
+	}
+	for i, it := range r.Items {
+		if it.Epoch < r.Horizon || it.Epoch > r.Epoch {
+			return fmt.Errorf("wire: IR item %d epoch %d outside [%d, %d]", i, it.Epoch, r.Horizon, r.Epoch)
+		}
+		if it.ID < 0 {
+			return fmt.Errorf("wire: IR item %d negative id", i)
+		}
+		switch it.Kind {
+		case IRDelete:
+			if it.Cell != (geom.Rect{}) {
+				return fmt.Errorf("wire: IR item %d delete carries a cell", i)
+			}
+		case IRInsert, IRMove:
+			if err := validRect(it.Cell); err != nil {
+				return fmt.Errorf("wire: IR item %d: %w", i, err)
+			}
+			if it.Cell.Min == it.Cell.Max {
+				return fmt.Errorf("wire: IR item %d degenerate cell", i)
+			}
+		default:
+			return fmt.Errorf("wire: IR item %d unknown kind %d", i, it.Kind)
+		}
+	}
+	return nil
 }
 
 func appendHeader(buf []byte, kind byte, queryID uint64) []byte {
