@@ -8,7 +8,7 @@ GO ?= go
 GOFMT ?= gofmt
 
 # Packages that must stay above the coverage floor (see `make cover`).
-COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache
+COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache internal/faults
 COVER_MIN ?= 70
 
 .PHONY: all build vet test race lint cover fuzz-smoke verify soak bench bench-hot bench-smoke

@@ -18,6 +18,9 @@
 //	         [-byzantine-rate p] [-attack profile] [-audit-rate p]
 //	         [-update-rate n] [-ir-period sec] [-ir-window n]
 //	         [-vr-ttl sec] [-ir-discard]
+//	         [-burst-good-loss p] [-burst-bad-loss p]
+//	         [-burst-good-slots n] [-burst-bad-slots n]
+//	         [-blackout-period sec] [-blackout-duration sec] [-degraded]
 //	         [-json] [-grid faults] [-parallel n]
 //	         [-metrics] [-metrics-out file] [-metrics-listen addr]
 //
@@ -84,6 +87,20 @@
 // updates are on: an injector-stale region is treated as superseded
 // beyond the IR horizon (demoted, not silently wrong).
 //
+// The channel-impairment flags drive the correlated-failure model
+// (DESIGN.md §13): -burst-bad-loss arms a seeded two-state
+// Gilbert–Elliott chain whose bad state adds that much ad-hoc frame
+// loss on top of the Bernoulli knobs (-burst-good-loss is the good
+// state's residue; -burst-good-slots/-burst-bad-slots the geometric
+// dwell means in broadcast slots), and -blackout-period/-blackout-
+// duration schedule per-MH broadcast-downlink outages. -degraded
+// replaces the naive wait-out-the-blackout stall with the fallback
+// ladder (full → P2P-only → on-air-only → own-cache with an explicit
+// staleness bound). All channel flags at zero is bit-identical to a
+// build without the layer. Rate flags are validated at parse time:
+// NaN, infinite, negative, or out-of-range values are rejected with
+// the flag's name instead of being clamped silently.
+//
 // -json suppresses the human-readable report and emits one machine-
 // readable JSON object (configuration + full statistics) on stdout.
 package main
@@ -92,6 +109,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -147,6 +165,13 @@ func main() {
 		irWindow  = flag.Int("ir-window", 0, "epochs each invalidation report retains (0 = default 8; older caches demote)")
 		vrTTL     = flag.Float64("vr-ttl", 0, "cached verified-region time-to-live in seconds (0 = no expiry)")
 		irDiscard = flag.Bool("ir-discard", false, "discard whole superseded regions instead of surgically reconciling them (ablation)")
+		bGoodLoss = flag.Float64("burst-good-loss", 0, "extra ad-hoc frame loss in the Gilbert–Elliott good state [0, 1]")
+		bBadLoss  = flag.Float64("burst-bad-loss", 0, "extra ad-hoc frame loss in the Gilbert–Elliott bad (fade) state [0, 1]; 0 disarms the chain")
+		bGoodDur  = flag.Float64("burst-good-slots", 0, "mean good-state dwell in broadcast slots (0 = default 9× bad dwell)")
+		bBadDur   = flag.Float64("burst-bad-slots", 0, "mean bad-state dwell in broadcast slots (0 = default 1)")
+		boPeriod  = flag.Float64("blackout-period", 0, "per-MH broadcast-downlink blackout period in seconds (0 = no blackouts)")
+		boDur     = flag.Float64("blackout-duration", 0, "blackout window length in seconds (0 = default period/10)")
+		degraded  = flag.Bool("degraded", false, "arm the degraded-mode query planner (fallback ladder instead of naive stalls)")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
 		grid      = flag.String("grid", "", "run a benchmark grid instead of a single configuration: 'faults'")
 		parallel  = flag.Int("parallel", 0, "grid worker count (0 = GOMAXPROCS, 1 = serial; rows identical either way)")
@@ -155,6 +180,32 @@ func main() {
 		mxListen  = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address while the run progresses (implies -metrics)")
 	)
 	flag.Parse()
+
+	// Rate and duration flags are checked here, at parse time, so a typo
+	// like -loss -0.1 or -churn-rate NaN dies with the flag's name instead
+	// of being silently clamped by Normalized() deep in the stack.
+	if err := checkRates([]rateFlag{
+		{"loss", *loss, faults.MaxRate},
+		{"req-loss", *reqLoss, faults.MaxRate},
+		{"reply-loss", *replyLoss, faults.MaxRate},
+		{"corrupt", *corrupt, faults.MaxRate},
+		{"stale-rate", *staleRate, faults.MaxRate},
+		{"churn-rate", *churn, faults.MaxRate},
+		{"byzantine-rate", *byzRate, 1},
+		{"audit-rate", *auditRate, 1},
+		{"burst-good-loss", *bGoodLoss, 1},
+		{"burst-bad-loss", *bBadLoss, 1},
+		{"burst-good-slots", *bGoodDur, 0},
+		{"burst-bad-slots", *bBadDur, 0},
+		{"blackout-period", *boPeriod, 0},
+		{"blackout-duration", *boDur, 0},
+		{"update-rate", *updRate, 0},
+		{"ir-period", *irPeriod, 0},
+		{"vr-ttl", *vrTTL, 0},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *grid != "" {
 		if *grid != "faults" {
@@ -239,6 +290,13 @@ func main() {
 		}
 		p.Faults.Attack = a
 	}
+	p.Faults.BurstGoodLoss = *bGoodLoss
+	p.Faults.BurstBadLoss = *bBadLoss
+	p.Faults.BurstGoodSlots = *bGoodDur
+	p.Faults.BurstBadSlots = *bBadDur
+	p.Faults.BlackoutPeriodSec = *boPeriod
+	p.Faults.BlackoutDurationSec = *boDur
+	p.DegradedMode = *degraded
 	p.AuditRate = *auditRate
 	p.UpdateRate = *updRate
 	p.IRPeriodSec = *irPeriod
@@ -401,6 +459,24 @@ func main() {
 		fmt.Printf("  VRs expired (TTL):             %d\n", stats.VRsExpired)
 		fmt.Printf("  stale verdicts (amnestied):    %d\n", stats.StaleVerdicts)
 	}
+	if stats.ChannelEvents() > 0 || stats.AnsweredInBudget > 0 {
+		fmt.Printf("\nchannel impairment (burst=%.2f@%g/%g slots blackout=%gs/%gs degraded=%v):\n",
+			p.Faults.BurstBadLoss, p.Faults.BurstBadSlots, p.Faults.BurstGoodSlots,
+			p.Faults.BlackoutDurationSec, p.Faults.BlackoutPeriodSec, p.DegradedMode)
+		fmt.Printf("  burst frame losses / transitions: %d / %d\n",
+			stats.BurstFrameLosses, stats.BurstTransitions)
+		fmt.Printf("  blackout stalls:               %d queries (%d dead-air slots, %d recoveries)\n",
+			stats.BlackoutQueries, stats.BlackoutWaitSlots, stats.BlackoutRecoveries)
+		fmt.Printf("  IR listens deferred (dark downlink): %d\n", stats.IRDeferred)
+		fmt.Printf("  fade-suppressed breaker strikes: %d\n", stats.FadeSuppressedStrikes)
+		if p.DegradedMode {
+			fmt.Printf("  fallback rungs p2p-only / onair-only / own-cache: %d / %d / %d (%d switch slots)\n",
+				stats.ModeP2POnly, stats.ModeOnAirOnly, stats.ModeOwnCache, stats.ModeSwitchSlots)
+			fmt.Printf("  degraded / unanswered:         %d / %d (worst staleness bound: %ds)\n",
+				stats.Degraded, stats.Unanswered, stats.StaleBoundMaxSec)
+		}
+		fmt.Printf("  answered in budget:            %.1f%%\n", stats.AnsweredInBudgetPct())
+	}
 	if *baseline && stats.BaselineSampled > 0 {
 		base := stats.BaselineMeanLatencySlots()
 		fmt.Printf("\nplain on-air baseline: %.1f slots/query (%d sampled)\n",
@@ -420,6 +496,33 @@ func main() {
 		fmt.Printf("metrics: snapshot written to %s\n", *mxOut)
 	}
 	fmt.Printf("\nwall time %.1fs\n", elapsed.Seconds())
+}
+
+// rateFlag is one float flag bounded to [0, max] (max 0 = no upper
+// bound, just non-negative and finite).
+type rateFlag struct {
+	name string
+	v    float64
+	max  float64
+}
+
+// checkRates rejects NaN, infinite, negative, or out-of-range values
+// with the offending flag's name, so misconfigurations die at parse
+// time instead of being clamped silently downstream.
+func checkRates(flags []rateFlag) error {
+	for _, f := range flags {
+		switch {
+		case math.IsNaN(f.v):
+			return fmt.Errorf("-%s: NaN is not a rate", f.name)
+		case math.IsInf(f.v, 0):
+			return fmt.Errorf("-%s: value must be finite", f.name)
+		case f.v < 0:
+			return fmt.Errorf("-%s: negative value %v", f.name, f.v)
+		case f.max > 0 && f.v > f.max:
+			return fmt.Errorf("-%s: %v exceeds maximum %v", f.name, f.v, f.max)
+		}
+	}
+	return nil
 }
 
 // writeMetrics dumps the final registry snapshot as Prometheus text

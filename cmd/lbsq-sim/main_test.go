@@ -1,0 +1,69 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lbsq/internal/faults"
+)
+
+// TestCheckRates pins the parse-time flag validation: NaN, infinite,
+// negative, and above-maximum values must be rejected with the
+// offending flag's name; legal values (including the boundaries) must
+// pass. This is the gate that keeps a typo like `-loss -0.1` from
+// being silently clamped by Normalized() deep in the stack.
+func TestCheckRates(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   []rateFlag
+		wantErr string // substring; "" = must pass
+	}{
+		{"empty", nil, ""},
+		{"zero is legal", []rateFlag{{"loss", 0, faults.MaxRate}}, ""},
+		{"max boundary is legal", []rateFlag{{"loss", faults.MaxRate, faults.MaxRate}}, ""},
+		{"interior value is legal", []rateFlag{{"churn-rate", 0.1, faults.MaxRate}}, ""},
+		{"probability boundary is legal", []rateFlag{{"audit-rate", 1, 1}}, ""},
+		{"unbounded duration is legal", []rateFlag{{"blackout-period", 1e9, 0}}, ""},
+		{"NaN", []rateFlag{{"loss", math.NaN(), faults.MaxRate}}, "-loss: NaN"},
+		{"positive infinity", []rateFlag{{"blackout-period", math.Inf(1), 0}}, "-blackout-period: value must be finite"},
+		{"negative infinity", []rateFlag{{"update-rate", math.Inf(-1), 0}}, "-update-rate: "},
+		{"negative rate", []rateFlag{{"req-loss", -0.1, faults.MaxRate}}, "-req-loss: negative value -0.1"},
+		{"negative duration", []rateFlag{{"burst-bad-slots", -4, 0}}, "-burst-bad-slots: negative value -4"},
+		{"above MaxRate", []rateFlag{{"reply-loss", 0.96, faults.MaxRate}}, "-reply-loss: 0.96 exceeds maximum 0.95"},
+		{"above probability", []rateFlag{{"byzantine-rate", 1.5, 1}}, "-byzantine-rate: 1.5 exceeds maximum 1"},
+		{"second flag bad", []rateFlag{
+			{"loss", 0.1, faults.MaxRate},
+			{"burst-bad-loss", math.NaN(), 1},
+		}, "-burst-bad-loss: NaN"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkRates(tc.flags)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("checkRates(%v) = %v, want nil", tc.flags, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("checkRates(%v) = nil, want error containing %q", tc.flags, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("checkRates(%v) = %q, want substring %q", tc.flags, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCheckRatesBurstBound pins the burst-loss bound at 1.0 rather than
+// faults.MaxRate: a deep fade may kill every frame, so 1.0 must pass
+// where the Bernoulli knobs stop at 0.95.
+func TestCheckRatesBurstBound(t *testing.T) {
+	if err := checkRates([]rateFlag{{"burst-bad-loss", 1, 1}}); err != nil {
+		t.Fatalf("burst-bad-loss 1.0 rejected: %v", err)
+	}
+	if err := checkRates([]rateFlag{{"burst-bad-loss", 1.01, 1}}); err == nil {
+		t.Fatal("burst-bad-loss 1.01 accepted, want error")
+	}
+}

@@ -108,6 +108,14 @@ type Config struct {
 	LossSeed int64
 }
 
+// MaxIRReplicaWaits bounds the ListenIR replica wait: after this many
+// consecutive lost IR copies the client gives up and reports the listen
+// abandoned instead of spinning. Sixteen waits make an accidental
+// abandonment negligible at any legal Bernoulli loss rate (0.2^16 ≈
+// 7e-12 per listen at 20% broadcast loss) while keeping the wait finite
+// under a 100%-loss blackout.
+const MaxIRReplicaWaits = 16
+
 func (c *Config) applyDefaults() {
 	if c.Order == 0 {
 		c.Order = 6
@@ -191,6 +199,12 @@ type Access struct {
 	// errors; the client waited for the next (1, m) index replica (or the
 	// next cycle when only one remains) for each.
 	IndexRetries int
+	// Abandoned reports that the client gave up before completing the
+	// retrieval: the replica wait hit its bound (MaxIRReplicaWaits lost
+	// copies in a row) and the client stopped listening rather than spin
+	// on a dead channel. Latency and Tuning still record the slots spent
+	// before giving up.
+	Abandoned bool
 }
 
 // AddTo maps this access record into the per-query phase-span taxonomy
@@ -212,6 +226,7 @@ func (a *Access) add(b Access) {
 	a.IndexReads += b.IndexReads
 	a.Retransmissions += b.Retransmissions
 	a.IndexRetries += b.IndexRetries
+	a.Abandoned = a.Abandoned || b.Abandoned
 }
 
 // NewSchedule builds the broadcast cycle for the given POIs.
@@ -444,6 +459,14 @@ func (s *Schedule) probeIndex(start int64) (int64, Access) {
 // Loss draws come from the caller rather than the schedule's own loss
 // stream so that IR listening — active only when the consistency layer is
 // armed — never perturbs the query path's random sequence.
+//
+// Unlike probeIndex — whose loss rate is the schedule's own, clamped to
+// [0, 0.95] — the caller's loss draws may report 100% sustained loss
+// (a blackout, a dead receiver). The replica wait therefore gives up
+// after MaxIRReplicaWaits consecutive lost copies: the access comes back
+// with Abandoned set and the slots actually spent, and the caller keeps
+// its old IR epoch instead of spinning forever on a channel that is not
+// delivering.
 func (s *Schedule) ListenIR(start int64, lost func() bool) Access {
 	is := s.nextIndexStart(start)
 	segTuning := int64(s.indexSlots)
@@ -454,6 +477,13 @@ func (s *Schedule) ListenIR(start int64, lost func() bool) Access {
 	for lost != nil && lost() {
 		acc.Tuning += segTuning
 		acc.IndexRetries++
+		if acc.IndexRetries >= MaxIRReplicaWaits {
+			acc.Abandoned = true
+			// Latency counts the slots burned up to the last wasted
+			// segment; no IR was received.
+			acc.Latency = is + int64(s.indexSlots) - start
+			return acc
+		}
 		is = s.nextIndexStart(is + int64(s.indexSlots))
 	}
 	acc.Tuning += segTuning

@@ -1,0 +1,64 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestListenIRSustainedLossBounded is the regression test for the
+// unbounded replica wait: under 100% sustained loss (every IR copy lost,
+// forever — a blackout or dead receiver) ListenIR must give up after
+// MaxIRReplicaWaits lost copies and report the slots it spent, not spin.
+func TestListenIRSustainedLossBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := mustSchedule(t, randomPOIs(rng, 40, 64), testConfig())
+
+	calls := 0
+	acc := s.ListenIR(0, func() bool {
+		calls++
+		if calls > 10*MaxIRReplicaWaits {
+			t.Fatal("ListenIR still drawing after 10x the wait bound: unbounded spin")
+		}
+		return true // every copy lost
+	})
+	if !acc.Abandoned {
+		t.Fatal("100%-loss listen must come back Abandoned")
+	}
+	if acc.IndexRetries != MaxIRReplicaWaits {
+		t.Fatalf("IndexRetries = %d, want exactly the bound %d", acc.IndexRetries, MaxIRReplicaWaits)
+	}
+	if acc.Latency <= 0 || acc.Tuning <= 0 {
+		t.Fatalf("abandoned listen must report slots spent, got latency=%d tuning=%d",
+			acc.Latency, acc.Tuning)
+	}
+}
+
+// TestListenIRRecoversBelowBound pins that a listen losing fewer copies
+// than the bound still completes normally and is not marked abandoned.
+func TestListenIRRecoversBelowBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := mustSchedule(t, randomPOIs(rng, 40, 64), testConfig())
+
+	losses := MaxIRReplicaWaits - 1
+	acc := s.ListenIR(0, func() bool {
+		if losses > 0 {
+			losses--
+			return true
+		}
+		return false
+	})
+	if acc.Abandoned {
+		t.Fatal("listen that eventually received the IR must not be Abandoned")
+	}
+	if acc.IndexRetries != MaxIRReplicaWaits-1 {
+		t.Fatalf("IndexRetries = %d, want %d", acc.IndexRetries, MaxIRReplicaWaits-1)
+	}
+	// A clean listen is cheaper than the lossy one.
+	clean := s.ListenIR(0, nil)
+	if clean.Abandoned || clean.IndexRetries != 0 {
+		t.Fatalf("clean listen: %+v", clean)
+	}
+	if clean.Tuning >= acc.Tuning || clean.Latency > acc.Latency {
+		t.Fatalf("lossy listen (%+v) not costlier than clean (%+v)", acc, clean)
+	}
+}

@@ -105,13 +105,36 @@ type Profile struct {
 	// it to AttackMix when ByzantineRate > 0 and clears it to AttackNone
 	// when the rate is zero (an attack with no attackers is inert).
 	Attack Attack `json:",omitempty"`
+	// BurstGoodLoss is the extra ad-hoc frame loss while the
+	// Gilbert–Elliott fading chain (see burst.go) is in its good state.
+	// Unlike the independent Bernoulli knobs it may reach 1.0: the
+	// degraded planner, not a retry cap, is the defense against a dead
+	// channel.
+	BurstGoodLoss float64 `json:",omitempty"`
+	// BurstBadLoss is the extra ad-hoc frame loss in the bad (fade)
+	// state. Zero disarms the chain entirely.
+	BurstBadLoss float64 `json:",omitempty"`
+	// BurstGoodSlots is the mean good-state dwell time in broadcast
+	// slots (geometric). Defaults to 9× BurstBadSlots when the chain is
+	// armed but this is left zero (≈10% bad-state duty cycle).
+	BurstGoodSlots float64 `json:",omitempty"`
+	// BurstBadSlots is the mean bad-state dwell time in broadcast slots
+	// (geometric). Zero disarms the chain.
+	BurstBadSlots float64 `json:",omitempty"`
+	// BlackoutPeriodSec is the period of the per-MH broadcast-downlink
+	// blackout schedule (see Blackout in burst.go). Zero disarms
+	// blackout windows.
+	BlackoutPeriodSec float64 `json:",omitempty"`
+	// BlackoutDurationSec is how long each blackout window holds the
+	// downlink dark. Clamped to the period. Zero disarms.
+	BlackoutDurationSec float64 `json:",omitempty"`
 }
 
 // Enabled reports whether any fault process is active.
 func (p Profile) Enabled() bool {
 	return p.RequestLoss > 0 || p.ReplyLoss > 0 || p.ReplyTruncate > 0 ||
 		p.ReplyCorrupt > 0 || p.BroadcastLoss > 0 || p.StaleRate > 0 ||
-		p.ChurnRate > 0
+		p.ChurnRate > 0 || p.BurstEnabled()
 }
 
 // Normalized returns the profile with every rate clamped to [0, MaxRate]
@@ -147,6 +170,46 @@ func (p Profile) Normalized() Profile {
 	}
 	if out.ByzantineRate == 0 {
 		out.Attack = AttackNone
+	}
+	// Burst losses clamp to [0, 1] rather than MaxRate: a fade may kill
+	// the channel outright, and the degraded planner (not the retry cap)
+	// is the defense. Dwell means below one slot round up to one.
+	clamp01 := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	out.BurstGoodLoss = clamp01(p.BurstGoodLoss)
+	out.BurstBadLoss = clamp01(p.BurstBadLoss)
+	if out.BurstGoodSlots < 0 {
+		out.BurstGoodSlots = 0
+	}
+	if out.BurstBadSlots < 0 {
+		out.BurstBadSlots = 0
+	}
+	if out.BurstEnabled() {
+		if out.BurstBadSlots < 1 {
+			out.BurstBadSlots = 1
+		}
+		if out.BurstGoodSlots == 0 {
+			out.BurstGoodSlots = 9 * out.BurstBadSlots
+		}
+		if out.BurstGoodSlots < 1 {
+			out.BurstGoodSlots = 1
+		}
+	}
+	if out.BlackoutPeriodSec < 0 {
+		out.BlackoutPeriodSec = 0
+	}
+	if out.BlackoutDurationSec < 0 {
+		out.BlackoutDurationSec = 0
+	}
+	if out.BlackoutDurationSec > out.BlackoutPeriodSec {
+		out.BlackoutDurationSec = out.BlackoutPeriodSec
 	}
 	if out.MaxRetries < 0 {
 		out.MaxRetries = 0
@@ -191,6 +254,45 @@ func (p Profile) Validate() error {
 	}
 	if p.Attack < AttackNone || p.Attack > AttackMix {
 		return fmt.Errorf("faults: unknown Attack %d", int(p.Attack))
+	}
+	// Burst losses live in [0, 1] (a fade may be total); dwell means and
+	// blackout times are non-negative finite seconds/slots.
+	bursts := []struct {
+		name string
+		v    float64
+	}{
+		{"BurstGoodLoss", p.BurstGoodLoss},
+		{"BurstBadLoss", p.BurstBadLoss},
+	}
+	for _, r := range bursts {
+		if r.v != r.v {
+			return fmt.Errorf("faults: %s is NaN", r.name)
+		}
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v out of [0, 1]", r.name, r.v)
+		}
+	}
+	durs := []struct {
+		name string
+		v    float64
+	}{
+		{"BurstGoodSlots", p.BurstGoodSlots},
+		{"BurstBadSlots", p.BurstBadSlots},
+		{"BlackoutPeriodSec", p.BlackoutPeriodSec},
+		{"BlackoutDurationSec", p.BlackoutDurationSec},
+	}
+	for _, r := range durs {
+		if r.v != r.v {
+			return fmt.Errorf("faults: %s is NaN", r.name)
+		}
+		if r.v < 0 || r.v > 1e12 {
+			return fmt.Errorf("faults: %s %v out of [0, 1e12]", r.name, r.v)
+		}
+	}
+	if p.BlackoutDurationSec > 0 && p.BlackoutPeriodSec > 0 &&
+		p.BlackoutDurationSec > p.BlackoutPeriodSec {
+		return fmt.Errorf("faults: BlackoutDurationSec %v exceeds BlackoutPeriodSec %v",
+			p.BlackoutDurationSec, p.BlackoutPeriodSec)
 	}
 	return nil
 }
@@ -246,6 +348,11 @@ type Counters struct {
 	// ByzantineLies counts materially false claims emitted by byzantine
 	// hosts (one per AttackClaim application).
 	ByzantineLies int64 `json:",omitempty"`
+	// BurstLosses counts ad-hoc frames killed by the Gilbert–Elliott
+	// fading chain (on top of any independent Bernoulli losses).
+	BurstLosses int64 `json:",omitempty"`
+	// BurstTransitions counts state flips of the fading chain.
+	BurstTransitions int64 `json:",omitempty"`
 }
 
 // Injector is a seeded, deterministic fault source. A nil *Injector is
@@ -256,6 +363,11 @@ type Counters struct {
 type Injector struct {
 	prof Profile
 	rng  *rand.Rand
+	// ge is the Gilbert–Elliott fading chain for the ad-hoc channel; nil
+	// unless the burst knobs are armed. It owns a separate salted stream
+	// (seed ^ burstSeedSalt) so arming it leaves the legacy stream's
+	// draw sequence untouched.
+	ge *gilbert
 	// lieSeq counts AttackClaim applications: it cycles AttackMix through
 	// the concrete attacks and makes every fabricated POI ID unique.
 	lieSeq int64
@@ -266,9 +378,11 @@ type Injector struct {
 // New creates an injector for the (normalized) profile, seeded
 // independently of the simulation stream.
 func New(seed int64, p Profile) *Injector {
+	np := p.Normalized()
 	return &Injector{
-		prof: p.Normalized(),
+		prof: np,
 		rng:  rand.New(rand.NewSource(seed)),
+		ge:   newGilbert(seed, np),
 	}
 }
 
@@ -284,16 +398,26 @@ func (in *Injector) Profile() Profile {
 func (in *Injector) Enabled() bool { return in != nil && in.prof.Enabled() }
 
 // RequestHeard draws whether one neighbor heard one broadcast cache
-// request. Safe on nil (always heard).
+// request. The legacy Bernoulli draw comes first (from the legacy
+// stream, only when RequestLoss is set — exactly as before the fading
+// chain existed); the Gilbert–Elliott kill is layered under it from its
+// own stream. Safe on nil (always heard).
 func (in *Injector) RequestHeard() bool {
-	if in == nil || in.prof.RequestLoss <= 0 {
+	if in == nil {
 		return true
 	}
-	if in.rng.Float64() < in.prof.RequestLoss {
-		in.Counters.RequestsUnheard++
-		return false
+	heard := true
+	if in.prof.RequestLoss > 0 {
+		if in.rng.Float64() < in.prof.RequestLoss {
+			in.Counters.RequestsUnheard++
+			heard = false
+		}
 	}
-	return true
+	if heard && in.burstLost() {
+		in.Counters.RequestsUnheard++
+		heard = false
+	}
+	return heard
 }
 
 // StaleVR draws whether one shared verified region has been silently
@@ -310,30 +434,36 @@ func (in *Injector) StaleVR() bool {
 }
 
 // ReplyFate draws what the ad-hoc channel does to one peer reply. The
-// three failure modes are disjoint (loss, then truncation, then
-// corruption). Safe on nil (always delivered).
+// three legacy failure modes are disjoint (loss, then truncation, then
+// corruption) and draw from the legacy stream exactly as before; the
+// Gilbert–Elliott fading kill is layered under a legacy FateDeliver from
+// its own stream, so arming the chain never shifts the legacy sequence.
+// Safe on nil (always delivered).
 func (in *Injector) ReplyFate() ReplyFate {
 	if in == nil {
 		return FateDeliver
 	}
+	fate := FateDeliver
 	p := in.prof
-	if p.ReplyLoss <= 0 && p.ReplyTruncate <= 0 && p.ReplyCorrupt <= 0 {
-		return FateDeliver
+	if p.ReplyLoss > 0 || p.ReplyTruncate > 0 || p.ReplyCorrupt > 0 {
+		u := in.rng.Float64()
+		switch {
+		case u < p.ReplyLoss:
+			in.Counters.RepliesDropped++
+			fate = FateDrop
+		case u < p.ReplyLoss+p.ReplyTruncate:
+			in.Counters.RepliesTruncated++
+			fate = FateTruncate
+		case u < p.ReplyLoss+p.ReplyTruncate+p.ReplyCorrupt:
+			in.Counters.RepliesCorrupted++
+			fate = FateCorrupt
+		}
 	}
-	u := in.rng.Float64()
-	switch {
-	case u < p.ReplyLoss:
+	if fate == FateDeliver && in.burstLost() {
 		in.Counters.RepliesDropped++
-		return FateDrop
-	case u < p.ReplyLoss+p.ReplyTruncate:
-		in.Counters.RepliesTruncated++
-		return FateTruncate
-	case u < p.ReplyLoss+p.ReplyTruncate+p.ReplyCorrupt:
-		in.Counters.RepliesCorrupted++
-		return FateCorrupt
-	default:
-		return FateDeliver
+		fate = FateDrop
 	}
+	return fate
 }
 
 // ChurnDeparts draws whether one present peer powers off or drifts out of

@@ -100,6 +100,10 @@ type BreakerStats struct {
 	Probes int64
 	// Recoveries counts half-open→closed transitions (probe delivered).
 	Recoveries int64
+	// InconclusiveProbes counts half-open probes voided by a churn
+	// departure: the target left mid-probe, so the probe said nothing
+	// about the peer's health and the breaker stays half-open.
+	InconclusiveProbes int64
 }
 
 // breakerRec is one peer's reputation record. Records are created lazily:
@@ -246,6 +250,30 @@ func (bs *BreakerSet) RecordFailure(id int) {
 	}
 	// BreakerOpen: failures cannot be recorded against a quarantined peer
 	// (no request was sent); ignore defensively.
+}
+
+// RecordDeparture reports that peer id churned away while a request to
+// it was unresolved. Departure is not misbehavior — the peer powered off
+// or drifted out of range — but a querying host cannot generally
+// distinguish a departed peer from a silent one, so a *closed* breaker
+// still counts the strike exactly like RecordFailure (the legacy
+// accounting). The one case the host *can* distinguish is a half-open
+// probe: the breaker sent exactly one request to a quarantined peer, and
+// if that peer departed, the probe was voided rather than failed —
+// re-tripping would extend the quarantine on zero evidence and, under
+// sustained churn, could starve an honest peer of parole indefinitely.
+// The breaker stays half-open and the next Allow sends a fresh probe.
+// Safe on nil.
+func (bs *BreakerSet) RecordDeparture(id int) {
+	if bs == nil {
+		return
+	}
+	rec, ok := bs.peers[id]
+	if ok && rec.state == BreakerHalfOpen {
+		bs.stats.InconclusiveProbes++
+		return
+	}
+	bs.RecordFailure(id)
 }
 
 func (bs *BreakerSet) trip(rec *breakerRec) {

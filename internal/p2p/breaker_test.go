@@ -269,3 +269,66 @@ func TestBreakerStateString(t *testing.T) {
 		}
 	}
 }
+
+// TestBreakerProbeDepartureInconclusive pins the intended interaction of
+// a half-open probe with a churn departure: the target leaving mid-probe
+// voids the probe instead of failing it. Re-tripping on a departure would
+// extend the quarantine on zero evidence; under sustained churn an honest
+// peer could be starved of parole indefinitely.
+func TestBreakerProbeDepartureInconclusive(t *testing.T) {
+	bs := newTestBreakers(t, 3, 4)
+	const peer = 9
+
+	// Trip the breaker, wait out the cooldown, send the probe.
+	for i := 0; i < 3; i++ {
+		bs.RecordFailure(peer)
+	}
+	for i := int64(0); i < 4; i++ {
+		bs.Tick()
+	}
+	if !bs.Allow(peer) {
+		t.Fatal("cooldown elapsed: probe must be allowed")
+	}
+	if got := bs.State(peer); got != BreakerHalfOpen {
+		t.Fatalf("state after probe = %v, want half-open", got)
+	}
+
+	// The probed peer churns away: inconclusive, not a failed probe.
+	bs.RecordDeparture(peer)
+	if got := bs.State(peer); got != BreakerHalfOpen {
+		t.Fatalf("state after probe-target departure = %v, want half-open (no re-trip)", got)
+	}
+	if got := bs.Stats().Trips; got != 1 {
+		t.Fatalf("trips = %d, want 1 (departure must not re-trip)", got)
+	}
+	if got := bs.Stats().InconclusiveProbes; got != 1 {
+		t.Fatalf("inconclusive probes = %d, want 1", got)
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The breaker stays probe-able: the next Allow sends a fresh probe,
+	// and a delivered probe reply still closes it.
+	if !bs.Allow(peer) {
+		t.Fatal("half-open breaker must allow a fresh probe after an inconclusive one")
+	}
+	bs.RecordSuccess(peer)
+	if got := bs.State(peer); got != BreakerClosed {
+		t.Fatalf("state after delivered probe = %v, want closed", got)
+	}
+
+	// Contrast: a *closed* breaker cannot distinguish departure from
+	// silence, so RecordDeparture keeps the legacy strike accounting.
+	const other = 11
+	bs.RecordDeparture(other)
+	bs.RecordDeparture(other)
+	bs.RecordDeparture(other)
+	if got := bs.State(other); got != BreakerOpen {
+		t.Fatalf("closed-state departures = %v, want open (legacy strike accounting)", got)
+	}
+
+	// Nil safety.
+	var nilBS *BreakerSet
+	nilBS.RecordDeparture(3)
+}

@@ -19,18 +19,27 @@ type FaultCell struct {
 	Resilient  bool
 	UpdateRate float64
 	Discard    bool
+	// Burst arms the Gilbert–Elliott fading chain (deep-fade bad state
+	// over the Bernoulli loss floor); Blackout the per-MH downlink
+	// outage schedule; Degraded the fallback-ladder planner. The three
+	// channel cells append after the legacy rows, carrying bench_schema 4.
+	Burst    bool
+	Blackout bool
+	Degraded bool
 }
 
 // FaultGrid returns the standard grid `make bench` sweeps: loss rates
 // {0, 0.05, 0.1, 0.2}, first with the blind retry loop of the fault
 // layer, then with the full resilient lifecycle, then the two POI-churn
 // cells (surgical reconciliation vs whole-discard at the same churn and
-// loss). The legacy cell order (and therefore the BENCH_faults.json row
-// prefix) matches the historical shell loop, so downstream row
-// consumers keep working; churn rows append, carrying bench_schema 3.
+// loss), then the three channel-impairment cells (burst fading naive
+// and planned, blackout planned). The legacy cell order (and therefore
+// the BENCH_faults.json row prefix) matches the historical shell loop,
+// so downstream row consumers keep working; churn rows append carrying
+// bench_schema 3, channel rows carrying bench_schema 4.
 func FaultGrid() []FaultCell {
 	rates := []float64{0, 0.05, 0.1, 0.2}
-	cells := make([]FaultCell, 0, 2*len(rates)+2)
+	cells := make([]FaultCell, 0, 2*len(rates)+5)
 	for _, p := range rates {
 		cells = append(cells, FaultCell{Loss: p})
 	}
@@ -40,6 +49,14 @@ func FaultGrid() []FaultCell {
 	cells = append(cells,
 		FaultCell{Loss: 0.1, Resilient: true, UpdateRate: 2},
 		FaultCell{Loss: 0.1, Resilient: true, UpdateRate: 2, Discard: true})
+	// Channel-impairment rows (bench_schema 4): burst fading over the
+	// resilient stack without and with the fallback-ladder planner, and
+	// a blackout schedule with the planner — the availability cells the
+	// EXPERIMENTS.md curve summarizes.
+	cells = append(cells,
+		FaultCell{Loss: 0.1, Resilient: true, Burst: true},
+		FaultCell{Loss: 0.1, Resilient: true, Burst: true, Degraded: true},
+		FaultCell{Resilient: true, Blackout: true, Degraded: true})
 	return cells
 }
 
@@ -71,6 +88,19 @@ func (c FaultCell) Params(side, hours float64) sim.Params {
 		p.IRDiscard = c.Discard
 		p.UseOwnCache = true // churn rows exercise the own-cache reconcile path too
 	}
+	if c.Burst {
+		// Deep fades (total loss in the bad state) holding ~25% of slots,
+		// dwells long enough to span whole collection rounds.
+		p.Faults.BurstBadLoss = 1
+		p.Faults.BurstBadSlots = 400
+		p.Faults.BurstGoodSlots = 1200
+	}
+	if c.Blackout {
+		// Per-MH downlink outages at a 1/3 duty cycle.
+		p.Faults.BlackoutPeriodSec = 60
+		p.Faults.BlackoutDurationSec = 20
+	}
+	p.DegradedMode = c.Degraded
 	return p
 }
 

@@ -39,7 +39,10 @@ func TestFaultGridParallelIdentity(t *testing.T) {
 
 // TestFaultGridCellOrder pins the row order to the historical shell
 // loop: plain cells first in ascending loss, then resilient cells, then
-// the appended POI-churn pair (surgical, then whole-discard).
+// the appended POI-churn pair (surgical, then whole-discard), then the
+// channel-impairment triplet (burst naive, burst planned, blackout
+// planned). New cells must append — never reorder — so the legacy
+// BENCH_faults.json row prefix stays byte-stable.
 func TestFaultGridCellOrder(t *testing.T) {
 	grid := FaultGrid()
 	want := []FaultCell{
@@ -48,6 +51,9 @@ func TestFaultGridCellOrder(t *testing.T) {
 		{Loss: 0.1, Resilient: true}, {Loss: 0.2, Resilient: true},
 		{Loss: 0.1, Resilient: true, UpdateRate: 2},
 		{Loss: 0.1, Resilient: true, UpdateRate: 2, Discard: true},
+		{Loss: 0.1, Resilient: true, Burst: true},
+		{Loss: 0.1, Resilient: true, Burst: true, Degraded: true},
+		{Resilient: true, Blackout: true, Degraded: true},
 	}
 	if !reflect.DeepEqual(grid, want) {
 		t.Fatalf("FaultGrid order changed: %+v", grid)

@@ -237,6 +237,15 @@ func (w *World) syncIR(idx, ti int) int64 {
 	if h.irEpoch[ti] >= tc.epoch {
 		return 0
 	}
+	if w.blackout.Down(idx, w.nowSec) {
+		// The host sits in a blackout window: the downlink is dark and no
+		// IR frame can be heard, in any mode. The host stays behind the
+		// epoch and replays the missed reports at its first post-blackout
+		// query — when the outage outlived the IR horizon, Reconcile
+		// demotes or discards what it can no longer repair.
+		w.stats.IRDeferred++
+		return 0
+	}
 	var lost func() bool
 	if c.loss > 0 {
 		lost = func() bool {
@@ -251,6 +260,14 @@ func (w *World) syncIR(idx, ti int) int64 {
 	w.stats.IRListens++
 	w.stats.IRListenSlots += acc.Latency
 	w.mx.observeIRListen(acc.Latency)
+	if acc.Abandoned {
+		// Every IR replica within the wait bound was lost (sustained
+		// outage the blackout schedule did not predict): the host learned
+		// nothing, so it must neither reconcile against a frame it never
+		// heard nor advance its epoch — only the spent slots are real.
+		w.stats.IRListenAborts++
+		return acc.Latency
+	}
 	rec := h.caches[ti].Reconcile(tc.epoch, tc.horizon, tc.invals, w.Params.IRDiscard)
 	w.stats.VRsReconciled += int64(rec.Repaired)
 	w.stats.VRsDiscarded += int64(rec.Discarded)

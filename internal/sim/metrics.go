@@ -63,16 +63,27 @@ type worldMetrics struct {
 	vrsExpired    *metrics.Counter
 	reconcileCost *metrics.Histogram
 
+	// Channel-impairment instruments, registered only when the burst,
+	// blackout, or DegradedMode knob is on (same zero-knob contract as
+	// the trust and consistency blocks). All nil otherwise —
+	// observeChannel checks one.
+	degradedQ     *metrics.Counter
+	unansweredQ   *metrics.Counter
+	modeFallbacks *metrics.Counter
+	modeSwitch    *metrics.Counter
+	blackoutWait  *metrics.Counter
+
 	// lastPeerBytes tracks the Stats.PeerBytes high-water mark so the
 	// ad-hoc traffic counter advances by per-query deltas.
 	lastPeerBytes int64
 }
 
 // newWorldMetrics registers the simulator's instrument set. trustOn
-// additionally registers the trust-layer instruments and consOn the
-// consistency-layer ones; with both false the registry contents are
-// identical to a build without those layers.
-func newWorldMetrics(trustOn, consOn bool) *worldMetrics {
+// additionally registers the trust-layer instruments, consOn the
+// consistency-layer ones, and chanOn the channel-impairment ones; with
+// all three false the registry contents are identical to a build
+// without those layers.
+func newWorldMetrics(trustOn, consOn, chanOn bool) *worldMetrics {
 	reg := metrics.NewRegistry()
 	m := &worldMetrics{
 		reg:    reg,
@@ -124,7 +135,35 @@ func newWorldMetrics(trustOn, consOn bool) *worldMetrics {
 			"surviving pieces per surgically repaired region",
 			"work", metrics.WorkBuckets())
 	}
+	if chanOn {
+		m.degradedQ = reg.Counter("lbsq_channel_degraded_total", "queries answered best-effort on a channel-less fallback rung")
+		m.unansweredQ = reg.Counter("lbsq_channel_unanswered_total", "queries no fallback rung could answer")
+		m.modeFallbacks = reg.Counter("lbsq_channel_mode_fallbacks_total", "queries the degraded planner placed below the full protocol")
+		m.modeSwitch = reg.Counter("lbsq_channel_mode_switch_slots_total", "deadline-priced rung-switch slots paid by fallback queries")
+		m.blackoutWait = reg.Counter("lbsq_channel_blackout_wait_slots_total", "dead-air slots naive-mode queries spent waiting out blackout windows")
+	}
 	return m
+}
+
+// observeChannel records one counted query's channel-impairment
+// activity. No-op when the channel instruments are not registered or the
+// query ran the full protocol unimpaired.
+func (m *worldMetrics) observeChannel(qc queryChannel, degraded, empty bool) {
+	if m == nil || m.degradedQ == nil {
+		return
+	}
+	if degraded {
+		if empty {
+			m.unansweredQ.Inc()
+		} else {
+			m.degradedQ.Inc()
+		}
+	}
+	if qc.mode != modeFull {
+		m.modeFallbacks.Inc()
+		m.modeSwitch.Add(qc.switchCost())
+	}
+	m.blackoutWait.Add(qc.chWait)
 }
 
 // observeUpdates records one IR period's server-side mutation batch.

@@ -192,6 +192,20 @@ type Params struct {
 	// through Faults.ByzantineRate and Faults.Attack.
 	AuditRate float64
 
+	// DegradedMode arms the degraded-mode query planner (DESIGN.md §13):
+	// each query classifies its connectivity (broadcast downlink up/down ×
+	// P2P channel up/down) and walks the fallback ladder — full protocol →
+	// P2P-only with Lemma 3.2 probabilistic answers → on-air-only →
+	// serve-from-own-cache with an explicit staleness bound. Off (the
+	// default), queries run the full protocol unconditionally: a dark
+	// downlink stalls them until the blackout window ends, and a deep fade
+	// burns the whole retry budget against unreachable peers. The planner
+	// only changes behavior when the burst or blackout knobs
+	// (Faults.Burst*/Blackout*) create impairments to classify; with those
+	// zero every query classifies as fully connected and output is
+	// bit-identical to a build without the planner.
+	DegradedMode bool
+
 	// Broadcast configures the air index; the Area field is filled in by
 	// the simulator. Faults.BroadcastLoss, when set, overrides
 	// Broadcast.LossRate so one profile drives every channel.

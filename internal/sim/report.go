@@ -42,9 +42,13 @@ type Report struct {
 	IRWindow    int     `json:"ir_window,omitempty"`
 	VRTTLSec    float64 `json:"vr_ttl_sec,omitempty"`
 	IRDiscard   bool    `json:"ir_discard,omitempty"`
-	SelfCheck   bool    `json:"self_check_passed"`
-	Stats       Stats   `json:"stats"`
-	Derived     Derived `json:"derived"`
+	// DegradedMode arms the fallback-ladder planner (DESIGN.md §13); the
+	// burst/blackout knobs ride inside Faults (omitempty likewise). Rows
+	// carrying any channel-impairment knob report BenchSchemaBurst.
+	DegradedMode bool    `json:"degraded_mode,omitempty"`
+	SelfCheck    bool    `json:"self_check_passed"`
+	Stats        Stats   `json:"stats"`
+	Derived      Derived `json:"derived"`
 	// Metrics is the final registry snapshot of a metrics-enabled run
 	// (World.Metrics().Snapshot()). Nil — and absent from the encoding —
 	// when the Metrics knob is off, preserving byte-identity with
@@ -61,9 +65,14 @@ type Report struct {
 // that carry the consistency knob fields and counters (v2 rows are a
 // strict subset, so v2 consumers keep working if they ignore unknown
 // keys — the bump is a courtesy signal, same convention as v1→v2).
+// BenchSchemaBurst marks rows carrying the channel-impairment knobs
+// (Gilbert–Elliott burst fading, blackout windows, degraded-mode
+// planner) and their counters — the same strict-superset courtesy bump
+// as v2→v3.
 const (
 	BenchSchemaVersion     = 2
 	BenchSchemaConsistency = 3
+	BenchSchemaBurst       = 4
 )
 
 // Derived holds the rates the human-readable report prints, precomputed
@@ -81,6 +90,8 @@ type Derived struct {
 	ResilienceEvents       int64   `json:"resilience_events"`
 	TrustEvents            int64   `json:"trust_events,omitempty"`
 	ConsistencyEvents      int64   `json:"consistency_events,omitempty"`
+	ChannelEvents          int64   `json:"channel_events,omitempty"`
+	AnsweredInBudgetPct    float64 `json:"answered_in_budget_pct,omitempty"`
 }
 
 // NewReport assembles the Report for a finished run.
@@ -88,6 +99,9 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 	schema := BenchSchemaVersion
 	if p.UpdateRate > 0 || p.VRTTLSec > 0 {
 		schema = BenchSchemaConsistency
+	}
+	if p.Faults.BurstEnabled() || p.Faults.BlackoutEnabled() || p.DegradedMode {
+		schema = BenchSchemaBurst
 	}
 	if p.UpdateRate > 0 {
 		// Callers may pass pre-default Params; fill the consistency
@@ -124,6 +138,7 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 		IRWindow:        p.IRWindow,
 		VRTTLSec:        p.VRTTLSec,
 		IRDiscard:       p.IRDiscard,
+		DegradedMode:    p.DegradedMode,
 		SelfCheck:       selfChecked,
 		Stats:           stats,
 		Derived: Derived{
@@ -139,6 +154,8 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 			ResilienceEvents:       stats.ResilienceEvents(),
 			TrustEvents:            stats.TrustEvents(),
 			ConsistencyEvents:      stats.ConsistencyEvents(),
+			ChannelEvents:          stats.ChannelEvents(),
+			AnsweredInBudgetPct:    stats.AnsweredInBudgetPct(),
 		},
 		WallSeconds: wallSeconds,
 	}

@@ -12,10 +12,16 @@ package sim
 // attack profile with the audit defense armed, from its own seeded
 // stream, runs a small dense world with SelfCheck on, and asserts:
 //
+// Every fourth schedule additionally arms the Gilbert–Elliott fading
+// chain, every fifth a blackout schedule, and a third of the armed
+// schedules run the degraded-mode planner (the rest stall naively), so
+// correlated losses soak alongside every other mechanism. The harness
+// asserts:
+//
 //   - soundness: every exact result matched the R-tree ground truth, and
 //     approximate results are only reported when the run accepts them;
 //   - termination: every counted query ended in exactly one of
-//     Verified / Approximate / Broadcast;
+//     Verified / Approximate / Broadcast / Degraded / Unanswered;
 //   - breaker liveness: the per-peer state machines satisfy their
 //     invariants (no unbounded quarantine, no stuck states);
 //   - counter causality: resilience counters are zero exactly when their
@@ -125,6 +131,28 @@ func soakParams(schedule int) Params {
 	if schedule%6 == 0 {
 		p.VRTTLSec = 60 + rng.Float64()*240
 	}
+
+	// Channel-impairment schedules (drawn after every legacy knob so the
+	// impairment-free schedules keep their exact historical draws). Every
+	// fourth schedule arms the Gilbert–Elliott fading chain — sometimes a
+	// deep fade, sometimes merely lossy — and every fifth a blackout
+	// schedule, offset so the combinations (and burst+byzantine,
+	// blackout+consistency) occur too. A third of the armed schedules run
+	// the fallback-ladder planner, the rest the naive stall, so both
+	// regimes soak.
+	if schedule%4 == 3 {
+		p.Faults.BurstBadLoss = 0.6 + rng.Float64()*0.4
+		p.Faults.BurstBadSlots = 100 + rng.Float64()*500
+		p.Faults.BurstGoodSlots = 3 * p.Faults.BurstBadSlots
+		p.Faults.BurstGoodLoss = rng.Float64() * 0.05
+	}
+	if schedule%5 == 4 {
+		p.Faults.BlackoutPeriodSec = 40 + rng.Float64()*80
+		p.Faults.BlackoutDurationSec = 10 + rng.Float64()*20
+	}
+	if (p.Faults.BurstEnabled() || p.Faults.BlackoutEnabled()) && schedule%3 == 1 {
+		p.DegradedMode = true
+	}
 	return p
 }
 
@@ -149,10 +177,12 @@ func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
 	if err := w.SelfCheckErr(); err != nil {
 		t.Errorf("self-check failed: %v", err)
 	}
-	// Termination: every counted query ended in exactly one outcome.
-	if got := s.Verified + s.Approximate + s.Broadcast; got != s.Queries {
-		t.Errorf("outcomes %d != queries %d (verified=%d approx=%d broadcast=%d)",
-			got, s.Queries, s.Verified, s.Approximate, s.Broadcast)
+	// Termination: every counted query ended in exactly one outcome
+	// (Degraded and Unanswered only exist on the planner's channel-less
+	// rungs; both stay zero on impairment-free schedules).
+	if got := s.Verified + s.Approximate + s.Broadcast + s.Degraded + s.Unanswered; got != s.Queries {
+		t.Errorf("outcomes %d != queries %d (verified=%d approx=%d broadcast=%d degraded=%d unanswered=%d)",
+			got, s.Queries, s.Verified, s.Approximate, s.Broadcast, s.Degraded, s.Unanswered)
 	}
 	if s.Queries == 0 {
 		t.Error("schedule ran zero queries")
@@ -230,6 +260,46 @@ func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
 	if s.POIUpdates > 0 && s.IRBroadcasts == 0 {
 		t.Errorf("POI updates %d never announced on air", s.POIUpdates)
 	}
+
+	// Channel counter causality: each impairment's counters are zero
+	// exactly when its knob is off, and the planner's rungs are reachable
+	// only under the impairment that opens them.
+	if !p.Faults.BurstEnabled() &&
+		(s.BurstFrameLosses != 0 || s.BurstTransitions != 0 || s.FadeSuppressedStrikes != 0 ||
+			s.ModeOnAirOnly != 0 || s.ModeOwnCache != 0) {
+		t.Errorf("burst counters fired with the chain off: losses=%d transitions=%d suppressed=%d onair=%d owncache=%d",
+			s.BurstFrameLosses, s.BurstTransitions, s.FadeSuppressedStrikes,
+			s.ModeOnAirOnly, s.ModeOwnCache)
+	}
+	if !p.Faults.BlackoutEnabled() &&
+		(s.BlackoutQueries != 0 || s.BlackoutWaitSlots != 0 || s.BlackoutRecoveries != 0 ||
+			s.IRDeferred != 0 || s.ModeP2POnly != 0 || s.ModeOwnCache != 0) {
+		t.Errorf("blackout counters fired with no schedule: queries=%d wait=%d recoveries=%d deferred=%d p2ponly=%d owncache=%d",
+			s.BlackoutQueries, s.BlackoutWaitSlots, s.BlackoutRecoveries,
+			s.IRDeferred, s.ModeP2POnly, s.ModeOwnCache)
+	}
+	if !p.DegradedMode &&
+		(s.ModeP2POnly != 0 || s.ModeOnAirOnly != 0 || s.ModeOwnCache != 0 ||
+			s.ModeSwitchSlots != 0 || s.Degraded != 0 || s.Unanswered != 0 ||
+			s.StaleBoundMaxSec != 0) {
+		t.Errorf("planner counters fired with the planner off: %+v", s)
+	}
+	if p.DegradedMode && (s.BlackoutQueries != 0 || s.BlackoutWaitSlots != 0) {
+		t.Errorf("planner run stalled naively: queries=%d wait=%d",
+			s.BlackoutQueries, s.BlackoutWaitSlots)
+	}
+	if !p.Faults.BurstEnabled() && !p.Faults.BlackoutEnabled() && s.AnsweredInBudget != 0 {
+		t.Errorf("availability tally %d without any channel impairment", s.AnsweredInBudget)
+	}
+	if p.BreakerThreshold == 0 && s.FadeSuppressedStrikes != 0 {
+		t.Errorf("fade-suppressed strikes %d with breakers off", s.FadeSuppressedStrikes)
+	}
+	if s.IRListenAborts > 0 && p.Faults.BroadcastLoss == 0 {
+		t.Errorf("IR listen aborts %d without broadcast loss", s.IRListenAborts)
+	}
+	if s.StaleBoundMaxSec != 0 && s.ModeOwnCache == 0 {
+		t.Errorf("staleness bound %d without any own-cache-rung query", s.StaleBoundMaxSec)
+	}
 }
 
 // TestChaosSoak is the acceptance harness: randomized fault/churn
@@ -277,6 +347,13 @@ func TestChaosSoak(t *testing.T) {
 			agg.VRsReconciled += s.VRsReconciled
 			agg.VRsDemoted += s.VRsDemoted
 			agg.VRsExpired += s.VRsExpired
+			agg.BurstFrameLosses += s.BurstFrameLosses
+			agg.BurstTransitions += s.BurstTransitions
+			agg.BlackoutRecoveries += s.BlackoutRecoveries
+			agg.BlackoutQueries += s.BlackoutQueries
+			agg.ModeP2POnly += s.ModeP2POnly
+			agg.ModeOnAirOnly += s.ModeOnAirOnly
+			agg.AnsweredInBudget += s.AnsweredInBudget
 		})
 	}
 
@@ -318,6 +395,22 @@ func TestChaosSoak(t *testing.T) {
 		}
 		if agg.VRsExpired == 0 {
 			t.Error("no schedule ever expired a region by TTL")
+		}
+		if agg.BurstFrameLosses == 0 || agg.BurstTransitions == 0 {
+			t.Errorf("the fading chain never bit: losses=%d transitions=%d",
+				agg.BurstFrameLosses, agg.BurstTransitions)
+		}
+		if agg.BlackoutRecoveries == 0 {
+			t.Error("no schedule ever reacquired the downlink after a blackout")
+		}
+		if agg.BlackoutQueries == 0 {
+			t.Error("no naive schedule ever stalled on a blackout window")
+		}
+		if agg.ModeP2POnly+agg.ModeOnAirOnly == 0 {
+			t.Error("no planner schedule ever stepped down the fallback ladder")
+		}
+		if agg.AnsweredInBudget == 0 {
+			t.Error("no impaired schedule ever answered a query in budget")
 		}
 	}
 }

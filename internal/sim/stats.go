@@ -151,6 +151,60 @@ type Stats struct {
 	// VRsExpired counts regions evicted by the VRTTLSec time-to-live.
 	VRsExpired int64 `json:",omitempty"`
 
+	// Channel-impairment visibility (DESIGN.md §13): the Gilbert–Elliott
+	// fading chain, the blackout windows, and the degraded-mode planner.
+	// All of these are zero when the burst, blackout, and DegradedMode
+	// knobs are off; the fields are omitted from JSON encodings then, so
+	// zero-knob report rows stay byte-identical to earlier schema
+	// versions.
+	//
+	// Degraded counts queries answered from peer-side knowledge on a
+	// channel-less rung (P2P-only or own-cache) without verification —
+	// best-effort answers with Lemma 3.2 confidence at most. Unanswered
+	// counts queries those rungs could not answer at all. Both are
+	// outcome classes: Verified+Approximate+Broadcast+Degraded+Unanswered
+	// always equals Queries.
+	Degraded   int `json:",omitempty"`
+	Unanswered int `json:",omitempty"`
+	// ModeP2POnly / ModeOnAirOnly / ModeOwnCache count counted queries
+	// the planner placed on each fallback rung, and ModeSwitchSlots the
+	// total deadline-priced rung-switch cost those queries paid.
+	ModeP2POnly     int64 `json:",omitempty"`
+	ModeOnAirOnly   int64 `json:",omitempty"`
+	ModeOwnCache    int64 `json:",omitempty"`
+	ModeSwitchSlots int64 `json:",omitempty"`
+	// BlackoutQueries counts naive-mode (planner off) queries that hit a
+	// dark downlink and stalled; BlackoutWaitSlots sums the dead air they
+	// waited. BlackoutRecoveries counts per-host reacquisitions (a host's
+	// first query after its blackout window ended).
+	BlackoutQueries    int64 `json:",omitempty"`
+	BlackoutWaitSlots  int64 `json:",omitempty"`
+	BlackoutRecoveries int64 `json:",omitempty"`
+	// IRDeferred counts IR listens skipped because the host's downlink
+	// was dark (the epoch lag replays at reacquisition); IRListenAborts
+	// counts listens abandoned at the bounded replica wait (the host
+	// neither reconciled nor advanced its epoch).
+	IRDeferred     int64 `json:",omitempty"`
+	IRListenAborts int64 `json:",omitempty"`
+	// FadeSuppressedStrikes counts reply-timeout breaker strikes withheld
+	// because the fading chain was impaired at end of collection — a
+	// global fade is a channel property, never peer misbehavior.
+	FadeSuppressedStrikes int64 `json:",omitempty"`
+	// BurstFrameLosses counts P2P frames the fading chain killed on top
+	// of the legacy Bernoulli losses; BurstTransitions counts good↔bad
+	// state flips of the chain.
+	BurstFrameLosses int64 `json:",omitempty"`
+	BurstTransitions int64 `json:",omitempty"`
+	// AnsweredInBudget counts queries answered (any rung) within
+	// DeadlineSlots plus one broadcast cycle — the availability metric of
+	// the EXPERIMENTS.md burstiness curve. Computed only when the burst
+	// or blackout knobs are armed.
+	AnsweredInBudget int64 `json:",omitempty"`
+	// StaleBoundMaxSec is the worst explicit staleness bound any
+	// own-cache-rung answer carried (seconds since the oldest
+	// contributing region was inserted).
+	StaleBoundMaxSec int64 `json:",omitempty"`
+
 	// AvgPeersPerQuery tracks mean reachable peers (encounter density).
 	peersSum int64
 }
@@ -245,6 +299,26 @@ func (s Stats) ConsistencyEvents() int64 {
 		s.VRsExpired + s.StaleVerdicts
 }
 
+// ChannelEvents returns the total activity of the channel-impairment
+// layer — zero exactly when the burst, blackout, and DegradedMode knobs
+// were all zero (no fading chain, no blackout schedule, no planner).
+// AnsweredInBudget is deliberately excluded: it measures availability
+// under impairment, not impairment itself.
+func (s Stats) ChannelEvents() int64 {
+	return int64(s.Degraded) + int64(s.Unanswered) + s.ModeP2POnly +
+		s.ModeOnAirOnly + s.ModeOwnCache + s.ModeSwitchSlots +
+		s.BlackoutQueries + s.BlackoutWaitSlots + s.BlackoutRecoveries +
+		s.IRDeferred + s.IRListenAborts + s.FadeSuppressedStrikes +
+		s.BurstFrameLosses + s.BurstTransitions + s.StaleBoundMaxSec
+}
+
+// AnsweredInBudgetPct returns the answered-within-deadline fraction of
+// a channel-impaired run — the availability headline of the burstiness
+// experiments.
+func (s Stats) AnsweredInBudgetPct() float64 {
+	return pct(int(s.AnsweredInBudget), s.Queries)
+}
+
 // ResilienceEvents returns the total activity of the resilient query
 // lifecycle — zero exactly when every resilience knob was zero.
 func (s Stats) ResilienceEvents() int64 {
@@ -288,6 +362,16 @@ func (s Stats) String() string {
 			s.POIUpdates, s.IRBroadcasts, s.IRListens, s.IRListenSlots,
 			s.VRsReconciled, s.VRsDemoted, s.VRsDiscarded, s.VRsExpired,
 			s.StaleVerdicts,
+		)
+	}
+	if s.ChannelEvents() > 0 || s.AnsweredInBudget > 0 {
+		out += fmt.Sprintf(
+			" channel[degraded=%d unanswered=%d modes=%d/%d/%d switchslots=%d blackout[q=%d wait=%d recov=%d] irdef=%d iraborts=%d fadesupp=%d burst[loss=%d trans=%d] inbudget=%.1f%% stalebound=%ds]",
+			s.Degraded, s.Unanswered, s.ModeP2POnly, s.ModeOnAirOnly,
+			s.ModeOwnCache, s.ModeSwitchSlots, s.BlackoutQueries,
+			s.BlackoutWaitSlots, s.BlackoutRecoveries, s.IRDeferred,
+			s.IRListenAborts, s.FadeSuppressedStrikes, s.BurstFrameLosses,
+			s.BurstTransitions, s.AnsweredInBudgetPct(), s.StaleBoundMaxSec,
 		)
 	}
 	return out

@@ -67,6 +67,19 @@ type World struct {
 	resilient bool
 	breakers  *p2p.BreakerSet
 
+	// blackout is the per-host deep-fade schedule of the broadcast
+	// downlink (nil unless the blackout knobs are set — no draws, no
+	// branch costs then). planner arms the degraded-mode fallback ladder;
+	// chanDown tracks each host's last observed downlink state so
+	// reacquisitions are countable (allocated only when blackout is
+	// armed). chanArmed gates the availability accounting
+	// (AnsweredInBudget) to channel-impaired runs so zero-knob stats stay
+	// byte-identical.
+	blackout  *faults.Blackout
+	planner   bool
+	chanDown  []bool
+	chanArmed bool
+
 	// byzAttack is the per-host byzantine assignment (AttackNone for
 	// honest hosts), drawn once at world construction from a dedicated
 	// seeded stream. Nil when Faults.ByzantineRate is zero — no draws, no
@@ -231,8 +244,14 @@ func NewWorld(p Params) (*World, error) {
 		durationSec: p.DurationHours * 3600,
 		resilient:   p.ResilienceEnabled(),
 		breakers:    p2p.NewBreakerSet(p.BreakerConfig()),
+		blackout:    faults.NewBlackout(p.Seed^faultSeedSalt, prof),
+		planner:     p.DegradedMode,
+		chanArmed:   prof.BurstEnabled() || prof.BlackoutEnabled(),
 	}
 	w.warmupSec = w.durationSec * p.WarmupFrac
+	if w.blackout != nil {
+		w.chanDown = make([]bool, p.MHNumber)
+	}
 	w.tr = trust.NewEngine(p.Seed^trustSeedSalt, p.TrustConfig(), w.breakers)
 	if prof.ByzantineRate > 0 {
 		// Byzantine status is a per-host property, assigned once from a
@@ -251,7 +270,8 @@ func NewWorld(p Params) (*World, error) {
 		w.cons = newConsState(p, types)
 	}
 	if p.Metrics {
-		w.mx = newWorldMetrics(w.tr != nil, w.cons != nil || p.VRTTLSec > 0)
+		w.mx = newWorldMetrics(w.tr != nil, w.cons != nil || p.VRTTLSec > 0,
+			w.chanArmed || w.planner)
 		w.mx.hosts.Set(float64(p.MHNumber))
 		w.net.FanoutHist = w.mx.fanout
 	}
@@ -391,6 +411,8 @@ func (w *World) Stats() Stats {
 	s.StaleVRs = c.StaleVRs
 	s.ChurnDepartures = c.ChurnDepartures
 	s.ChurnReturns = c.ChurnReturns
+	s.BurstFrameLosses = c.BurstLosses
+	s.BurstTransitions = c.BurstTransitions
 	s.WastedRetries = w.net.Stats.WastedRetries
 	b := w.breakers.Stats()
 	s.BreakerTrips = b.Trips
@@ -551,18 +573,7 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 		// no transport faults. With the consistency layer armed, regions
 		// that survived reconciliation beyond the repair horizon are still
 		// offered, but demoted to the probabilistic path (never exact).
-		for _, r := range w.hosts[idx].caches[ti].Regions() {
-			if r.Rect.Intersects(relevance) {
-				pd := core.PeerData{VR: r.Rect, POIs: r.POIs}
-				if w.cons != nil && r.Epoch < w.cons.types[ti].epoch {
-					pd.Tainted = true
-					w.stats.VRsDemoted++
-					w.mx.observeDemoted()
-				}
-				peers = append(peers, pd)
-				w.qs.owners = append(w.qs.owners, trust.Self)
-			}
-		}
+		peers, _ = w.appendOwnCache(peers, idx, ti, relevance)
 	}
 	for _, id := range heard {
 		peers, _ = w.receiveReply(peers, id, ti, relevance, stamp, count)
@@ -590,8 +601,11 @@ func (w *World) gatherPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData, 
 // now spent (collection backoff plus audit cost), and the per-screen
 // report. A nil engine (AuditRate zero) passes the peers through
 // untouched — the seed behavior, with zero draws and zero branches past
-// the first.
-func (w *World) trustScreen(ti int, peers []core.PeerData, spent int64) ([]core.PeerData, int64, trust.Report) {
+// the first. bcastUp=false (the host sits in a blackout window) zeroes
+// the audit budget: on-air spot audits are physically impossible on a
+// dark downlink, and a missed audit must never read as a failed one —
+// cross-validation between the contributions themselves still runs.
+func (w *World) trustScreen(ti int, peers []core.PeerData, spent int64, bcastUp bool) ([]core.PeerData, int64, trust.Report) {
 	if w.tr == nil {
 		return peers, spent, trust.Report{}
 	}
@@ -612,6 +626,9 @@ func (w *World) trustScreen(ti int, peers []core.PeerData, spent int64) ([]core.
 		if budget < 0 {
 			budget = 0
 		}
+	}
+	if !bcastUp {
+		budget = 0 // dark downlink: no channel to audit against
 	}
 	oracle := func(r geom.Rect) []broadcast.POI { return w.poisInRect(ti, r) }
 	screened, rep := w.tr.Screen(contribs, oracle, budget)
@@ -668,18 +685,7 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 		// The host's own cache is a zero-cost "peer": no wire traffic, no
 		// transport faults, no breaker. Beyond-horizon regions demote as
 		// in the legacy collection path above.
-		for _, r := range w.hosts[idx].caches[ti].Regions() {
-			if r.Rect.Intersects(relevance) {
-				pd := core.PeerData{VR: r.Rect, POIs: r.POIs}
-				if w.cons != nil && r.Epoch < w.cons.types[ti].epoch {
-					pd.Tainted = true
-					w.stats.VRsDemoted++
-					w.mx.observeDemoted()
-				}
-				peers = append(peers, pd)
-				w.qs.owners = append(w.qs.owners, trust.Self)
-			}
-		}
+		peers, _ = w.appendOwnCache(peers, idx, ti, relevance)
 	}
 
 	// Breaker gate: quarantined peers cost nothing this query.
@@ -708,6 +714,10 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 				break
 			}
 			spent += delay
+			// The backoff wait advances the slot clock; the fading chain
+			// follows it (a no-op with the burst knobs off), so a burst
+			// can begin or end inside one collection.
+			w.inj.Sync(w.slotNow() + spent)
 			w.net.Stats.Retries++
 		}
 		// One broadcast frame addresses every still-pending peer.
@@ -790,10 +800,30 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 	// Reply timeouts: every targeted peer that never produced an
 	// observable response within the budget/deadline strikes its breaker
 	// once (the querier cannot distinguish departure, deafness, and
-	// drop — all look like a peer that did not answer).
+	// drop — all look like a peer that did not answer). Two exceptions
+	// keep reputations honest under impairments the querier CAN observe:
+	// a fading burst is a channel property, not peer misbehavior, so an
+	// impaired chain suppresses every timeout strike of the collection
+	// (a global fade must never trip honest-peer breakers); and a
+	// half-open probe whose target departed mid-probe is inconclusive
+	// rather than failed (RecordDeparture). Content-level strikes — CRC
+	// rejections and stale discards above — stand either way: a fade
+	// only removes frames, it cannot damage the ones that arrive.
+	impaired := w.inj.ChannelImpaired()
 	for i := range targets {
-		if !targets[i].resolved {
-			w.breakers.RecordFailure(targets[i].id)
+		t := &targets[i]
+		if t.resolved {
+			continue
+		}
+		switch {
+		case impaired:
+			if w.breakers != nil {
+				w.stats.FadeSuppressedStrikes++
+			}
+		case t.departed:
+			w.breakers.RecordDeparture(t.id)
+		default:
+			w.breakers.RecordFailure(t.id)
 		}
 	}
 	w.stats.BackoffSlots += spent
@@ -1012,9 +1042,32 @@ func (w *World) runKNNQuery(idx, ti int) {
 	q := h.mob.Pos
 	k := w.drawK()
 	relevance := geom.RectAround(q, w.knnRelevanceRadius(ti, k))
+	qc := w.assessChannel(idx)
 	irSlots := w.syncIR(idx, ti)
-	peers, nPeers, collected := w.gatherPeers(idx, ti, relevance)
-	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots)
+	var (
+		peers     []core.PeerData
+		nPeers    int
+		collected int64
+		minBorn   = int64(math.MaxInt64)
+	)
+	switch qc.mode {
+	case modeFull, modeP2POnly:
+		peers, nPeers, collected = w.gatherPeers(idx, ti, relevance)
+	default:
+		// The P2P channel is in a deep fade: spending the retry budget on
+		// peers that cannot hear is pure waste, so the lower rungs skip
+		// the wire entirely.
+		peers, minBorn = w.collectOwnCacheOnly(idx, ti, relevance, qc.mode == modeOwnCache)
+	}
+	collected += qc.switchCost()
+	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots, qc.bcastUp)
+
+	// The blackout rungs have no channel to fall back to; the core
+	// algorithms answer from peer knowledge alone (nil schedule).
+	sched := ts.sched
+	if qc.mode == modeP2POnly || qc.mode == modeOwnCache {
+		sched = nil
+	}
 
 	cfg := core.SBNNConfig{
 		K:                 k,
@@ -1023,49 +1076,65 @@ func (w *World) runKNNQuery(idx, ti int) {
 		MinCorrectness:    w.Params.MinCorrectness,
 	}
 	// Slots spent in retry backoff delay the client's arrival on the
-	// broadcast channel (spent is zero on the legacy path). The World
-	// scratch keeps the per-query hot path allocation-free; the result
-	// aliases the scratch and is fully consumed before the next query.
-	res := core.SBNNScratch(&w.qs.core, q, peers, cfg, ts.sched, w.slotNow()+spent)
+	// broadcast channel (spent is zero on the legacy path), as does a
+	// naive-mode blackout stall (qc.chWait). The World scratch keeps the
+	// per-query hot path allocation-free; the result aliases the scratch
+	// and is fully consumed before the next query.
+	res := core.SBNNScratch(&w.qs.core, q, peers, cfg, sched, w.slotNow()+spent+qc.chWait)
+	// A channel-less rung that could not verify is a degraded answer
+	// (best peer-side knowledge, Lemma 3.2 confidence at most) or — with
+	// nothing usable at all — an unanswered query.
+	degraded := sched == nil && res.Outcome == core.OutcomeBroadcast
 
 	if w.counted() {
 		w.stats.Queries++
 		w.stats.peersSum += int64(nPeers)
-		switch res.Outcome {
-		case core.OutcomeVerified:
+		switch {
+		case degraded && len(res.POIs) > 0:
+			w.stats.Degraded++
+		case degraded:
+			w.stats.Unanswered++
+		case res.Outcome == core.OutcomeVerified:
 			w.stats.Verified++
-		case core.OutcomeApproximate:
+		case res.Outcome == core.OutcomeApproximate:
 			w.stats.Approximate++
 		default:
 			w.stats.Broadcast++
 			// The backoff slots the P2P phase burned are part of this
-			// query's end-to-end access latency.
-			w.stats.LatencySlots += res.Access.Latency + spent
+			// query's end-to-end access latency, as is the dead air a
+			// naive client spent waiting out a blackout window.
+			w.stats.LatencySlots += res.Access.Latency + spent + qc.chWait
 			w.stats.TuningSlots += res.Access.Tuning
 			w.stats.PacketsRead += int64(res.Access.PacketsRead)
 			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
 			w.stats.Retransmissions += int64(res.Access.Retransmissions)
 			w.stats.IndexRetries += int64(res.Access.IndexRetries)
 		}
+		if w.chanArmed {
+			w.observeBudget(ts, res.Access.Latency+spent+qc.chWait, !degraded || len(res.POIs) > 0)
+		}
 		w.sampleKNNBaseline(ti, q, k)
-		if w.SelfCheck && res.Outcome != core.OutcomeApproximate {
+		if w.SelfCheck && !degraded && res.Outcome != core.OutcomeApproximate {
 			w.checkKNN(ti, q, k, res.POIs)
 		}
 		ev := trace.Event{
 			TimeSec: w.nowSec, Host: idx, Kind: "knn",
-			Outcome: res.Outcome.String(), K: k, Peers: nPeers,
+			Outcome: outcomeLabel(res.Outcome, degraded, len(res.POIs)), K: k, Peers: nPeers,
 			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
 			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
 			Audits: trep.Audits, AuditFailures: trep.AuditFailures,
 			Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
 			TaintedPeers: trep.Tainted,
 			IRSlots:      irSlots, StaleConflicts: trep.StaleConflicts,
+			Mode: qc.mode.String(), WaitSlots: qc.chWait,
 		}
+		ev.StaleBoundSec = w.staleBound(qc.mode, minBorn)
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
 			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots+irSlots, res.Access,
 				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
 			w.mx.observeTrust(trep)
+			w.mx.observeChannel(qc, degraded, len(res.POIs) == 0)
 			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
 				&ev.SpanVerifyWork, &ev.SpanTuneSlots, &ev.SpanDownloadSlots)
 		}
@@ -1091,49 +1160,79 @@ func (w *World) runWindowQuery(idx, ti int) {
 	if !ok {
 		return
 	}
+	qc := w.assessChannel(idx)
 	irSlots := w.syncIR(idx, ti)
-	peers, nPeers, collected := w.gatherPeers(idx, ti, win)
-	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots)
+	var (
+		peers     []core.PeerData
+		nPeers    int
+		collected int64
+		minBorn   = int64(math.MaxInt64)
+	)
+	switch qc.mode {
+	case modeFull, modeP2POnly:
+		peers, nPeers, collected = w.gatherPeers(idx, ti, win)
+	default:
+		peers, minBorn = w.collectOwnCacheOnly(idx, ti, win, qc.mode == modeOwnCache)
+	}
+	collected += qc.switchCost()
+	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots, qc.bcastUp)
+
+	sched := ts.sched
+	if qc.mode == modeP2POnly || qc.mode == modeOwnCache {
+		sched = nil
+	}
 	// Cap cached retrieval regions at what the cache can hold: CacheSize
 	// POIs cover about CacheSize/lambda square miles.
 	cfg := core.SBWQConfig{
 		MaxKnownArea: 1.5 * float64(w.Params.CacheSize) / math.Max(ts.lambda, 1e-9),
 	}
-	res := core.SBWQScratch(&w.qs.core, q, win, peers, cfg, ts.sched, w.slotNow()+spent)
+	res := core.SBWQScratch(&w.qs.core, q, win, peers, cfg, sched, w.slotNow()+spent+qc.chWait)
+	degraded := sched == nil && res.Outcome == core.OutcomeBroadcast
 
 	if w.counted() {
 		w.stats.Queries++
 		w.stats.peersSum += int64(nPeers)
-		if res.Outcome == core.OutcomeVerified {
+		switch {
+		case degraded && len(res.POIs) > 0:
+			w.stats.Degraded++
+		case degraded:
+			w.stats.Unanswered++
+		case res.Outcome == core.OutcomeVerified:
 			w.stats.Verified++
-		} else {
+		default:
 			w.stats.Broadcast++
-			w.stats.LatencySlots += res.Access.Latency + spent
+			w.stats.LatencySlots += res.Access.Latency + spent + qc.chWait
 			w.stats.TuningSlots += res.Access.Tuning
 			w.stats.PacketsRead += int64(res.Access.PacketsRead)
 			w.stats.PacketsSkipped += int64(res.Access.PacketsSkipped)
 			w.stats.Retransmissions += int64(res.Access.Retransmissions)
 			w.stats.IndexRetries += int64(res.Access.IndexRetries)
 		}
+		if w.chanArmed {
+			w.observeBudget(ts, res.Access.Latency+spent+qc.chWait, !degraded || len(res.POIs) > 0)
+		}
 		w.sampleWindowBaseline(ti, win)
-		if w.SelfCheck {
+		if w.SelfCheck && !degraded {
 			w.checkWindow(ti, win, res.POIs)
 		}
 		ev := trace.Event{
 			TimeSec: w.nowSec, Host: idx, Kind: "window",
-			Outcome: res.Outcome.String(), Peers: nPeers,
+			Outcome: outcomeLabel(res.Outcome, degraded, len(res.POIs)), Peers: nPeers,
 			LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
 			PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
 			Audits: trep.Audits, AuditFailures: trep.AuditFailures,
 			Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
 			TaintedPeers: trep.Tainted,
 			IRSlots:      irSlots, StaleConflicts: trep.StaleConflicts,
+			Mode: qc.mode.String(), WaitSlots: qc.chWait,
 		}
+		ev.StaleBoundSec = w.staleBound(qc.mode, minBorn)
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
 			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots+irSlots, res.Access,
 				res.Merged, res.Examined, res.KnownRegion, w.stats.PeerBytes)
 			w.mx.observeTrust(trep)
+			w.mx.observeChannel(qc, degraded, len(res.POIs) == 0)
 			w.mx.spanFields(&ev.SpanP2PSlots, &ev.SpanMergeWork,
 				&ev.SpanVerifyWork, &ev.SpanTuneSlots, &ev.SpanDownloadSlots)
 		}

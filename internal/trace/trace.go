@@ -18,7 +18,9 @@ type Event struct {
 	Host int `json:"host"`
 	// Kind is "knn" or "window".
 	Kind string `json:"kind"`
-	// Outcome is "verified", "approximate", or "broadcast".
+	// Outcome is "verified", "approximate", or "broadcast" — or, on a
+	// channel-less fallback rung, "degraded" (best-effort peer-side
+	// answer) or "unanswered".
 	Outcome string `json:"outcome"`
 	// K is the requested result cardinality (kNN only).
 	K int `json:"k,omitempty"`
@@ -58,6 +60,16 @@ type Event struct {
 	// when zero, so consistency-off traces stay byte-identical.
 	IRSlots        int64 `json:"ir_slots,omitempty"`
 	StaleConflicts int   `json:"stale_conflicts,omitempty"`
+	// Channel-impairment fields (burst/blackout knobs, degraded-mode
+	// planner): the fallback rung this query ran on ("p2p-only",
+	// "onair-only", "own-cache"; empty on the full protocol), the slots a
+	// naive-mode query stalled waiting out a blackout window, and the
+	// explicit staleness bound an own-cache-rung answer carried. All
+	// omitted when zero/empty, so impairment-free traces stay
+	// byte-identical.
+	Mode          string `json:"mode,omitempty"`
+	WaitSlots     int64  `json:"wait_slots,omitempty"`
+	StaleBoundSec int64  `json:"stale_bound_sec,omitempty"`
 }
 
 // Writer appends events as JSON Lines.
