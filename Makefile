@@ -11,7 +11,7 @@ GOFMT ?= gofmt
 COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache internal/faults
 COVER_MIN ?= 70
 
-.PHONY: all build vet test race lint cover fuzz-smoke verify soak bench bench-hot bench-smoke
+.PHONY: all build vet test race lint cover fuzz-smoke verify soak bench bench-hot bench-tick bench-smoke
 
 all: build
 
@@ -99,11 +99,24 @@ bench-hot:
 	$(GO) run ./cmd/lbsq-bench -out results/BENCH_hotpath.json
 	@echo "bench-hot: wrote results/BENCH_hotpath.json"
 
+# Batched tick-engine report: World.Step wall clock at each
+# -tick-workers setting with per-row GOMAXPROCS stamps, the MVR
+# memoization counters, and the embedded serial-identity check
+# (DESIGN.md §14).
+bench-tick:
+	@mkdir -p results
+	$(GO) run ./cmd/lbsq-bench -tick -out results/BENCH_tick.json
+	@echo "bench-tick: wrote results/BENCH_tick.json"
+
 # CI regression gate: quick-scale harness compared against the committed
 # baseline (fails on >25% ns/op regression or any steady-state allocs/op
-# growth), then the parallel sweep identity under the race detector.
+# growth), the tick-engine report against its baseline (wall clock only
+# judged under matching GOMAXPROCS; allocations and serial identity
+# always), then the parallel sweep identity under the race detector.
 bench-smoke:
 	$(GO) run ./cmd/lbsq-bench -quick -compare results/BENCH_hotpath.json
+	$(GO) run ./cmd/lbsq-bench -tick -compare results/BENCH_tick.json
 	$(GO) test -race ./internal/sweep
 	$(GO) test -race -run 'TestParallel|TestFaultGrid' \
 		./internal/perf ./internal/experiments
+	$(GO) test -race -short -run 'TestBatchedTick' ./internal/sim

@@ -8,11 +8,19 @@
 //
 //	lbsq-bench [-out results/BENCH_hotpath.json] [-compare baseline.json]
 //	           [-quick] [-parallel n] [-tolerance 0.25]
+//	lbsq-bench -tick [-out results/BENCH_tick.json] [-compare baseline.json]
 //
 // With -compare the exit status is nonzero when any micro benchmark
 // regressed beyond the tolerance (ns/op) or grew its steady-state
 // allocation count, or when the parallel sweep stopped being
 // bit-identical to serial — the CI bench-smoke gate.
+//
+// With -tick the command measures the batched per-tick query engine
+// instead (DESIGN.md §14): World.Step at each TickWorkers setting, the
+// MVR memoization counters, and the embedded serial-identity check.
+// Rows record the GOMAXPROCS they ran under, and -compare only judges
+// wall clock between rows measured at matching GOMAXPROCS, so reports
+// from machines of different widths never produce phantom regressions.
 package main
 
 import (
@@ -32,8 +40,14 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced sweep scale for smoke runs")
 		parallel  = flag.Int("parallel", 0, "sweep worker count for the timing comparison (0 = GOMAXPROCS)")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before -compare fails")
+		tick      = flag.Bool("tick", false, "measure the batched tick engine (BENCH_tick.json) instead of the hot path")
 	)
 	flag.Parse()
+
+	if *tick {
+		runTick(*out, *compare, *tolerance)
+		return
+	}
 
 	opt := experiments.Options{}
 	if *quick {
@@ -81,5 +95,53 @@ func main() {
 		}
 		fmt.Printf("bench-compare: no regressions vs %s (tolerance %.0f%%)\n",
 			*compare, 100**tolerance)
+	}
+}
+
+// runTick is the -tick mode: measure the batched tick engine, print the
+// rows, and optionally write/compare the report.
+func runTick(out, compare string, tolerance float64) {
+	rep, err := perf.MeasureTick()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Rows {
+		fmt.Printf("%-18s workers=%d gomaxprocs=%d %12.0f ns/op %10d B/op %6d allocs/op %6.2fx memo=%d delta=%d\n",
+			r.Name, r.Workers, r.GoMaxProcs, r.NsPerOp, r.BytesPerOp,
+			r.AllocsPerOp, r.SpeedupVsSerial, r.MemoHits, r.DeltaReuses)
+	}
+	fmt.Printf("tick: gomaxprocs=%d numcpu=%d identical=%v\n",
+		rep.GoMaxProcs, rep.NumCPU, rep.Identical)
+
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "FATAL: batched tick engine output differed from serial")
+		os.Exit(1)
+	}
+
+	if out != "" {
+		if err := rep.WriteFile(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+
+	if compare != "" {
+		base, err := perf.LoadTick(compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		failures := perf.CompareTick(base, rep, tolerance)
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "bench-compare: %d regression(s) vs %s:\n", len(failures), compare)
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench-compare: no regressions vs %s (tolerance %.0f%%)\n",
+			compare, 100*tolerance)
 	}
 }

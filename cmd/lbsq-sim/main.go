@@ -178,6 +178,7 @@ func main() {
 		metricsOn = flag.Bool("metrics", false, "enable the observability layer (counters, gauges, per-phase histograms)")
 		mxOut     = flag.String("metrics-out", "", "write the final metrics snapshot as Prometheus text exposition to this file (implies -metrics)")
 		mxListen  = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address while the run progresses (implies -metrics)")
+		tickWork  = flag.Int("tick-workers", 1, "per-tick query execution workers (1 = the serial seed path, 0 = GOMAXPROCS; results identical either way)")
 	)
 	flag.Parse()
 
@@ -317,6 +318,7 @@ func main() {
 	p.BreakerThreshold = *brThresh
 	p.BreakerCooldown = *brCool
 	p.Metrics = *metricsOn || *mxOut != "" || *mxListen != ""
+	p.TickWorkers = sweep.Workers(*tickWork)
 
 	w, err := sim.NewWorld(p)
 	if err != nil {

@@ -85,8 +85,17 @@ type NNVResult struct {
 // q lies inside the MVR). Unverified candidates are annotated with the
 // Lemma 3.2 correctness probability computed from the exact area of their
 // unverified region, using lambda as the POI density.
+//
+// NNV runs on pooled scratch and copies the aliasing parts (Heap, MVR)
+// out before returning, so the result is caller-owned while the cold
+// path stays near the warm path's allocation profile.
 func NNV(q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
-	return NNVScratch(&Scratch{}, q, peers, k, lambda)
+	s := GetScratch()
+	res := NNVScratch(s, q, peers, k, lambda)
+	res.Heap = cloneHeap(res.Heap)
+	res.MVR = cloneMVR(res.MVR)
+	PutScratch(s)
+	return res
 }
 
 // NNVScratch is NNV running on caller-owned scratch: the zero-allocation
@@ -100,7 +109,21 @@ func NNV(q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
 // carry the same database position, hence the same distance, and are
 // therefore adjacent after the sort.
 func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
-	s.mvr.Reset()
+	return NNVScratchMVR(s, &s.mvr, false, q, peers, k, lambda)
+}
+
+// NNVScratchMVR is NNVScratch with the merged verified region held in a
+// caller-supplied RectUnion instead of the Scratch. With prebuilt=false
+// it resets mvr and merges the untainted peer regions into it exactly as
+// NNVScratch does. With prebuilt=true it assumes mvr already holds the
+// untainted VR multiset of peers (the tick engine's memoized,
+// incrementally maintained MVR) and skips the rebuild; every derived
+// query on the union is a pure function of that multiset, so the result
+// is bit-identical either way. The returned MVR aliases mvr.
+func NNVScratchMVR(s *Scratch, mvr *geom.RectUnion, prebuilt bool, q geom.Point, peers []PeerData, k int, lambda float64) NNVResult {
+	if !prebuilt {
+		mvr.Reset()
+	}
 	cands := s.candidates[:0]
 	taints := s.tainted[:0]
 	merged := 0
@@ -111,7 +134,9 @@ func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float6
 			taints = append(taints, p.POIs...)
 			continue
 		}
-		s.mvr.Add(p.VR)
+		if !prebuilt {
+			mvr.Add(p.VR)
+		}
 		merged++
 		cands = append(cands, p.POIs...)
 	}
@@ -125,12 +150,12 @@ func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float6
 	s.heap.Reset(k)
 	res := NNVResult{
 		Heap:              &s.heap,
-		MVR:               &s.mvr,
+		MVR:               mvr,
 		Candidates:        len(cands) + len(taints),
 		Merged:            merged,
 		TaintedCandidates: len(taints),
 	}
-	if d, ok := s.mvr.Clearance(q); ok {
+	if d, ok := mvr.Clearance(q); ok {
 		res.EdgeDist = d
 		res.InsideMVR = true
 	}
@@ -165,7 +190,7 @@ func NNVScratch(s *Scratch, q geom.Point, peers []PeerData, k int, lambda float6
 			// verified regardless of geometry): the candidate's
 			// unverified region is the part of its distance disk not
 			// covered by the (trusted) MVR.
-			u := s.mvr.UnverifiedArea(q, d)
+			u := mvr.UnverifiedArea(q, d)
 			e.Correctness = CorrectnessProbability(lambda, u)
 			if hasVerified && lastVerified > 0 {
 				e.Surpassing = d / lastVerified

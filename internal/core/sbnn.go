@@ -112,8 +112,18 @@ func verifiedSquare(q geom.Point, radius float64) geom.Rect {
 // sched may be nil when no broadcast channel is available; the best
 // peer-side answer is then returned with OutcomeBroadcast and no POIs
 // beyond the heap contents.
+//
+// SBNN runs on pooled scratch and copies the aliasing parts (Heap, MVR,
+// POIs) out before returning, so the result is caller-owned while the
+// cold path stays near the warm path's allocation profile.
 func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
-	return SBNNScratch(&Scratch{}, q, peers, cfg, sched, now)
+	s := GetScratch()
+	res := SBNNScratch(s, q, peers, cfg, sched, now)
+	res.Heap = cloneHeap(res.Heap)
+	res.MVR = cloneMVR(res.MVR)
+	res.POIs = clonePOIs(res.POIs)
+	PutScratch(s)
+	return res
 }
 
 // SBNNScratch is SBNN running on caller-owned scratch — the
@@ -122,7 +132,15 @@ func SBNN(q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Sched
 // until the next call with the same Scratch, while KnownRegion/Known are
 // always freshly allocated (callers insert them into caches).
 func SBNNScratch(s *Scratch, q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
-	nnv := NNVScratch(s, q, peers, cfg.K, cfg.Lambda)
+	return SBNNScratchMVR(s, &s.mvr, false, q, peers, cfg, sched, now)
+}
+
+// SBNNScratchMVR is SBNNScratch with the merged verified region held in
+// a caller-supplied RectUnion; prebuilt follows the NNVScratchMVR
+// contract (mvr already holds the untainted VR multiset of peers).
+// Results are bit-identical to SBNNScratch.
+func SBNNScratchMVR(s *Scratch, mvr *geom.RectUnion, prebuilt bool, q geom.Point, peers []PeerData, cfg SBNNConfig, sched *broadcast.Schedule, now int64) SBNNResult {
+	nnv := NNVScratchMVR(s, mvr, prebuilt, q, peers, cfg.K, cfg.Lambda)
 	res := SBNNResult{Heap: nnv.Heap, MVR: nnv.MVR, Merged: nnv.Merged,
 		Examined: nnv.Examined, TaintedCandidates: nnv.TaintedCandidates}
 

@@ -60,9 +60,16 @@ func SBWQ(q geom.Point, w geom.Rect, peers []PeerData, sched *broadcast.Schedule
 	return SBWQWithConfig(q, w, peers, SBWQConfig{}, sched, now)
 }
 
-// SBWQWithConfig is SBWQ with explicit tuning.
+// SBWQWithConfig is SBWQ with explicit tuning. It runs on pooled
+// scratch and copies the aliasing MVR out before returning (POIs/Known
+// are fresh already), so the result is caller-owned while the cold path
+// stays near the warm path's allocation profile.
 func SBWQWithConfig(q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig, sched *broadcast.Schedule, now int64) SBWQResult {
-	return SBWQScratch(&Scratch{}, q, w, peers, cfg, sched, now)
+	s := GetScratch()
+	res := SBWQScratch(s, q, w, peers, cfg, sched, now)
+	res.MVR = cloneMVR(res.MVR)
+	PutScratch(s)
+	return res
 }
 
 // SBWQScratch is SBWQ running on caller-owned scratch — the
@@ -76,7 +83,17 @@ func SBWQWithConfig(q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig,
 // allocated: window-query answers double as the cached verified region,
 // so they must survive the next query.
 func SBWQScratch(s *Scratch, q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig, sched *broadcast.Schedule, now int64) SBWQResult {
-	s.mvr.Reset()
+	return SBWQScratchMVR(s, &s.mvr, false, q, w, peers, cfg, sched, now)
+}
+
+// SBWQScratchMVR is SBWQScratch with the merged verified region held in
+// a caller-supplied RectUnion; prebuilt follows the NNVScratchMVR
+// contract (mvr already holds the untainted VR multiset of peers).
+// Results are bit-identical to SBWQScratch.
+func SBWQScratchMVR(s *Scratch, mvr *geom.RectUnion, prebuilt bool, q geom.Point, w geom.Rect, peers []PeerData, cfg SBWQConfig, sched *broadcast.Schedule, now int64) SBWQResult {
+	if !prebuilt {
+		mvr.Reset()
+	}
 	local := s.candidates[:0]
 	mergedVRs := 0
 	for _, p := range peers {
@@ -89,7 +106,9 @@ func SBWQScratch(s *Scratch, q geom.Point, w geom.Rect, peers []PeerData, cfg SB
 			// "verified by a stranger's claim" to "re-downloaded".
 			continue
 		}
-		s.mvr.Add(p.VR)
+		if !prebuilt {
+			mvr.Add(p.VR)
+		}
 		mergedVRs++
 		for _, poi := range p.POIs {
 			if w.Contains(poi.Pos) {
@@ -100,7 +119,6 @@ func SBWQScratch(s *Scratch, q geom.Point, w geom.Rect, peers []PeerData, cfg SB
 	sortCandidates(local, q)
 	local = dedupSortedCandidates(local)
 	s.candidates = local
-	mvr := &s.mvr
 	res := SBWQResult{MVR: mvr, Merged: mergedVRs, Examined: len(local)}
 
 	if !w.Empty() {

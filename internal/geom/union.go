@@ -47,6 +47,18 @@ type RectUnion struct {
 	xs, ys []float64
 	diff   []int32
 	cov    []interval
+
+	// Incremental-maintenance state (Insert/Remove, see
+	// union_incremental.go). Kept separate from the xs/ys/diff scratch
+	// above because CoversRect clobbers that scratch between repairs.
+	// Valid only while incValid is set; Add and Reset drop it.
+	incValid     bool
+	incXs, incYs []float64 // sorted distinct member edge coordinates
+	incXRef      []int32   // member-edge refcount per incXs entry
+	incYRef      []int32   // member-edge refcount per incYs entry
+	incDiff      []int32   // row-major grid: (len(incYs)-1) rows × len(incXs) cols
+	incGrid2     []int32   // double buffer for row/column splices
+	incEmit      []Rect    // re-emission scratch for repaired rows
 }
 
 // NewRectUnion builds a union from the given rectangles, dropping
@@ -73,6 +85,7 @@ func (u *RectUnion) invalidate() {
 	u.haveBoundary = false
 	u.boundIdx.built = false
 	u.disjIdx.built = false
+	u.incValid = false
 }
 
 // Add inserts another rectangle into the union.
@@ -81,6 +94,14 @@ func (u *RectUnion) Add(r Rect) {
 		return
 	}
 	u.rects = append(u.rects, r)
+	u.invalidate()
+}
+
+// CopyFrom replaces u's members with a copy of src's, reusing u's
+// storage. Derived caches are invalidated (they rebuild lazily); src is
+// untouched.
+func (u *RectUnion) CopyFrom(src *RectUnion) {
+	u.rects = append(u.rects[:0], src.rects...)
 	u.invalidate()
 }
 

@@ -1,0 +1,440 @@
+package geom
+
+import "sort"
+
+// Incremental maintenance of the disjoint decomposition.
+//
+// Insert and Remove repair the cached decomposition in place instead of
+// invalidating it, so a RectUnion that evolves by small deltas (the
+// memoized merged-verified-region shared across a tick's query batch)
+// pays O(affected rows) per mutation instead of a full O(n·rows)
+// rebuild.
+//
+// The repaired decomposition is bit-identical to a from-scratch
+// Disjoint() over the same member multiset: the decomposition is a pure
+// function of the multiset (distinct sorted edge coordinates plus a
+// per-row coverage prefix sum), and the repair re-emits exactly the
+// rows whose coordinate set or coverage changed, splicing them into the
+// strip list at the canonical row-major position.
+//
+// Invariants while incValid holds:
+//   - incXs/incYs are the sorted distinct member edge coordinates with
+//     incXRef/incYRef counting member edges per coordinate (every
+//     member contributes one reference to each of its four edges);
+//   - incDiff is the full difference grid of Disjoint(): rows =
+//     len(incYs)-1, width = len(incXs), entry [j][i] holding the signed
+//     edge count at column i of row j;
+//   - u.disjoint is the canonical decomposition and haveDisjoint is set.
+//
+// Add and Reset drop the state (incValid=false); the next Insert or
+// Remove rebuilds it with one full pass.
+
+// Insert adds r to the union and repairs the disjoint decomposition in
+// place. Degenerate rectangles are ignored, exactly as in Add. On a
+// union without incremental state (fresh, or mutated via Add/Reset) the
+// first Insert performs one full build.
+func (u *RectUnion) Insert(r Rect) {
+	if r.Empty() || !r.Valid() {
+		return
+	}
+	if !u.incValid || len(u.rects) == 0 {
+		u.rects = append(u.rects, r)
+		u.invalidate()
+		u.buildInc()
+		return
+	}
+	// The repaired y-range is bounded by the nearest pre-existing
+	// coordinates enclosing the new rect: rows outside [loV, hiV) keep
+	// both their coordinate span and their coverage.
+	loV, loOK := predCoord(u.incYs, r.Min.Y)
+	hiV, hiOK := succCoord(u.incYs, r.Max.Y)
+	u.incAddX(r.Min.X)
+	u.incAddX(r.Max.X)
+	u.incAddY(r.Min.Y)
+	u.incAddY(r.Max.Y)
+	u.rects = append(u.rects, r)
+	u.incApply(r, 1)
+	u.incRepair(loV, loOK, hiV, hiOK)
+}
+
+// Remove deletes one member equal to r (the first in insertion order)
+// and repairs the disjoint decomposition in place. It reports whether a
+// member was removed. On a union without incremental state the member
+// is spliced out and the caches are invalidated (rebuilt lazily).
+func (u *RectUnion) Remove(r Rect) bool {
+	if r.Empty() || !r.Valid() {
+		return false
+	}
+	idx := -1
+	for i, m := range u.rects {
+		if m == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	if !u.incValid {
+		u.rects = append(u.rects[:idx], u.rects[idx+1:]...)
+		u.invalidate()
+		return true
+	}
+	u.rects = append(u.rects[:idx], u.rects[idx+1:]...)
+	if len(u.rects) == 0 {
+		u.clearInc()
+		return true
+	}
+	// Bound the repaired y-range by the nearest coordinates that
+	// SURVIVE the removal: if r's own edge coordinate loses its last
+	// reference the adjacent rows merge, so the repair must extend to
+	// the surviving neighbor.
+	loV, loOK := surviveLo(u.incYs, u.incYRef, r.Min.Y)
+	hiV, hiOK := surviveHi(u.incYs, u.incYRef, r.Max.Y)
+	u.incApply(r, -1)
+	u.incRemoveX(r.Min.X)
+	u.incRemoveX(r.Max.X)
+	u.incRemoveY(r.Min.Y)
+	u.incRemoveY(r.Max.Y)
+	u.incRepair(loV, loOK, hiV, hiOK)
+	return true
+}
+
+// buildInc performs the one full pass establishing the incremental
+// state and the canonical decomposition. rects must be non-empty.
+func (u *RectUnion) buildInc() {
+	xs, ys := u.incXs[:0], u.incYs[:0]
+	for _, r := range u.rects {
+		xs = append(xs, r.Min.X, r.Max.X)
+		ys = append(ys, r.Min.Y, r.Max.Y)
+	}
+	xs, u.incXRef = dedupSortedCounted(xs, u.incXRef[:0])
+	ys, u.incYRef = dedupSortedCounted(ys, u.incYRef[:0])
+	u.incXs, u.incYs = xs, ys
+	w := len(xs)
+	rows := len(ys) - 1
+	n := rows * w
+	if cap(u.incDiff) < n {
+		u.incDiff = make([]int32, n)
+	} else {
+		u.incDiff = u.incDiff[:n]
+		clear(u.incDiff)
+	}
+	for _, r := range u.rects {
+		u.incApply(r, 1)
+	}
+	u.disjoint = u.incEmitRows(u.disjoint[:0], 0, rows)
+	u.haveDisjoint = true
+	u.haveBoundary = false
+	u.boundIdx.built = false
+	u.disjIdx.built = false
+	u.incValid = true
+}
+
+// clearInc resets the union to the canonical empty state after the last
+// member was removed, keeping every allocation.
+func (u *RectUnion) clearInc() {
+	u.incXs, u.incYs = u.incXs[:0], u.incYs[:0]
+	u.incXRef, u.incYRef = u.incXRef[:0], u.incYRef[:0]
+	u.incDiff = u.incDiff[:0]
+	u.disjoint = u.disjoint[:0]
+	u.haveDisjoint = true
+	u.haveBoundary = false
+	u.boundIdx.built = false
+	u.disjIdx.built = false
+	u.incValid = true
+}
+
+// incApply adds (sign=+1) or subtracts (sign=-1) one member's edge
+// marks on the difference grid. Coordinates must be present in
+// incXs/incYs.
+func (u *RectUnion) incApply(r Rect, sign int32) {
+	w := len(u.incXs)
+	x0 := sort.SearchFloat64s(u.incXs, r.Min.X)
+	x1 := sort.SearchFloat64s(u.incXs, r.Max.X)
+	y0 := sort.SearchFloat64s(u.incYs, r.Min.Y)
+	y1 := sort.SearchFloat64s(u.incYs, r.Max.Y)
+	for row := y0; row < y1; row++ {
+		u.incDiff[row*w+x0] += sign
+		u.incDiff[row*w+x1] -= sign
+	}
+}
+
+// incAddX references x coordinate v, splicing a zero column into the
+// grid when the coordinate is new. A zero diff column leaves every
+// row's prefix sum unchanged, so coverage is preserved exactly.
+func (u *RectUnion) incAddX(v float64) {
+	i := sort.SearchFloat64s(u.incXs, v)
+	if i < len(u.incXs) && u.incXs[i] == v {
+		u.incXRef[i]++
+		return
+	}
+	rows := len(u.incYs) - 1
+	oldW := len(u.incXs)
+	buf := u.incGrid2[:0]
+	if need := rows * (oldW + 1); cap(buf) < need {
+		buf = make([]int32, 0, need)
+	}
+	for row := 0; row < rows; row++ {
+		old := u.incDiff[row*oldW : (row+1)*oldW]
+		buf = append(buf, old[:i]...)
+		buf = append(buf, 0)
+		buf = append(buf, old[i:]...)
+	}
+	u.incGrid2 = u.incDiff[:0]
+	u.incDiff = buf
+	u.incXs = insertF64(u.incXs, i, v)
+	u.incXRef = insertI32(u.incXRef, i, 1)
+}
+
+// incAddY references y coordinate v. A new coordinate splits one row
+// into two rows with identical diff content (or prepends/appends an
+// all-zero row when v lies outside the current span).
+func (u *RectUnion) incAddY(v float64) {
+	j := sort.SearchFloat64s(u.incYs, v)
+	if j < len(u.incYs) && u.incYs[j] == v {
+		u.incYRef[j]++
+		return
+	}
+	m := len(u.incYs) // old row count is m-1
+	w := len(u.incXs)
+	buf := u.incGrid2[:0]
+	if need := m * w; cap(buf) < need {
+		buf = make([]int32, 0, need)
+	}
+	switch j {
+	case 0:
+		for k := 0; k < w; k++ {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, u.incDiff...)
+	case m:
+		buf = append(buf, u.incDiff...)
+		for k := 0; k < w; k++ {
+			buf = append(buf, 0)
+		}
+	default:
+		// Old row j-1 spanned [incYs[j-1], incYs[j]); it splits into
+		// [incYs[j-1], v) and [v, incYs[j]) with identical coverage.
+		buf = append(buf, u.incDiff[:j*w]...)
+		buf = append(buf, u.incDiff[(j-1)*w:j*w]...)
+		buf = append(buf, u.incDiff[j*w:]...)
+	}
+	u.incGrid2 = u.incDiff[:0]
+	u.incDiff = buf
+	u.incYs = insertF64(u.incYs, j, v)
+	u.incYRef = insertI32(u.incYRef, j, 1)
+}
+
+// incRemoveX dereferences x coordinate v, dropping its column when the
+// last reference goes. A reference count of zero means no remaining
+// member has an edge there, so every entry of the column is zero and
+// removing it preserves all prefix sums.
+func (u *RectUnion) incRemoveX(v float64) {
+	i := sort.SearchFloat64s(u.incXs, v)
+	u.incXRef[i]--
+	if u.incXRef[i] > 0 {
+		return
+	}
+	rows := len(u.incYs) - 1
+	oldW := len(u.incXs)
+	buf := u.incGrid2[:0]
+	if need := rows * (oldW - 1); cap(buf) < need {
+		buf = make([]int32, 0, need)
+	}
+	for row := 0; row < rows; row++ {
+		old := u.incDiff[row*oldW : (row+1)*oldW]
+		buf = append(buf, old[:i]...)
+		buf = append(buf, old[i+1:]...)
+	}
+	u.incGrid2 = u.incDiff[:0]
+	u.incDiff = buf
+	u.incXs = append(u.incXs[:i], u.incXs[i+1:]...)
+	u.incXRef = append(u.incXRef[:i], u.incXRef[i+1:]...)
+}
+
+// incRemoveY dereferences y coordinate v, merging the adjacent rows
+// when the last reference goes. With no member edge at v, a boundary
+// row is all-zero (no member spans it) and an interior coordinate's two
+// neighboring rows carry identical diffs (every member overlapping one
+// spans both), so dropping one row is exact.
+func (u *RectUnion) incRemoveY(v float64) {
+	j := sort.SearchFloat64s(u.incYs, v)
+	u.incYRef[j]--
+	if u.incYRef[j] > 0 {
+		return
+	}
+	m := len(u.incYs) // current row count is m-1
+	w := len(u.incXs)
+	dropRow := j
+	if j == m-1 {
+		dropRow = m - 2
+	}
+	buf := u.incGrid2[:0]
+	if need := (m - 2) * w; cap(buf) < need {
+		buf = make([]int32, 0, need)
+	}
+	buf = append(buf, u.incDiff[:dropRow*w]...)
+	buf = append(buf, u.incDiff[(dropRow+1)*w:]...)
+	u.incGrid2 = u.incDiff[:0]
+	u.incDiff = buf
+	u.incYs = append(u.incYs[:j], u.incYs[j+1:]...)
+	u.incYRef = append(u.incYRef[:j], u.incYRef[j+1:]...)
+}
+
+// incRepair re-emits the strips of the rows in [loV, hiV) (unbounded on
+// a side when the matching ok flag is false) and splices them over the
+// old strips of that y-range. Both coordinates must exist in the
+// post-mutation incYs; strips outside the range are untouched, so the
+// result stays in canonical row-major order.
+func (u *RectUnion) incRepair(loV float64, loOK bool, hiV float64, hiOK bool) {
+	rows := len(u.incYs) - 1
+	jLo, jHi := 0, rows
+	s0, s1 := 0, len(u.disjoint)
+	if loOK {
+		jLo = sort.SearchFloat64s(u.incYs, loV)
+		s0 = sort.Search(len(u.disjoint), func(i int) bool { return u.disjoint[i].Min.Y >= loV })
+	}
+	if hiOK {
+		jHi = sort.SearchFloat64s(u.incYs, hiV)
+		s1 = sort.Search(len(u.disjoint), func(i int) bool { return u.disjoint[i].Min.Y >= hiV })
+	}
+	u.incEmit = u.incEmitRows(u.incEmit[:0], jLo, jHi)
+	u.disjoint = spliceRects(u.disjoint, s0, s1, u.incEmit)
+	u.haveDisjoint = true
+	u.haveBoundary = false
+	u.boundIdx.built = false
+	if u.disjIdx.built {
+		// Keep the disjoint strip index live across repairs: it is a
+		// pure function of the decomposition, so an eager rebuild here
+		// matches what a lazy build over the same strips would produce.
+		dis := u.disjoint
+		u.disjIdx.build(len(dis), func(i int) (float64, float64) {
+			return dis[i].Min.X, dis[i].Max.X
+		})
+	}
+}
+
+// incEmitRows appends the strips of grid rows [j0, j1) to dst, with the
+// exact emission logic of Disjoint.
+func (u *RectUnion) incEmitRows(dst []Rect, j0, j1 int) []Rect {
+	w := len(u.incXs)
+	nx := w - 1
+	for j := j0; j < j1; j++ {
+		row := u.incDiff[j*w : (j+1)*w]
+		depth := int32(0)
+		stripStart := -1
+		for i := 0; i < w; i++ {
+			depth += row[i]
+			covered := i < nx && depth > 0
+			if covered && stripStart < 0 {
+				stripStart = i
+			}
+			if !covered && stripStart >= 0 {
+				dst = append(dst, Rect{
+					Min: Point{u.incXs[stripStart], u.incYs[j]},
+					Max: Point{u.incXs[i], u.incYs[j+1]},
+				})
+				stripStart = -1
+			}
+		}
+	}
+	return dst
+}
+
+// predCoord returns the largest coordinate <= v in the sorted slice.
+func predCoord(vs []float64, v float64) (float64, bool) {
+	i := sort.SearchFloat64s(vs, v)
+	if i < len(vs) && vs[i] == v {
+		return v, true
+	}
+	if i > 0 {
+		return vs[i-1], true
+	}
+	return 0, false
+}
+
+// succCoord returns the smallest coordinate >= v in the sorted slice.
+func succCoord(vs []float64, v float64) (float64, bool) {
+	i := sort.SearchFloat64s(vs, v)
+	if i < len(vs) {
+		return vs[i], true
+	}
+	return 0, false
+}
+
+// surviveLo returns the largest coordinate <= v that still exists after
+// one reference to v is released.
+func surviveLo(vs []float64, refs []int32, v float64) (float64, bool) {
+	j := sort.SearchFloat64s(vs, v)
+	if refs[j] > 1 {
+		return v, true
+	}
+	if j > 0 {
+		return vs[j-1], true
+	}
+	return 0, false
+}
+
+// surviveHi returns the smallest coordinate >= v that still exists
+// after one reference to v is released.
+func surviveHi(vs []float64, refs []int32, v float64) (float64, bool) {
+	j := sort.SearchFloat64s(vs, v)
+	if refs[j] > 1 {
+		return v, true
+	}
+	if j+1 < len(vs) {
+		return vs[j+1], true
+	}
+	return 0, false
+}
+
+// spliceRects replaces s[i:j] with repl, preserving order. The
+// replacement must not alias s.
+func spliceRects(s []Rect, i, j int, repl []Rect) []Rect {
+	d := len(repl) - (j - i)
+	if d <= 0 {
+		copy(s[i:], repl)
+		copy(s[i+len(repl):], s[j:])
+		return s[:len(s)+d]
+	}
+	old := len(s)
+	for k := 0; k < d; k++ {
+		s = append(s, Rect{})
+	}
+	copy(s[i+len(repl):], s[j:old])
+	copy(s[i:], repl)
+	return s
+}
+
+// insertF64 inserts v at index i, shifting the tail right.
+func insertF64(s []float64, i int, v float64) []float64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// insertI32 inserts v at index i, shifting the tail right.
+func insertI32(s []int32, i int, v int32) []int32 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// dedupSortedCounted sorts vs, removes duplicates in place, and records
+// the multiplicity of each surviving value in refs.
+func dedupSortedCounted(vs []float64, refs []int32) ([]float64, []int32) {
+	sort.Float64s(vs)
+	out := vs[:0]
+	for _, v := range vs {
+		if len(out) == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+			refs = append(refs, 1)
+		} else {
+			refs[len(refs)-1]++
+		}
+	}
+	return out, refs
+}

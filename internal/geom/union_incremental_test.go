@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantRect draws a random rectangle with coordinates quantized to
+// eighths on [0, 8], so random sequences frequently share edge
+// coordinates (the refcount paths) and occasionally coincide exactly
+// (the duplicate-member multiset paths).
+func quantRect(rng *rand.Rand) Rect {
+	q := func(v float64) float64 { return math.Round(v*8) / 8 }
+	x0, y0 := q(rng.Float64()*7), q(rng.Float64()*7)
+	w, h := q(0.125+rng.Float64()*3), q(0.125+rng.Float64()*3)
+	if w == 0 {
+		w = 0.125
+	}
+	if h == 0 {
+		h = 0.125
+	}
+	return NewRect(x0, y0, x0+w, y0+h)
+}
+
+func rectsEqual(a, b []Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareAgainst checks the incrementally maintained union against a
+// reference built another way: the disjoint decomposition must match
+// exactly (it is canonical — a pure function of the member multiset),
+// and every derived query must return bit-identical values.
+func compareAgainst(t *testing.T, tag string, inc, ref *RectUnion, rng *rand.Rand) {
+	t.Helper()
+	if !rectsEqual(inc.Disjoint(), ref.Disjoint()) {
+		t.Fatalf("%s: disjoint mismatch\n inc: %v\n ref: %v", tag, inc.Disjoint(), ref.Disjoint())
+	}
+	if ia, ra := inc.Area(), ref.Area(); ia != ra {
+		t.Fatalf("%s: area %v != %v", tag, ia, ra)
+	}
+	for probe := 0; probe < 6; probe++ {
+		p := Pt(rng.Float64()*10-1, rng.Float64()*10-1)
+		if di, dr := inc.BoundaryDist(p), ref.BoundaryDist(p); di != dr {
+			t.Fatalf("%s: BoundaryDist(%v) %v != %v", tag, p, di, dr)
+		}
+		r := 0.25 + rng.Float64()*4
+		if ai, ar := inc.IntersectCircleArea(p, r), ref.IntersectCircleArea(p, r); ai != ar {
+			t.Fatalf("%s: IntersectCircleArea(%v, %v) %v != %v", tag, p, r, ai, ar)
+		}
+		w := quantRect(rng)
+		if ci, cr := inc.CoversRect(w), ref.CoversRect(w); ci != cr {
+			t.Fatalf("%s: CoversRect(%v) %v != %v", tag, w, ci, cr)
+		}
+		if ai, ar := inc.IntersectRectArea(w), ref.IntersectRectArea(w); ai != ar {
+			t.Fatalf("%s: IntersectRectArea(%v) %v != %v", tag, w, ai, ar)
+		}
+	}
+}
+
+// TestRectUnionIncrementalDifferential evolves one union through random
+// Insert/Remove sequences and compares it after every step against a
+// from-scratch rebuild over the same member list. Duplicate members are
+// inserted deliberately to exercise the coordinate refcounts.
+func TestRectUnionIncrementalDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		inc := &RectUnion{}
+		var members []Rect
+		for step := 0; step < 70; step++ {
+			op := rng.Float64()
+			switch {
+			case op < 0.55 || len(members) == 0:
+				r := quantRect(rng)
+				inc.Insert(r)
+				members = append(members, r)
+			case op < 0.70 && len(members) > 0:
+				// Duplicate an existing member (multiset semantics).
+				r := members[rng.Intn(len(members))]
+				inc.Insert(r)
+				members = append(members, r)
+			default:
+				i := rng.Intn(len(members))
+				r := members[i]
+				if !inc.Remove(r) {
+					t.Fatalf("trial %d step %d: Remove(%v) found no member", trial, step, r)
+				}
+				// Mirror Remove's first-match semantics.
+				for j, m := range members {
+					if m == r {
+						members = append(members[:j], members[j+1:]...)
+						break
+					}
+				}
+			}
+			if inc.Len() != len(members) {
+				t.Fatalf("trial %d step %d: Len %d != %d", trial, step, inc.Len(), len(members))
+			}
+			fresh := NewRectUnion(members...)
+			compareAgainst(t, "fresh", inc, fresh, rng)
+		}
+	}
+}
+
+// TestRectUnionIncrementalOrderIndependence pins the property the
+// tick engine's memoized delta chains rely on: the decomposition and
+// every derived query are functions of the member MULTISET only, so a
+// union reached via Insert/Remove deltas matches a union built from the
+// same members in any other order.
+func TestRectUnionIncrementalOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		inc := &RectUnion{}
+		var members []Rect
+		for step := 0; step < 40; step++ {
+			if rng.Float64() < 0.6 || len(members) == 0 {
+				r := quantRect(rng)
+				inc.Insert(r)
+				members = append(members, r)
+			} else {
+				i := rng.Intn(len(members))
+				inc.Remove(members[i])
+				members = append(members[:i], members[i+1:]...)
+			}
+		}
+		perm := rng.Perm(len(members))
+		shuffled := make([]Rect, len(members))
+		for i, j := range perm {
+			shuffled[i] = members[j]
+		}
+		shuf := NewRectUnion(shuffled...)
+		compareAgainst(t, "shuffled", inc, shuf, rng)
+	}
+}
+
+// TestRectUnionIncrementalMixed checks the fallback transitions: Add
+// and Reset drop the incremental state, and the next Insert/Remove
+// rebuilds it; removing the last member yields the empty union.
+func TestRectUnionIncrementalMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	u := &RectUnion{}
+	a, b := NewRect(0, 0, 2, 2), NewRect(1, 1, 3, 3)
+	u.Insert(a)
+	u.Insert(b)
+	u.Add(NewRect(2, 0, 4, 1)) // drops incremental state
+	u.Insert(NewRect(0, 3, 1, 4))
+	ref := NewRectUnion(a, b, NewRect(2, 0, 4, 1), NewRect(0, 3, 1, 4))
+	compareAgainst(t, "after-add", u, ref, rng)
+
+	if !u.Remove(b) {
+		t.Fatal("Remove(b) = false")
+	}
+	ref2 := NewRectUnion(a, NewRect(2, 0, 4, 1), NewRect(0, 3, 1, 4))
+	compareAgainst(t, "after-remove", u, ref2, rng)
+
+	if u.Remove(NewRect(9, 9, 10, 10)) {
+		t.Fatal("Remove of non-member = true")
+	}
+	u.Reset()
+	if u.Len() != 0 || u.Area() != 0 {
+		t.Fatal("Reset left members behind")
+	}
+	u.Insert(a)
+	if !u.Remove(a) {
+		t.Fatal("Remove(a) = false")
+	}
+	if u.Area() != 0 || len(u.Disjoint()) != 0 {
+		t.Fatalf("empty union has area %v, %d strips", u.Area(), len(u.Disjoint()))
+	}
+	u.Insert(b)
+	compareAgainst(t, "refill", u, NewRectUnion(b), rng)
+}

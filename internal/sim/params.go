@@ -252,6 +252,17 @@ type Params struct {
 	// shrunk. The EXPERIMENTS.md freshness curve quantifies what the
 	// surgical repair buys over this baseline.
 	IRDiscard bool
+
+	// TickWorkers selects the batched per-tick query engine (DESIGN.md
+	// §14): each tick's queries are drawn serially (consuming every
+	// random stream in the legacy order), executed in parallel across
+	// this many workers against the tick's frozen world state, and
+	// committed serially in query order. Every report, trace, and
+	// metrics output is byte-identical to the serial path. 0 or 1 (the
+	// default) runs the seed's serial query loop bit-identically. The
+	// knob is a host-machine execution detail, never part of the
+	// simulated configuration, so it is excluded from Report rows.
+	TickWorkers int `json:"-"`
 }
 
 // applyDefaults fills unset simulator knobs with the paper-faithful
@@ -342,6 +353,9 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("sim: negative IRWindow %d", p.IRWindow)
 	case p.VRTTLSec != p.VRTTLSec || p.VRTTLSec < 0:
 		return fmt.Errorf("sim: VRTTLSec %v must be a non-negative number", p.VRTTLSec)
+	}
+	if p.TickWorkers < 0 {
+		return fmt.Errorf("sim: negative TickWorkers %d", p.TickWorkers)
 	}
 	return nil
 }

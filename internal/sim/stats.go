@@ -205,6 +205,17 @@ type Stats struct {
 	// contributing region was inserted).
 	StaleBoundMaxSec int64 `json:",omitempty"`
 
+	// Batched-tick-engine visibility (DESIGN.md §14). MVRMemoHits counts
+	// same-tick queries that reused another query's merged verified
+	// region through the engine's memo table (TickWorkers > 1 only), and
+	// MVRDeltaReuses memo groups whose MVR was derived from the previous
+	// group's by an incremental Remove/Insert edit instead of a rebuild.
+	// Pure engine-internal performance counters: they are excluded from
+	// every encoding so batched report rows stay byte-identical to
+	// serial ones.
+	MVRMemoHits    int64 `json:"-"`
+	MVRDeltaReuses int64 `json:"-"`
+
 	// AvgPeersPerQuery tracks mean reachable peers (encounter density).
 	peersSum int64
 }

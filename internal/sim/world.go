@@ -114,6 +114,10 @@ type World struct {
 	// every cell its own World and therefore its own scratch.
 	qs queryScratch
 
+	// eng is the batched per-tick query engine (engine.go), active only
+	// when Params.TickWorkers > 1. Its buffers are reused across ticks.
+	eng tickEngine
+
 	stats        Stats
 	selfCheckErr error
 }
@@ -488,6 +492,12 @@ func (w *World) Step(dt float64) {
 
 	mean := w.Params.QueryRate / 60 * dt
 	n := mobility.Poisson(w.rng, mean)
+	if w.Params.TickWorkers > 1 && n > 0 {
+		// Batched engine: serial draw, parallel execute, serial commit —
+		// byte-identical output (engine.go).
+		w.stepBatch(n)
+		return
+	}
 	for q := 0; q < n; q++ {
 		idx := w.rng.Intn(len(w.hosts))
 		ti := w.rng.Intn(len(w.types))

@@ -33,6 +33,11 @@ func Workers(n int) int {
 // an "auto" request); 1 runs the cells serially on the calling
 // goroutine with zero synchronization overhead. Results are identical
 // either way — see the package determinism contract.
+//
+// Workers claim cells in chunks (several cells per atomic increment) so
+// cheap cells — the tick engine's per-query work items — do not
+// serialize on the shared counter; the chunk size shrinks with the
+// cell/worker ratio so the tail still load-balances.
 func Run[T any](workers int, cells []func() T) []T {
 	results := make([]T, len(cells))
 	if len(cells) == 0 {
@@ -47,6 +52,13 @@ func Run[T any](workers int, cells []func() T) []T {
 		}
 		return results
 	}
+	chunk := len(cells) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -54,11 +66,17 @@ func Run[T any](workers int, cells []func() T) []T {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cells) {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= len(cells) {
 					return
 				}
-				results[i] = cells[i]()
+				end := start + chunk
+				if end > len(cells) {
+					end = len(cells)
+				}
+				for i := start; i < end; i++ {
+					results[i] = cells[i]()
+				}
 			}
 		}()
 	}
