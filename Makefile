@@ -8,10 +8,10 @@ GO ?= go
 GOFMT ?= gofmt
 
 # Packages that must stay above the coverage floor (see `make cover`).
-COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache internal/faults
+COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache internal/faults internal/sim
 COVER_MIN ?= 70
 
-.PHONY: all build vet test race lint cover fuzz-smoke verify soak bench bench-hot bench-tick bench-smoke
+.PHONY: all build vet test race lint cover cover-profile cover-check fuzz-smoke verify continuous-identity soak bench bench-hot bench-tick bench-smoke
 
 all: build
 
@@ -43,9 +43,16 @@ lint:
 # Per-package statement-coverage floors, enforced by the stdlib-only
 # checker in cmd/lbsq-cover (no external tooling). The profile covers the
 # whole module so the floor list can grow without re-running tests.
-cover:
+# Split so the expensive test run (cover-profile) and the cheap floor
+# check (cover-check) are separate steps: CI runs the suite exactly once
+# and re-checks floors against the saved profile.
+cover: cover-profile cover-check
+
+cover-profile:
 	@mkdir -p results
 	$(GO) test -count=1 -coverprofile=results/cover.out ./...
+
+cover-check:
 	$(GO) run ./cmd/lbsq-cover -profile results/cover.out -min $(COVER_MIN) $(COVER_PKGS)
 
 # Short native-fuzzing runs of the wire codecs and the byzantine attack
@@ -73,11 +80,21 @@ fuzz-smoke:
 verify: vet build race fuzz-smoke
 	@echo "verify: all gates passed"
 
+# Continuous-query identity lane (DESIGN.md §15): zero-knob and armed
+# determinism, the batched-tick identity matrix with subscriptions live,
+# and the safe-region differential gate — all under the race detector.
+# CI runs this as its own verify step so a continuous regression is
+# named in the job log instead of buried in the full race run.
+continuous-identity:
+	$(GO) test -race -count=1 -run 'TestContinuous' ./internal/sim
+
 # Chaos soak sweep: randomized fault/churn/resilience schedules with
 # metamorphic invariants after every run (see internal/sim/soak_test.go).
-# SOAK_SCHEDULES widens the sweep beyond the 20-schedule acceptance floor.
+# SOAK_SCHEDULES widens the sweep beyond the 20-schedule acceptance
+# floor; the nightly CI lane raises it further via the environment.
+SOAK_SCHEDULES ?= 32
 soak:
-	SOAK_SCHEDULES=32 $(GO) test -run='Soak' -count=1 -v ./internal/sim
+	SOAK_SCHEDULES=$(SOAK_SCHEDULES) $(GO) test -run='Soak' -count=1 -v ./internal/sim
 
 # Fault/resilience benchmark grid: one JSON line per cell into
 # results/BENCH_faults.json. Sweeps request-loss with and without the

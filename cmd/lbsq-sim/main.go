@@ -9,6 +9,7 @@
 //	lbsq-sim [-set la|suburbia|riverside] [-kind knn|window]
 //	         [-tx meters] [-cache n] [-k n] [-window pct]
 //	         [-side miles] [-hours h] [-step sec] [-seed n]
+//	         [-min-speed mph] [-max-speed mph]
 //	         [-policy direction|lru] [-approx] [-baseline] [-selfcheck]
 //	         [-hops n] [-clusters n] [-prefill n]
 //	         [-loss p] [-req-loss p] [-reply-loss p] [-corrupt p]
@@ -21,6 +22,7 @@
 //	         [-burst-good-loss p] [-burst-bad-loss p]
 //	         [-burst-good-slots n] [-burst-bad-slots n]
 //	         [-blackout-period sec] [-blackout-duration sec] [-degraded]
+//	         [-continuous-rate n] [-continuous-naive]
 //	         [-json] [-grid faults] [-parallel n]
 //	         [-metrics] [-metrics-out file] [-metrics-listen addr]
 //
@@ -101,6 +103,18 @@
 // NaN, infinite, negative, or out-of-range values are rejected with
 // the flag's name instead of being clamped silently.
 //
+// The continuous flags drive the standing-query layer (DESIGN.md §15):
+// -continuous-rate registers that many continuous subscriptions per
+// minute — moving hosts holding a standing kNN or window query,
+// maintained every tick. Each exact answer carries a safe-exit radius
+// derived from the verified-region boundary and the result-flip
+// boundaries; while the host stays inside it the standing answer is
+// provably current at zero channel cost, and only crossing it (or an
+// invalidation/TTL taint) triggers a full re-verification.
+// -continuous-naive disables the safe region and re-verifies every tick
+// (the comparison baseline). -continuous-rate 0 is bit-identical to a
+// build without the layer.
+//
 // -json suppresses the human-readable report and emits one machine-
 // readable JSON object (configuration + full statistics) on stdout.
 package main
@@ -137,6 +151,8 @@ func main() {
 		hours     = flag.Float64("hours", 0.5, "simulated hours")
 		step      = flag.Float64("step", 10, "time step in seconds")
 		seed      = flag.Int64("seed", 42, "random seed")
+		minSpeed  = flag.Float64("min-speed", 0, "minimum vehicle speed in mph (0 = preset value)")
+		maxSpeed  = flag.Float64("max-speed", 0, "maximum vehicle speed in mph (0 = preset value)")
 		policy    = flag.String("policy", "direction", "cache policy: direction or lru")
 		approx    = flag.Bool("approx", true, "accept approximate SBNN answers (correctness > 50%)")
 		baseline  = flag.Bool("baseline", false, "also price every query with the plain on-air algorithms")
@@ -172,6 +188,8 @@ func main() {
 		boPeriod  = flag.Float64("blackout-period", 0, "per-MH broadcast-downlink blackout period in seconds (0 = no blackouts)")
 		boDur     = flag.Float64("blackout-duration", 0, "blackout window length in seconds (0 = default period/10)")
 		degraded  = flag.Bool("degraded", false, "arm the degraded-mode query planner (fallback ladder instead of naive stalls)")
+		contRate  = flag.Float64("continuous-rate", 0, "continuous-subscription registrations per minute (0 = no standing queries)")
+		contNaive = flag.Bool("continuous-naive", false, "re-verify standing queries every tick instead of using safe regions (baseline)")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
 		grid      = flag.String("grid", "", "run a benchmark grid instead of a single configuration: 'faults'")
 		parallel  = flag.Int("parallel", 0, "grid worker count (0 = GOMAXPROCS, 1 = serial; rows identical either way)")
@@ -203,6 +221,9 @@ func main() {
 		{"update-rate", *updRate, 0},
 		{"ir-period", *irPeriod, 0},
 		{"vr-ttl", *vrTTL, 0},
+		{"continuous-rate", *contRate, 0},
+		{"min-speed", *minSpeed, 0},
+		{"max-speed", *maxSpeed, 0},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -266,6 +287,12 @@ func main() {
 	if *window > 0 {
 		p.WindowPct = *window
 	}
+	if *minSpeed > 0 {
+		p.MinSpeedMph = *minSpeed
+	}
+	if *maxSpeed > 0 {
+		p.MaxSpeedMph = *maxSpeed
+	}
 	if strings.ToLower(*policy) == "lru" {
 		p.CachePolicy = cache.LRU
 	}
@@ -314,6 +341,8 @@ func main() {
 			p.IRWindow = 8
 		}
 	}
+	p.ContinuousRate = *contRate
+	p.ContinuousNaive = *contNaive
 	p.DeadlineSlots = *deadline
 	p.BreakerThreshold = *brThresh
 	p.BreakerCooldown = *brCool
@@ -478,6 +507,17 @@ func main() {
 				stats.Degraded, stats.Unanswered, stats.StaleBoundMaxSec)
 		}
 		fmt.Printf("  answered in budget:            %.1f%%\n", stats.AnsweredInBudgetPct())
+	}
+	if stats.ContinuousEvents() > 0 {
+		fmt.Printf("\ncontinuous queries (rate=%.2f/min naive=%v):\n",
+			p.ContinuousRate, p.ContinuousNaive)
+		fmt.Printf("  subscriptions registered:      %d\n", stats.Subscriptions)
+		fmt.Printf("  safe-region hits / reverifies: %d / %d (fraction %.2f)\n",
+			stats.SafeRegionHits, stats.Reverifies, stats.ReverifyFraction())
+		fmt.Printf("  reverify reasons exit / taint / unverified / naive: %d / %d / %d / %d\n",
+			stats.ReverifyExits, stats.ReverifyTaints, stats.ReverifyUnverified, stats.ReverifyNaive)
+		fmt.Printf("  degraded answers:              %d (maintenance cost: %d slots)\n",
+			stats.ContDegraded, stats.ContSlots)
 	}
 	if *baseline && stats.BaselineSampled > 0 {
 		base := stats.BaselineMeanLatencySlots()

@@ -1,0 +1,474 @@
+package sim
+
+// Continuous moving queries (DESIGN.md §15): standing kNN / window
+// subscriptions registered by moving hosts and maintained incrementally
+// across ticks. Each subscription carries a safe-exit radius derived
+// from the merged-verified-region boundary and the result-flip
+// boundaries of its last exact answer (internal/core SafeExitKNN /
+// SafeExitWindow): while the host has moved less than that radius and
+// nothing taints the answer, the standing result is provably still
+// exact and the tick costs no channel time at all (SafeRegionHits).
+// Crossing the radius, an epoch advance, a TTL expiry, or an inexact
+// previous answer forces a full re-verification — the same
+// channel-assessment / peer-collection / trust-screen / core-algorithm
+// path a one-shot query runs, priced identically, but drawing nothing
+// from the world stream.
+//
+// Determinism contract: registrations draw only from the dedicated
+// contSeedSalt stream, and maintenance draws nothing (each
+// subscription's k or window shape is fixed at registration), so the
+// world stream w.rng is untouched whether the knob is armed or not.
+// With ContinuousRate zero the layer is a nil pointer: zero draws, zero
+// branches, zero counters — outputs stay bit-identical to the
+// pre-continuous build. The whole phase runs serially before the
+// Poisson query loop, so batched ticks (TickWorkers > 1) stay
+// byte-identical too.
+
+import (
+	"math"
+	"math/rand"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/cache"
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/mobility"
+	"lbsq/internal/trace"
+)
+
+// contReason classifies why a subscription re-verified this tick. The
+// priority order (unverified > naive > taint > exit) matches the
+// maintenance dispatch in maintainSubscription, so the four Stats
+// counters partition Reverifies exactly.
+type contReason int
+
+const (
+	// contUnverified: the previous answer was not exact (degraded rung or
+	// Lemma 3.2 probabilistic tail) — it carries no safe region and must
+	// re-verify every tick until an exact answer lands.
+	contUnverified contReason = iota
+	// contNaive: the ContinuousNaive baseline re-verifies unconditionally,
+	// ignoring the safe region (the comparison arm of the experiments).
+	contNaive
+	// contTaint: an invalidation report advanced the data-type epoch past
+	// the answer's, or the answer outlived the VR TTL.
+	contTaint
+	// contExit: the host moved at least the safe-exit radius from the
+	// position the answer was verified at.
+	contExit
+)
+
+// subscription is one standing query: the registered shape (k for kNN,
+// side/offset for windows — fixed for the subscription's lifetime), the
+// last committed answer, and the safe-region state that decides whether
+// the next tick is a hit or a re-verification.
+type subscription struct {
+	id   int // stable 1-based id, for traces
+	host int
+	ti   int
+
+	k    int        // kNN cardinality (kNN worlds)
+	side float64    // window side in miles (window worlds)
+	off  geom.Point // window-center offset from the host position
+
+	// answer is the last committed result set (owned by the
+	// subscription, copied out of the core scratch at commit).
+	answer []broadcast.POI
+	// exact reports whether answer is provably correct (Verified, or
+	// channel-resolved Broadcast). Inexact answers are the Lemma 3.2
+	// probabilistic fallback: no safe region, re-verify next tick.
+	exact bool
+	// safeR is the safe-exit radius around anchor: while the host stays
+	// strictly inside it and nothing taints the answer, the standing
+	// result set is provably unchanged. Zero forces re-verification.
+	safeR  float64
+	anchor geom.Point
+	// epoch is the data-type epoch the answer was verified against, and
+	// bornSec the simulated time of the last re-verification (TTL taint).
+	epoch   int64
+	bornSec float64
+}
+
+// contState is the continuous-query layer: the subscription registry
+// and the dedicated registration stream.
+type contState struct {
+	rng  *rand.Rand
+	subs []subscription
+	// candBuf stages the flattened untainted peer candidates handed to
+	// the safe-exit computation, reused across re-verifications.
+	candBuf []broadcast.POI
+}
+
+func newContState(p Params) *contState {
+	return &contState{rng: rand.New(rand.NewSource(p.Seed ^ contSeedSalt))}
+}
+
+// advanceContinuous is the per-tick continuous phase: Poisson-distributed
+// new registrations from the dedicated stream, then one maintenance pass
+// over every standing subscription in registration order. A nil layer
+// (knob off) returns immediately.
+func (w *World) advanceContinuous(dt float64) {
+	c := w.cont
+	if c == nil {
+		return
+	}
+	mean := w.Params.ContinuousRate / 60 * dt
+	n := mobility.Poisson(c.rng, mean)
+	for i := 0; i < n; i++ {
+		w.registerSubscription()
+	}
+	for si := range c.subs {
+		w.maintainSubscription(&c.subs[si])
+	}
+}
+
+// registerSubscription draws one new standing query from the continuous
+// stream: the subscribing host, its data type, and the query shape —
+// sampled with the same distributions the one-shot path uses (drawK /
+// drawWindow), but from the dedicated rng so the world stream never
+// moves. The subscription starts inexact, so its first maintenance pass
+// runs the initial full verification.
+func (w *World) registerSubscription() {
+	c := w.cont
+	idx := c.rng.Intn(len(w.hosts))
+	ti := c.rng.Intn(len(w.types))
+	s := subscription{id: len(c.subs) + 1, host: idx, ti: ti}
+	if w.Params.Kind == WindowQuery {
+		side := w.Params.WindowSideMiles() * (0.5 + c.rng.Float64())
+		if side <= 0 {
+			return
+		}
+		dist := math.Abs(c.rng.NormFloat64()*w.Params.WindowDistMiles/3 +
+			w.Params.WindowDistMiles)
+		angle := c.rng.Float64() * 2 * math.Pi
+		s.side = side
+		s.off = geom.Pt(math.Cos(angle)*dist, math.Sin(angle)*dist)
+	} else {
+		k := mobility.Poisson(c.rng, float64(w.Params.K))
+		if k < 1 {
+			k = 1
+		}
+		s.k = k
+	}
+	c.subs = append(c.subs, s)
+	if w.counted() {
+		w.stats.Subscriptions++
+	}
+	w.mx.observeSubscription()
+}
+
+// contTainted reports whether the subscription's standing answer has
+// been invalidated by the consistency layer: the data-type epoch moved
+// past the answer's, or the answer outlived the verified-region TTL.
+func (w *World) contTainted(s *subscription) bool {
+	if w.cons != nil && w.cons.types[s.ti].epoch > s.epoch {
+		return true
+	}
+	if ttl := w.Params.VRTTLSec; ttl > 0 && w.nowSec-s.bornSec > ttl {
+		return true
+	}
+	return false
+}
+
+// maintainSubscription runs one tick of one subscription: classify the
+// standing answer (reason priority: unverified > naive > taint > exit),
+// then either take the safe-region hit — re-rank the standing set
+// around the new position, zero channel cost — or run the full
+// re-verification.
+func (w *World) maintainSubscription(s *subscription) {
+	pos := w.hosts[s.host].mob.Pos
+	var reason contReason
+	switch {
+	case !s.exact:
+		reason = contUnverified
+	case w.Params.ContinuousNaive:
+		reason = contNaive
+	case w.contTainted(s):
+		reason = contTaint
+	case pos.Dist(s.anchor) >= s.safeR:
+		reason = contExit
+	default:
+		// Safe-region hit: the host is strictly inside the safe-exit
+		// radius and nothing tainted the answer, so the standing set is
+		// provably the exact result at the new position. kNN sets may
+		// permute internally as the host moves — re-rank by the current
+		// distance; window sets are order-free.
+		if w.Params.Kind != WindowQuery {
+			core.SortByDist(s.answer, pos)
+		}
+		if w.counted() {
+			w.stats.SafeRegionHits++
+			if w.SelfCheck {
+				if w.Params.Kind == WindowQuery {
+					w.checkWindow(s.ti, geom.RectAround(pos.Add(s.off), s.side/2), s.answer)
+				} else {
+					w.checkKNN(s.ti, pos, s.k, s.answer)
+				}
+			}
+		}
+		w.mx.observeContinuous(false, 0)
+		return
+	}
+	if w.Params.Kind == WindowQuery {
+		w.reverifyWindow(s, reason)
+	} else {
+		w.reverifyKNN(s, reason)
+	}
+}
+
+// contCommit writes one re-verification's outcome into the subscription
+// and the run counters, and emits the trace event. answer is copied out
+// of the core scratch, so the subscription owns its set across ticks.
+func (w *World) contCommit(s *subscription, reason contReason, answer []broadcast.POI,
+	exact bool, safeR float64, slots int64, ev trace.Event) {
+	s.answer = append(s.answer[:0], answer...)
+	s.exact = exact
+	s.safeR = safeR
+	s.anchor = w.hosts[s.host].mob.Pos
+	s.bornSec = w.nowSec
+	if w.cons != nil {
+		s.epoch = w.cons.types[s.ti].epoch
+	}
+	if w.counted() {
+		w.stats.Reverifies++
+		switch reason {
+		case contUnverified:
+			w.stats.ReverifyUnverified++
+		case contNaive:
+			w.stats.ReverifyNaive++
+		case contTaint:
+			w.stats.ReverifyTaints++
+		case contExit:
+			w.stats.ReverifyExits++
+		}
+		if !exact {
+			w.stats.ContDegraded++
+		}
+		w.stats.ContSlots += slots
+		ev.TimeSec = w.nowSec
+		ev.Host = s.host
+		ev.SafeRadiusMiles = safeR
+		ev.Subscription = s.id
+		w.record(ev)
+	}
+	w.mx.observeContinuous(true, slots)
+}
+
+// reverifyKNN runs a full kNN re-verification for one subscription: the
+// one-shot runKNNQuery pipeline (channel assessment, IR sync, peer
+// collection, trust screen, SBNN) with the subscription's fixed k, plus
+// the safe-exit radius computation over the new answer. It draws
+// nothing from the world stream and counts toward the continuous
+// counters, never Stats.Queries.
+func (w *World) reverifyKNN(s *subscription, reason contReason) {
+	h := &w.hosts[s.host]
+	ts := &w.types[s.ti]
+	q := h.mob.Pos
+	relevance := geom.RectAround(q, w.knnRelevanceRadius(s.ti, s.k))
+	qc := w.assessChannel(s.host)
+	irSlots := w.syncIR(s.host, s.ti)
+	var (
+		peers     []core.PeerData
+		nPeers    int
+		collected int64
+	)
+	switch qc.mode {
+	case modeFull, modeP2POnly:
+		peers, nPeers, collected = w.gatherPeers(s.host, s.ti, relevance)
+	default:
+		peers, _ = w.collectOwnCacheOnly(s.host, s.ti, relevance, qc.mode == modeOwnCache)
+	}
+	collected += qc.switchCost()
+	peers, spent, trep := w.trustScreen(s.ti, peers, collected+irSlots, qc.bcastUp)
+
+	sched := ts.sched
+	if qc.mode == modeP2POnly || qc.mode == modeOwnCache {
+		sched = nil
+	}
+	cfg := core.SBNNConfig{
+		K:                 s.k,
+		Lambda:            ts.lambda,
+		AcceptApproximate: w.Params.AcceptApproximate,
+		MinCorrectness:    w.Params.MinCorrectness,
+	}
+	res := core.SBNNScratch(&w.qs.core, q, peers, cfg, sched, w.slotNow()+spent+qc.chWait)
+	degraded := sched == nil && res.Outcome == core.OutcomeBroadcast
+	// Exact means provably correct: a verified answer, or a
+	// channel-resolved one (SBNN's POIs are exact for OutcomeBroadcast
+	// with a live schedule). Approximate and degraded answers are the
+	// Lemma 3.2 probabilistic path — no safe region, re-verify next tick.
+	exact := !degraded && res.Outcome != core.OutcomeApproximate
+
+	var safeR float64
+	if exact {
+		// Complete-knowledge clearance around q: distance to the MVR
+		// boundary for peer-verified answers, to the known-region boundary
+		// for channel-resolved ones. Inside that disk the candidate list
+		// is the whole database, so the safe-exit bound is sound.
+		var clearance float64
+		if res.Outcome == core.OutcomeVerified {
+			if cl, ok := res.MVR.Clearance(q); ok {
+				clearance = cl
+			}
+		} else if res.KnownRegion.Contains(q) {
+			clearance = res.KnownRegion.BoundaryDist(q)
+		}
+		safeR = core.SafeExitKNN(q, res.POIs, w.contCandidates(peers, res.Known,
+			res.Outcome == core.OutcomeVerified), clearance)
+	}
+
+	slots := res.Access.Latency + spent + qc.chWait
+	if w.counted() && w.SelfCheck && exact {
+		w.checkKNN(s.ti, q, s.k, res.POIs)
+	}
+	ev := trace.Event{
+		Kind:    "cont-knn",
+		Outcome: outcomeLabel(res.Outcome, degraded, len(res.POIs)),
+		K:       s.k, Peers: nPeers,
+		LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
+		PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
+		Audits: trep.Audits, AuditFailures: trep.AuditFailures,
+		Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
+		TaintedPeers: trep.Tainted,
+		IRSlots:      irSlots, StaleConflicts: trep.StaleConflicts,
+		Mode: qc.mode.String(), WaitSlots: qc.chWait,
+	}
+	w.contCommit(s, reason, res.POIs, exact, safeR, slots, ev)
+
+	// The re-verification earns the same cacheable verified knowledge a
+	// one-shot query does.
+	if !res.KnownRegion.Empty() {
+		reg := cache.Region{Rect: res.KnownRegion, POIs: res.Known}
+		if w.cons != nil {
+			reg.Epoch = w.cons.types[s.ti].epoch
+		}
+		h.caches[s.ti].Insert(reg, q, h.mob.Heading(), int64(w.nowSec))
+	}
+}
+
+// reverifyWindow is reverifyKNN's window counterpart: the one-shot
+// runWindowQuery pipeline over the subscription's translated window,
+// plus the window safe-exit radius (cover clearance vs candidate
+// boundary distances, capped by the service-area margin so the
+// translated window never escapes the map inside the safe region).
+func (w *World) reverifyWindow(s *subscription, reason contReason) {
+	h := &w.hosts[s.host]
+	ts := &w.types[s.ti]
+	q := h.mob.Pos
+	raw := geom.RectAround(q.Add(s.off), s.side/2)
+	// areaMargin > 0 means the translated window sits strictly inside the
+	// service area: the safe-exit radius is additionally capped by it, so
+	// every position inside the safe region keeps the window on the map.
+	// Otherwise the window is clipped for this answer and the safe region
+	// collapses (re-verify next tick).
+	areaMargin := w.area.InnerGap(raw)
+	win := raw
+	if areaMargin <= 0 {
+		clipped, ok := raw.Intersect(w.area)
+		if !ok {
+			// The window drifted entirely off the map: an empty inexact
+			// answer, re-checked next tick, with no channel work to price.
+			w.contCommit(s, reason, nil, false, 0, 0, trace.Event{
+				Kind: "cont-window", Outcome: "unanswered"})
+			return
+		}
+		win = clipped
+	}
+
+	qc := w.assessChannel(s.host)
+	irSlots := w.syncIR(s.host, s.ti)
+	var (
+		peers     []core.PeerData
+		nPeers    int
+		collected int64
+	)
+	switch qc.mode {
+	case modeFull, modeP2POnly:
+		peers, nPeers, collected = w.gatherPeers(s.host, s.ti, win)
+	default:
+		peers, _ = w.collectOwnCacheOnly(s.host, s.ti, win, qc.mode == modeOwnCache)
+	}
+	collected += qc.switchCost()
+	peers, spent, trep := w.trustScreen(s.ti, peers, collected+irSlots, qc.bcastUp)
+
+	sched := ts.sched
+	if qc.mode == modeP2POnly || qc.mode == modeOwnCache {
+		sched = nil
+	}
+	cfg := core.SBWQConfig{
+		MaxKnownArea: 1.5 * float64(w.Params.CacheSize) / math.Max(ts.lambda, 1e-9),
+	}
+	res := core.SBWQScratch(&w.qs.core, q, win, peers, cfg, sched, w.slotNow()+spent+qc.chWait)
+	degraded := sched == nil && res.Outcome == core.OutcomeBroadcast
+	exact := !degraded
+
+	var safeR float64
+	if exact && areaMargin > 0 {
+		// coverClearance: how far the window can translate while staying
+		// inside complete knowledge — the MVR for covered windows, the
+		// known region for channel-resolved ones. Within that envelope the
+		// candidate list is the whole database near the window, so the
+		// boundary-distance bound is sound.
+		var cover float64
+		covered := false
+		if res.Outcome == core.OutcomeVerified {
+			cover, covered = res.MVR.ClearanceRect(win)
+		} else if res.KnownRegion.ContainsRect(win) {
+			cover, covered = res.KnownRegion.InnerGap(win), true
+		}
+		if covered {
+			safeR = core.SafeExitWindow(win, w.contCandidates(peers, res.Known,
+				res.Outcome == core.OutcomeVerified), cover)
+			safeR = math.Min(safeR, areaMargin)
+		}
+	}
+
+	slots := res.Access.Latency + spent + qc.chWait
+	if w.counted() && w.SelfCheck && exact {
+		w.checkWindow(s.ti, win, res.POIs)
+	}
+	ev := trace.Event{
+		Kind:         "cont-window",
+		Outcome:      outcomeLabel(res.Outcome, degraded, len(res.POIs)),
+		Peers:        nPeers,
+		LatencySlots: res.Access.Latency, TuningSlots: res.Access.Tuning,
+		PacketsRead: res.Access.PacketsRead, PacketsSkipped: res.Access.PacketsSkipped,
+		Audits: trep.Audits, AuditFailures: trep.AuditFailures,
+		Conflicts: trep.Conflicts, AuditSlots: trep.AuditSlots,
+		TaintedPeers: trep.Tainted,
+		IRSlots:      irSlots, StaleConflicts: trep.StaleConflicts,
+		Mode: qc.mode.String(), WaitSlots: qc.chWait,
+	}
+	w.contCommit(s, reason, res.POIs, exact, safeR, slots, ev)
+
+	if !res.KnownRegion.Empty() {
+		reg := cache.Region{Rect: res.KnownRegion, POIs: res.Known}
+		if w.cons != nil {
+			reg.Epoch = w.cons.types[s.ti].epoch
+		}
+		h.caches[s.ti].Insert(reg, q, h.mob.Heading(), int64(w.nowSec))
+	}
+}
+
+// contCandidates returns the candidate POI set the safe-exit bounds
+// range over. For a peer-verified answer that is the flattened POI
+// lists of every untainted contribution — complete within the MVR, the
+// region the clearance disk/envelope is confined to. For a
+// channel-resolved answer the known-region POIs are already complete
+// within the clearance envelope. Duplicates are harmless (the bounds
+// take minima) and the staging buffer is reused across
+// re-verifications.
+func (w *World) contCandidates(peers []core.PeerData, known []broadcast.POI, verified bool) []broadcast.POI {
+	if !verified {
+		return known
+	}
+	buf := w.cont.candBuf[:0]
+	for _, pd := range peers {
+		if pd.Tainted {
+			continue
+		}
+		buf = append(buf, pd.POIs...)
+	}
+	w.cont.candBuf = buf
+	return buf
+}

@@ -1,0 +1,267 @@
+package sim
+
+// Continuous-query acceptance tests (DESIGN.md §15). The gates the CI
+// continuous-identity lane runs under -race:
+//
+//   - Zero-knob identity: ContinuousRate = 0 must produce no continuous
+//     state, counters, trace events, or report keys — and stay
+//     deterministic run-to-run.
+//   - Armed determinism: identical seeds yield byte-identical reports
+//     and traces, at every TickWorkers count (the maintenance phase runs
+//     serially before the batched query loop, so the engine identity
+//     matrix must hold with subscriptions live).
+//   - Safe-region soundness: every safe-region hit re-checks the
+//     standing answer against the R-tree ground truth (SelfCheck), so a
+//     run with hits and a nil SelfCheckErr is the differential proof
+//     that answers inside the safe-exit radius never flip.
+//   - The naive baseline re-verifies every tick (fraction 1); the
+//     safe-region path must beat it.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// contParams is the armed continuous configuration the tests share:
+// small world, short run, subscriptions arriving fast enough that
+// maintenance dominates the tick loop.
+func contParams(kind QueryKind, seed int64) Params {
+	p := LACity().Scaled(1.5).WithDuration(0.1)
+	p.Seed = seed
+	p.TimeStepSec = 5
+	p.Kind = kind
+	p.AcceptApproximate = kind == KNNQuery
+	p.ContinuousRate = 4
+	if kind == WindowQuery {
+		// Keep standing windows near their hosts: a 1-mile offset in a
+		// 1.5-mile world pins most windows to the map edge, where the
+		// safe region soundly collapses — true, but then nothing
+		// exercises the hit path.
+		p.WindowDistMiles = 0.1
+	}
+	return p
+}
+
+// TestContinuousZeroKnob pins the off state: no layer allocation, no
+// counters, no report keys, and run-to-run determinism. (Bit-identity
+// against the pre-continuous build is the external binary-vs-binary
+// check; this guards the in-tree invariants that make it hold.)
+func TestContinuousZeroKnob(t *testing.T) {
+	p := LACity().Scaled(1.5).WithDuration(0.1)
+	p.Seed = 7
+	p.TimeStepSec = 10
+	p.Kind = KNNQuery
+	p.AcceptApproximate = true
+	if p.ContinuousEnabled() {
+		t.Fatal("zero knob reports enabled")
+	}
+	wa, sa, repA, trA := runTickWorld(t, p, 1)
+	_, sb, repB, trB := runTickWorld(t, p, 1)
+	if sa != sb || !bytes.Equal(repA, repB) || !bytes.Equal(trA, trB) {
+		t.Fatal("zero-knob run not deterministic")
+	}
+	if wa.cont != nil {
+		t.Fatal("continuous state allocated with the knob off")
+	}
+	if sa.ContinuousEvents() != 0 {
+		t.Fatalf("zero-knob run produced continuous events: %+v", sa)
+	}
+	if strings.Contains(string(repA), "continuous") ||
+		strings.Contains(string(repA), "reverify") {
+		t.Fatalf("zero-knob report leaks continuous keys:\n%s", repA)
+	}
+	if bytes.Contains(trA, []byte("cont-")) {
+		t.Fatal("zero-knob trace contains continuous events")
+	}
+	rep := NewReport(p, sa, true, 0)
+	if rep.BenchSchema == BenchSchemaContinuous {
+		t.Fatal("zero-knob report bumped to the continuous schema")
+	}
+}
+
+// TestContinuousDeterminism pins armed runs: identical seeds must yield
+// byte-identical reports and traces for both query kinds.
+func TestContinuousDeterminism(t *testing.T) {
+	for _, kind := range []QueryKind{KNNQuery, WindowQuery} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			p := contParams(kind, 42)
+			_, sa, repA, trA := runTickWorld(t, p, 1)
+			_, sb, repB, trB := runTickWorld(t, p, 1)
+			if sa != sb {
+				t.Fatalf("armed stats diverged:\n%+v\nvs\n%+v", sa, sb)
+			}
+			if !bytes.Equal(repA, repB) || !bytes.Equal(trA, trB) {
+				t.Fatal("armed run not byte-deterministic")
+			}
+			if sa.Subscriptions == 0 || sa.Reverifies == 0 {
+				t.Fatalf("armed run registered nothing: %+v", sa)
+			}
+			rep := NewReport(p, sa, true, 0)
+			if rep.BenchSchema != BenchSchemaContinuous {
+				t.Fatalf("armed report schema = %d, want %d",
+					rep.BenchSchema, BenchSchemaContinuous)
+			}
+		})
+	}
+}
+
+// TestContinuousTickWorkersIdentity runs the armed configuration through
+// the batched-engine identity matrix: workers 2/4/8 must stay
+// byte-identical to the serial baseline with subscriptions live.
+func TestContinuousTickWorkersIdentity(t *testing.T) {
+	for _, kind := range []QueryKind{KNNQuery, WindowQuery} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			checkTickIdentity(t, contParams(kind, 9))
+		})
+	}
+}
+
+// TestContinuousSafeRegionDifferential is the soundness gate: SelfCheck
+// re-derives every hit's answer from the R-tree ground truth, so a run
+// with safe-region hits and no self-check error proves answers inside
+// the safe-exit radius never flip. Several seeds, both kinds.
+func TestContinuousSafeRegionDifferential(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, kind := range []QueryKind{KNNQuery, WindowQuery} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			var hits, ticks int64
+			for _, seed := range seeds {
+				p := contParams(kind, seed)
+				w, err := NewWorld(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.SelfCheck = true
+				s := w.Run()
+				if err := w.SelfCheckErr(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if s.Reverifies != s.ReverifyExits+s.ReverifyTaints+
+					s.ReverifyUnverified+s.ReverifyNaive {
+					t.Fatalf("seed %d: reverify reasons do not partition: %+v", seed, s)
+				}
+				hits += s.SafeRegionHits
+				ticks += s.MaintenanceTicks()
+			}
+			if hits == 0 {
+				t.Fatal("no safe-region hit across any seed: the fast path never fired")
+			}
+			t.Logf("%s: %d hits over %d maintenance ticks (fraction %.2f)",
+				kind, hits, ticks, float64(ticks-hits)/float64(ticks))
+		})
+	}
+}
+
+// TestContinuousBeatsNaive pins the point of the layer: under identical
+// seeds the naive baseline re-verifies every maintenance tick (fraction
+// exactly 1, zero hits) while the safe-region path re-verifies strictly
+// less.
+func TestContinuousBeatsNaive(t *testing.T) {
+	p := contParams(KNNQuery, 11)
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Run()
+	pn := p
+	pn.ContinuousNaive = true
+	wn, err := NewWorld(pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := wn.Run()
+	if sn.SafeRegionHits != 0 || sn.ReverifyFraction() != 1 {
+		t.Fatalf("naive baseline took safe-region hits: %+v", sn)
+	}
+	if s.ReverifyFraction() >= 1 {
+		t.Fatalf("safe-region path never beat naive: fraction=%v stats=%+v",
+			s.ReverifyFraction(), s)
+	}
+	if s.Subscriptions != sn.Subscriptions {
+		t.Fatalf("registration stream diverged across arms: %d vs %d",
+			s.Subscriptions, sn.Subscriptions)
+	}
+	t.Logf("fraction: continuous %.3f vs naive %.3f (slots %d vs %d)",
+		s.ReverifyFraction(), sn.ReverifyFraction(), s.ContSlots, sn.ContSlots)
+}
+
+// TestContinuousTaints pins the consistency interaction: with the
+// POI-update process armed, epoch advances must surface as taint
+// re-verifications, and the run must stay self-check clean.
+func TestContinuousTaints(t *testing.T) {
+	p := contParams(KNNQuery, 21)
+	p.UpdateRate = 2
+	p.IRPeriodSec = 30
+	w, err := NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SelfCheck = true
+	s := w.Run()
+	if err := w.SelfCheckErr(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReverifyTaints == 0 {
+		t.Fatalf("armed update process never tainted a subscription: %+v", s)
+	}
+}
+
+// TestContinuousValidate pins the knob's validation contract.
+func TestContinuousValidate(t *testing.T) {
+	for _, bad := range []float64{-1, nan()} {
+		p := LACity()
+		p.ContinuousRate = bad
+		if err := p.Validate(); err == nil {
+			t.Errorf("ContinuousRate %v validated", bad)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestContinuousReverifyFractionAccessor pins the derived-rate edge
+// cases JSONL consumers rely on.
+func TestContinuousReverifyFractionAccessor(t *testing.T) {
+	var s Stats
+	if s.ReverifyFraction() != 0 {
+		t.Error("empty stats fraction != 0")
+	}
+	s.Reverifies, s.ReverifyExits = 3, 3
+	s.SafeRegionHits = 9
+	if got := s.ReverifyFraction(); got != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", got)
+	}
+	if s.MaintenanceTicks() != 12 {
+		t.Errorf("maintenance ticks = %d, want 12", s.MaintenanceTicks())
+	}
+}
+
+// TestContinuousTraceEvents checks the armed trace stream carries the
+// subscription records: cont events with ids, and safe radii on exact
+// answers.
+func TestContinuousTraceEvents(t *testing.T) {
+	p := contParams(KNNQuery, 33)
+	_, s, _, tr := runTickWorld(t, p, 1)
+	if s.Reverifies == 0 {
+		t.Fatal("no reverifies to trace")
+	}
+	if !bytes.Contains(tr, []byte(`"kind":"cont-knn"`)) {
+		t.Fatal("trace carries no cont-knn events")
+	}
+	if !bytes.Contains(tr, []byte(`"subscription":`)) {
+		t.Fatal("cont events carry no subscription ids")
+	}
+	if !bytes.Contains(tr, []byte(`"safe_radius_miles":`)) {
+		t.Fatal("no cont event ever carried a safe radius")
+	}
+}

@@ -73,6 +73,15 @@ type worldMetrics struct {
 	modeSwitch    *metrics.Counter
 	blackoutWait  *metrics.Counter
 
+	// Continuous-query instruments, registered only when the
+	// ContinuousRate knob is on (same zero-knob contract as the other
+	// layer blocks). All nil otherwise — observeContinuous checks one.
+	contSubs      *metrics.Counter
+	contHits      *metrics.Counter
+	contReverify  *metrics.Counter
+	contSlots     *metrics.Counter
+	contSlotsCost *metrics.Histogram
+
 	// lastPeerBytes tracks the Stats.PeerBytes high-water mark so the
 	// ad-hoc traffic counter advances by per-query deltas.
 	lastPeerBytes int64
@@ -80,10 +89,10 @@ type worldMetrics struct {
 
 // newWorldMetrics registers the simulator's instrument set. trustOn
 // additionally registers the trust-layer instruments, consOn the
-// consistency-layer ones, and chanOn the channel-impairment ones; with
-// all three false the registry contents are identical to a build
-// without those layers.
-func newWorldMetrics(trustOn, consOn, chanOn bool) *worldMetrics {
+// consistency-layer ones, chanOn the channel-impairment ones, and
+// contOn the continuous-query ones; with all four false the registry
+// contents are identical to a build without those layers.
+func newWorldMetrics(trustOn, consOn, chanOn, contOn bool) *worldMetrics {
 	reg := metrics.NewRegistry()
 	m := &worldMetrics{
 		reg:    reg,
@@ -142,7 +151,41 @@ func newWorldMetrics(trustOn, consOn, chanOn bool) *worldMetrics {
 		m.modeSwitch = reg.Counter("lbsq_channel_mode_switch_slots_total", "deadline-priced rung-switch slots paid by fallback queries")
 		m.blackoutWait = reg.Counter("lbsq_channel_blackout_wait_slots_total", "dead-air slots naive-mode queries spent waiting out blackout windows")
 	}
+	if contOn {
+		m.contSubs = reg.Counter("lbsq_continuous_subscriptions_total", "standing-query registrations")
+		m.contHits = reg.Counter("lbsq_continuous_safe_region_hits_total", "maintenance ticks answered inside the safe-exit radius")
+		m.contReverify = reg.Counter("lbsq_continuous_reverifies_total", "maintenance ticks that re-ran the full query path")
+		m.contSlots = reg.Counter("lbsq_continuous_slots_total", "broadcast slots subscription re-verifications spent")
+		m.contSlotsCost = reg.Histogram("lbsq_continuous_reverify_cost_slots",
+			"broadcast-slot cost per subscription re-verification",
+			"slots", metrics.SlotBuckets())
+	}
 	return m
+}
+
+// observeSubscription records one standing-query registration. No-op
+// when the continuous instruments are not registered.
+func (m *worldMetrics) observeSubscription() {
+	if m == nil || m.contSubs == nil {
+		return
+	}
+	m.contSubs.Inc()
+}
+
+// observeContinuous records one subscription maintenance decision: a
+// safe-region hit (reverified false, zero slots) or a re-verification
+// with its broadcast-slot cost.
+func (m *worldMetrics) observeContinuous(reverified bool, slots int64) {
+	if m == nil || m.contHits == nil {
+		return
+	}
+	if !reverified {
+		m.contHits.Inc()
+		return
+	}
+	m.contReverify.Inc()
+	m.contSlots.Add(slots)
+	m.contSlotsCost.ObserveInt(slots)
 }
 
 // observeChannel records one counted query's channel-impairment

@@ -253,6 +253,28 @@ type Params struct {
 	// surgical repair buys over this baseline.
 	IRDiscard bool
 
+	// ContinuousRate arms the continuous-query layer (DESIGN.md §15): the
+	// mean number of standing-subscription registrations per minute across
+	// the whole system. Zero (the default) keeps every query a one-shot
+	// snapshot — no subscription registry exists, no maintenance phase
+	// runs, and every output is bit-identical to a build without the
+	// layer. Nonzero registers moving hosts with standing kNN or window
+	// queries (the run's Kind) whose answers are maintained incrementally:
+	// each exact answer carries a safe-exit radius computed from the MVR
+	// clearance and the known result-flip boundaries (internal/core
+	// SafeExitKNN/SafeExitWindow), and the subscription re-runs the full
+	// query path only when its host crosses that radius, an invalidation
+	// epoch or VR TTL taints the answer, or the previous answer was not
+	// exact (the Lemma 3.2 probabilistic demotion). Registration draws
+	// come from a dedicated seeded stream, so arming the layer never
+	// perturbs the legacy query draws.
+	ContinuousRate float64
+	// ContinuousNaive forces every standing subscription to re-verify on
+	// every tick instead of consulting its safe region — the baseline the
+	// EXPERIMENTS.md continuous curve compares against. No effect without
+	// ContinuousRate.
+	ContinuousNaive bool
+
 	// TickWorkers selects the batched per-tick query engine (DESIGN.md
 	// §14): each tick's queries are drawn serially (consuming every
 	// random stream in the legacy order), executed in parallel across
@@ -354,11 +376,18 @@ func (p *Params) Validate() error {
 	case p.VRTTLSec != p.VRTTLSec || p.VRTTLSec < 0:
 		return fmt.Errorf("sim: VRTTLSec %v must be a non-negative number", p.VRTTLSec)
 	}
+	if p.ContinuousRate != p.ContinuousRate || p.ContinuousRate < 0 {
+		return fmt.Errorf("sim: ContinuousRate %v must be a non-negative number", p.ContinuousRate)
+	}
 	if p.TickWorkers < 0 {
 		return fmt.Errorf("sim: negative TickWorkers %d", p.TickWorkers)
 	}
 	return nil
 }
+
+// ContinuousEnabled reports whether the continuous-query layer (standing
+// subscriptions with safe-region maintenance) is armed.
+func (p *Params) ContinuousEnabled() bool { return p.ContinuousRate > 0 }
 
 // ConsistencyEnabled reports whether the POI-update process (and with it
 // the IR broadcast and cache reconciliation) is armed.

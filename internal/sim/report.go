@@ -45,10 +45,15 @@ type Report struct {
 	// DegradedMode arms the fallback-ladder planner (DESIGN.md §13); the
 	// burst/blackout knobs ride inside Faults (omitempty likewise). Rows
 	// carrying any channel-impairment knob report BenchSchemaBurst.
-	DegradedMode bool    `json:"degraded_mode,omitempty"`
-	SelfCheck    bool    `json:"self_check_passed"`
-	Stats        Stats   `json:"stats"`
-	Derived      Derived `json:"derived"`
+	DegradedMode bool `json:"degraded_mode,omitempty"`
+	// Continuous-query knobs (DESIGN.md §15), omitted when zero/false
+	// under the same contract. Rows carrying them report
+	// BenchSchemaContinuous.
+	ContinuousRate  float64 `json:"continuous_rate,omitempty"`
+	ContinuousNaive bool    `json:"continuous_naive,omitempty"`
+	SelfCheck       bool    `json:"self_check_passed"`
+	Stats           Stats   `json:"stats"`
+	Derived         Derived `json:"derived"`
 	// Metrics is the final registry snapshot of a metrics-enabled run
 	// (World.Metrics().Snapshot()). Nil — and absent from the encoding —
 	// when the Metrics knob is off, preserving byte-identity with
@@ -69,10 +74,14 @@ type Report struct {
 // (Gilbert–Elliott burst fading, blackout windows, degraded-mode
 // planner) and their counters — the same strict-superset courtesy bump
 // as v2→v3.
+// BenchSchemaContinuous marks rows carrying the continuous-query knobs
+// (standing subscriptions with safe-region maintenance) and their
+// counters — the same strict-superset courtesy bump as v3→v4.
 const (
 	BenchSchemaVersion     = 2
 	BenchSchemaConsistency = 3
 	BenchSchemaBurst       = 4
+	BenchSchemaContinuous  = 5
 )
 
 // Derived holds the rates the human-readable report prints, precomputed
@@ -92,6 +101,8 @@ type Derived struct {
 	ConsistencyEvents      int64   `json:"consistency_events,omitempty"`
 	ChannelEvents          int64   `json:"channel_events,omitempty"`
 	AnsweredInBudgetPct    float64 `json:"answered_in_budget_pct,omitempty"`
+	ContinuousEvents       int64   `json:"continuous_events,omitempty"`
+	ReverifyFraction       float64 `json:"reverify_fraction,omitempty"`
 }
 
 // NewReport assembles the Report for a finished run.
@@ -102,6 +113,9 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 	}
 	if p.Faults.BurstEnabled() || p.Faults.BlackoutEnabled() || p.DegradedMode {
 		schema = BenchSchemaBurst
+	}
+	if p.ContinuousRate > 0 {
+		schema = BenchSchemaContinuous
 	}
 	if p.UpdateRate > 0 {
 		// Callers may pass pre-default Params; fill the consistency
@@ -139,6 +153,8 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 		VRTTLSec:        p.VRTTLSec,
 		IRDiscard:       p.IRDiscard,
 		DegradedMode:    p.DegradedMode,
+		ContinuousRate:  p.ContinuousRate,
+		ContinuousNaive: p.ContinuousNaive,
 		SelfCheck:       selfChecked,
 		Stats:           stats,
 		Derived: Derived{
@@ -156,6 +172,8 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 			ConsistencyEvents:      stats.ConsistencyEvents(),
 			ChannelEvents:          stats.ChannelEvents(),
 			AnsweredInBudgetPct:    stats.AnsweredInBudgetPct(),
+			ContinuousEvents:       stats.ContinuousEvents(),
+			ReverifyFraction:       stats.ReverifyFraction(),
 		},
 		WallSeconds: wallSeconds,
 	}

@@ -15,8 +15,11 @@ package sim
 // Every fourth schedule additionally arms the Gilbert–Elliott fading
 // chain, every fifth a blackout schedule, and a third of the armed
 // schedules run the degraded-mode planner (the rest stall naively), so
-// correlated losses soak alongside every other mechanism. The harness
-// asserts:
+// correlated losses soak alongside every other mechanism. Every seventh
+// schedule arms continuous subscriptions (some on the naive
+// always-reverify baseline), so safe-region maintenance soaks against
+// faults, byzantine attack, consistency churn, and channel impairments
+// too. The harness asserts:
 //
 //   - soundness: every exact result matched the R-tree ground truth, and
 //     approximate results are only reported when the run accepts them;
@@ -152,6 +155,18 @@ func soakParams(schedule int) Params {
 	}
 	if (p.Faults.BurstEnabled() || p.Faults.BlackoutEnabled()) && schedule%3 == 1 {
 		p.DegradedMode = true
+	}
+
+	// Continuous-subscription schedules (drawn after every legacy knob so
+	// the continuous-free schedules keep their exact historical draws).
+	// Every seventh schedule (offset 2) arms standing subscriptions, so
+	// across a sweep they combine with byzantine attack (9), consistency
+	// plus the discard ablation (9, 30), and burst fading (23). A third
+	// of the armed schedules run the naive always-reverify baseline, the
+	// rest the safe-region path.
+	if schedule%7 == 2 {
+		p.ContinuousRate = 0.5 + rng.Float64()*4
+		p.ContinuousNaive = schedule%3 == 0
 	}
 	return p
 }
@@ -300,6 +315,26 @@ func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
 	if s.StaleBoundMaxSec != 0 && s.ModeOwnCache == 0 {
 		t.Errorf("staleness bound %d without any own-cache-rung query", s.StaleBoundMaxSec)
 	}
+
+	// Continuous counter causality: the layer off leaves every counter at
+	// zero; armed, re-verifications partition exactly by reason, the
+	// naive baseline never takes a safe-region hit, and taint
+	// re-verifications require an invalidation source.
+	if p.ContinuousRate == 0 && s.ContinuousEvents() != 0 {
+		t.Errorf("continuous counters fired with the knob off: %+v", s)
+	}
+	if s.Reverifies != s.ReverifyExits+s.ReverifyTaints+s.ReverifyUnverified+s.ReverifyNaive {
+		t.Errorf("reverify reasons do not partition reverifies: %+v", s)
+	}
+	if p.ContinuousNaive && s.SafeRegionHits != 0 {
+		t.Errorf("naive baseline took %d safe-region hits", s.SafeRegionHits)
+	}
+	if !p.ContinuousNaive && s.ReverifyNaive != 0 {
+		t.Errorf("naive reverifies %d with the baseline off", s.ReverifyNaive)
+	}
+	if s.ReverifyTaints > 0 && p.UpdateRate == 0 && p.VRTTLSec == 0 {
+		t.Errorf("taint reverifies %d with no update process or TTL", s.ReverifyTaints)
+	}
 }
 
 // TestChaosSoak is the acceptance harness: randomized fault/churn
@@ -354,6 +389,9 @@ func TestChaosSoak(t *testing.T) {
 			agg.ModeP2POnly += s.ModeP2POnly
 			agg.ModeOnAirOnly += s.ModeOnAirOnly
 			agg.AnsweredInBudget += s.AnsweredInBudget
+			agg.Subscriptions += s.Subscriptions
+			agg.SafeRegionHits += s.SafeRegionHits
+			agg.Reverifies += s.Reverifies
 		})
 	}
 
@@ -411,6 +449,13 @@ func TestChaosSoak(t *testing.T) {
 		}
 		if agg.AnsweredInBudget == 0 {
 			t.Error("no impaired schedule ever answered a query in budget")
+		}
+		if agg.Subscriptions == 0 || agg.Reverifies == 0 {
+			t.Errorf("no schedule ever exercised a continuous subscription: subs=%d reverifies=%d",
+				agg.Subscriptions, agg.Reverifies)
+		}
+		if agg.SafeRegionHits == 0 {
+			t.Error("no continuous schedule ever took a safe-region hit")
 		}
 	}
 }

@@ -205,6 +205,43 @@ type Stats struct {
 	// contributing region was inserted).
 	StaleBoundMaxSec int64 `json:",omitempty"`
 
+	// Continuous-query visibility (DESIGN.md §15). All of these are zero
+	// when ContinuousRate is zero; the fields are omitted from JSON
+	// encodings then, so zero-knob report rows stay byte-identical to
+	// earlier schema versions.
+	//
+	// Subscriptions counts standing-query registrations (post-warm-up).
+	Subscriptions int64 `json:",omitempty"`
+	// SafeRegionHits counts maintenance ticks a subscription answered from
+	// its stored result because the host stayed strictly inside the
+	// safe-exit radius and nothing tainted the answer (a cheap re-rank,
+	// no query path, no channel).
+	SafeRegionHits int64 `json:",omitempty"`
+	// Reverifies counts maintenance ticks that re-ran the full query
+	// path; it always equals ReverifyExits + ReverifyTaints +
+	// ReverifyUnverified + ReverifyNaive.
+	Reverifies int64 `json:",omitempty"`
+	// ReverifyExits counts re-verifications forced by the host crossing
+	// its safe-exit radius, ReverifyTaints those forced by an
+	// invalidation epoch advance or VR TTL expiry on the stored answer,
+	// ReverifyUnverified those forced because the previous maintenance
+	// left no exact answer (first verification of a new subscription, or
+	// a Lemma 3.2 probabilistic demotion), and ReverifyNaive the
+	// unconditional re-runs of the ContinuousNaive baseline.
+	ReverifyExits      int64 `json:",omitempty"`
+	ReverifyTaints     int64 `json:",omitempty"`
+	ReverifyUnverified int64 `json:",omitempty"`
+	ReverifyNaive      int64 `json:",omitempty"`
+	// ContDegraded counts re-verifications whose answer came back inexact
+	// (approximate or channel-less degraded) — the subscription then
+	// holds a probabilistic answer and re-verifies next tick.
+	ContDegraded int64 `json:",omitempty"`
+	// ContSlots sums the broadcast slots subscription re-verifications
+	// spent (channel access, IR listens, audits, mode switches, blackout
+	// waits) — the continuous layer's slot cost, kept separate from the
+	// one-shot query counters.
+	ContSlots int64 `json:",omitempty"`
+
 	// Batched-tick-engine visibility (DESIGN.md §14). MVRMemoHits counts
 	// same-tick queries that reused another query's merged verified
 	// region through the engine's memo table (TickWorkers > 1 only), and
@@ -330,6 +367,30 @@ func (s Stats) AnsweredInBudgetPct() float64 {
 	return pct(int(s.AnsweredInBudget), s.Queries)
 }
 
+// ContinuousEvents returns the total activity of the continuous-query
+// layer — zero exactly when ContinuousRate was zero (no subscription
+// registry exists, no maintenance phase runs).
+func (s Stats) ContinuousEvents() int64 {
+	return s.Subscriptions + s.SafeRegionHits + s.Reverifies +
+		s.ReverifyExits + s.ReverifyTaints + s.ReverifyUnverified +
+		s.ReverifyNaive + s.ContDegraded + s.ContSlots
+}
+
+// MaintenanceTicks returns the number of per-tick maintenance decisions
+// the continuous layer made (safe-region hits plus re-verifications).
+func (s Stats) MaintenanceTicks() int64 { return s.SafeRegionHits + s.Reverifies }
+
+// ReverifyFraction returns the fraction of maintenance ticks that had to
+// re-run the query path — 1.0 for the naive baseline, well below 1.0
+// when safe regions absorb the movement (the EXPERIMENTS.md continuous
+// curve's y-axis).
+func (s Stats) ReverifyFraction() float64 {
+	if t := s.MaintenanceTicks(); t > 0 {
+		return float64(s.Reverifies) / float64(t)
+	}
+	return 0
+}
+
 // ResilienceEvents returns the total activity of the resilient query
 // lifecycle — zero exactly when every resilience knob was zero.
 func (s Stats) ResilienceEvents() int64 {
@@ -383,6 +444,14 @@ func (s Stats) String() string {
 			s.BlackoutWaitSlots, s.BlackoutRecoveries, s.IRDeferred,
 			s.IRListenAborts, s.FadeSuppressedStrikes, s.BurstFrameLosses,
 			s.BurstTransitions, s.AnsweredInBudgetPct(), s.StaleBoundMaxSec,
+		)
+	}
+	if s.ContinuousEvents() > 0 {
+		out += fmt.Sprintf(
+			" continuous[subs=%d hits=%d reverifies=%d (exit=%d taint=%d unverified=%d naive=%d) degraded=%d slots=%d fraction=%.2f]",
+			s.Subscriptions, s.SafeRegionHits, s.Reverifies,
+			s.ReverifyExits, s.ReverifyTaints, s.ReverifyUnverified,
+			s.ReverifyNaive, s.ContDegraded, s.ContSlots, s.ReverifyFraction(),
 		)
 	}
 	return out

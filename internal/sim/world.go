@@ -34,6 +34,16 @@ const (
 	trustSeedSalt = 0x74727573 // "trus"
 )
 
+// contSeedSalt seeds the continuous-query registration stream
+// (internal/sim continuous layer): which hosts register standing
+// subscriptions, and each subscription's k or window shape. Decorrelated
+// from every other stream so arming the ContinuousRate knob never
+// perturbs movement, one-shot query launching, the POI field, or the
+// fault draws. Subscription re-verification itself draws nothing — the
+// shape is fixed at registration — so the maintenance phase consumes no
+// randomness at all.
+const contSeedSalt = 0x636f6e74 // "cont"
+
 // World is one simulation instance: the POI database and its broadcast
 // schedule, the mobile host population, and the sharing layer.
 type World struct {
@@ -101,6 +111,13 @@ type World struct {
 	// the POI-update process, the per-type epoch state, and the on-air
 	// invalidation-report frames (DESIGN.md §12).
 	cons *consState
+
+	// cont is the continuous-query layer (nil unless
+	// Params.ContinuousRate > 0): the standing subscription registry and
+	// its dedicated registration stream (DESIGN.md §15). Nil means zero
+	// draws and zero branch costs — the zero-knob world is bit-identical
+	// to the pre-continuous build.
+	cont *contState
 
 	nowSec      float64
 	durationSec float64
@@ -273,9 +290,12 @@ func NewWorld(p Params) (*World, error) {
 	if p.ConsistencyEnabled() {
 		w.cons = newConsState(p, types)
 	}
+	if p.ContinuousEnabled() {
+		w.cont = newContState(p)
+	}
 	if p.Metrics {
 		w.mx = newWorldMetrics(w.tr != nil, w.cons != nil || p.VRTTLSec > 0,
-			w.chanArmed || w.planner)
+			w.chanArmed || w.planner, p.ContinuousEnabled())
 		w.mx.hosts.Set(float64(p.MHNumber))
 		w.net.FanoutHist = w.mx.fanout
 	}
@@ -489,6 +509,11 @@ func (w *World) Step(dt float64) {
 		w.mx.nowSec.Set(w.nowSec)
 	}
 	w.advanceConsistency()
+	// Continuous subscriptions register and maintain strictly before the
+	// one-shot Poisson loop, on the simulation goroutine: the batched tick
+	// engine only parallelizes the loop below, so the maintenance phase is
+	// byte-identical across every TickWorkers setting by construction.
+	w.advanceContinuous(dt)
 
 	mean := w.Params.QueryRate / 60 * dt
 	n := mobility.Poisson(w.rng, mean)

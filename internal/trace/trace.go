@@ -70,6 +70,13 @@ type Event struct {
 	Mode          string `json:"mode,omitempty"`
 	WaitSlots     int64  `json:"wait_slots,omitempty"`
 	StaleBoundSec int64  `json:"stale_bound_sec,omitempty"`
+	// Continuous-query fields, populated only for subscription
+	// re-verification events (Kind "cont-knn"/"cont-window", armed by the
+	// ContinuousRate knob): the safe-exit radius the new answer carries
+	// (zero when the answer came back inexact) and the subscription's id.
+	// Omitted when zero, so continuous-off traces stay byte-identical.
+	SafeRadiusMiles float64 `json:"safe_radius_miles,omitempty"`
+	Subscription    int     `json:"subscription,omitempty"`
 }
 
 // Writer appends events as JSON Lines.
