@@ -7,8 +7,14 @@
 GO ?= go
 GOFMT ?= gofmt
 
+# staticcheck runs in `make lint` only when the binary is present (CI
+# installs the pinned version below; local trees without it still get
+# gofmt + vet). Keep the pin in sync with .github/workflows/ci.yml.
+STATICCHECK ?= staticcheck
+STATICCHECK_VERSION = 2025.1.1
+
 # Packages that must stay above the coverage floor (see `make cover`).
-COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache internal/faults internal/sim
+COVER_PKGS = internal/core internal/geom internal/metrics internal/trust internal/cache internal/faults internal/sim internal/p2p internal/broadcast
 COVER_MIN ?= 70
 
 .PHONY: all build vet test race lint cover cover-profile cover-check fuzz-smoke verify continuous-identity soak bench bench-hot bench-tick bench-smoke
@@ -38,6 +44,11 @@ lint:
 		echo "lint: gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./... && echo "lint: staticcheck clean"; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
 	@echo "lint: gofmt and vet clean"
 
 # Per-package statement-coverage floors, enforced by the stdlib-only
@@ -69,12 +80,16 @@ fuzz-smoke:
 	@if [ ! -d internal/wire/testdata/fuzz ]; then \
 		echo "fuzz-smoke: internal/wire/testdata/fuzz corpus missing"; exit 1; \
 	fi
+	@if [ ! -d internal/wire/testdata/fuzz/FuzzDecodeBusy ]; then \
+		echo "fuzz-smoke: internal/wire/testdata/fuzz/FuzzDecodeBusy corpus missing"; exit 1; \
+	fi
 	@if [ ! -d internal/faults/testdata/fuzz ]; then \
 		echo "fuzz-smoke: internal/faults/testdata/fuzz corpus missing"; exit 1; \
 	fi
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeReply -fuzztime=5s -timeout 5m ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s -timeout 5m ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzInvalidationReport -fuzztime=5s -timeout 5m ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBusy -fuzztime=5s -timeout 5m ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzAttackClaim -fuzztime=5s -timeout 5m ./internal/faults
 
 verify: vet build race fuzz-smoke

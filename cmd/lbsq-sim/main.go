@@ -23,6 +23,11 @@
 //	         [-burst-good-slots n] [-burst-bad-slots n]
 //	         [-blackout-period sec] [-blackout-duration sec] [-degraded]
 //	         [-continuous-rate n] [-continuous-naive]
+//	         [-crowd-rate n] [-crowd-radius miles] [-crowd-x miles]
+//	         [-crowd-y miles] [-crowd-start sec] [-crowd-duration sec]
+//	         [-queue-cap n] [-retry-budget n] [-admission-rate n]
+//	         [-admission-burst n] [-governed] [-governor-floor p]
+//	         [-coalesce-radius miles]
 //	         [-json] [-grid faults] [-parallel n]
 //	         [-metrics] [-metrics-out file] [-metrics-listen addr]
 //
@@ -115,6 +120,23 @@
 // (the comparison baseline). -continuous-rate 0 is bit-identical to a
 // build without the layer.
 //
+// The crowd/overload flags drive flash-crowd survival (DESIGN.md §16):
+// -crowd-rate injects a hotspot query burst (that many extra queries per
+// minute at the peak of a sin²-ramped window; -crowd-radius/-crowd-x/
+// -crowd-y place the hotspot disk, -crowd-start/-crowd-duration the
+// window — zeros pick the area center and mid-run). The demand-side
+// controls bound the amplification a crowd can cause: -queue-cap limits
+// each peer's per-tick service (the next band answers with an explicit
+// BUSY frame, never a breaker strike), -retry-budget caps per-tick
+// request re-broadcasts system-wide, -admission-rate/-admission-burst
+// run per-MH token buckets that shed one-shot queries to the
+// broadcast-only path, -governed/-governor-floor arm the load governor
+// (sheds one-shots while the answered-in-budget ratio sits below the
+// floor; continuous subscriptions keep priority), and -coalesce-radius
+// lets co-located same-tick queries share one screened peer gather.
+// All-zero crowd/overload flags are bit-identical to a build without
+// the plane.
+//
 // -json suppresses the human-readable report and emits one machine-
 // readable JSON object (configuration + full statistics) on stdout.
 package main
@@ -190,6 +212,19 @@ func main() {
 		degraded  = flag.Bool("degraded", false, "arm the degraded-mode query planner (fallback ladder instead of naive stalls)")
 		contRate  = flag.Float64("continuous-rate", 0, "continuous-subscription registrations per minute (0 = no standing queries)")
 		contNaive = flag.Bool("continuous-naive", false, "re-verify standing queries every tick instead of using safe regions (baseline)")
+		crowdRate = flag.Float64("crowd-rate", 0, "flash-crowd peak query rate per minute injected inside the hotspot (0 = no crowd)")
+		crowdRad  = flag.Float64("crowd-radius", 0, "hotspot disk radius in miles (0 = area/10 when the crowd is armed)")
+		crowdX    = flag.Float64("crowd-x", 0, "hotspot center x in miles (0 = area center)")
+		crowdY    = flag.Float64("crowd-y", 0, "hotspot center y in miles (0 = area center)")
+		crowdStrt = flag.Float64("crowd-start", 0, "burst window start in simulated seconds (0 = mid-run)")
+		crowdDur  = flag.Float64("crowd-duration", 0, "burst window length in seconds (0 = 10% of the run)")
+		queueCap  = flag.Int("queue-cap", 0, "per-peer per-tick service queue capacity; overflow answers BUSY (0 = unbounded)")
+		retryBud  = flag.Int("retry-budget", 0, "per-tick system-wide request re-broadcast budget (0 = unbudgeted)")
+		admRate   = flag.Float64("admission-rate", 0, "per-MH admission tokens accrued per second; empty buckets shed to broadcast (0 = admit all)")
+		admBurst  = flag.Int("admission-burst", 0, "admission token-bucket depth (0 = default 4 when -admission-rate > 0)")
+		governed  = flag.Bool("governed", false, "arm the load governor (sheds one-shots while answered-in-budget sits below the floor)")
+		govFloor  = flag.Float64("governor-floor", 0, "answered-in-budget ratio below which the governor engages [0, 1] (0 = default 0.9)")
+		coalesce  = flag.Float64("coalesce-radius", 0, "co-located same-tick queries within this many miles share one peer gather (0 = off)")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object (config + full Stats) on stdout instead of the report")
 		grid      = flag.String("grid", "", "run a benchmark grid instead of a single configuration: 'faults'")
 		parallel  = flag.Int("parallel", 0, "grid worker count (0 = GOMAXPROCS, 1 = serial; rows identical either way)")
@@ -222,6 +257,15 @@ func main() {
 		{"ir-period", *irPeriod, 0},
 		{"vr-ttl", *vrTTL, 0},
 		{"continuous-rate", *contRate, 0},
+		{"crowd-rate", *crowdRate, 0},
+		{"crowd-radius", *crowdRad, 0},
+		{"crowd-x", *crowdX, 0},
+		{"crowd-y", *crowdY, 0},
+		{"crowd-start", *crowdStrt, 0},
+		{"crowd-duration", *crowdDur, 0},
+		{"admission-rate", *admRate, 0},
+		{"governor-floor", *govFloor, 1},
+		{"coalesce-radius", *coalesce, 0},
 		{"min-speed", *minSpeed, 0},
 		{"max-speed", *maxSpeed, 0},
 	}); err != nil {
@@ -343,6 +387,19 @@ func main() {
 	}
 	p.ContinuousRate = *contRate
 	p.ContinuousNaive = *contNaive
+	p.CrowdRate = *crowdRate
+	p.CrowdRadiusMiles = *crowdRad
+	p.CrowdCenterXMiles = *crowdX
+	p.CrowdCenterYMiles = *crowdY
+	p.CrowdStartSec = *crowdStrt
+	p.CrowdDurationSec = *crowdDur
+	p.PeerQueueCap = *queueCap
+	p.RetryBudget = *retryBud
+	p.AdmissionRate = *admRate
+	p.AdmissionBurst = *admBurst
+	p.Governed = *governed
+	p.GovernorFloor = *govFloor
+	p.CoalesceRadiusMiles = *coalesce
 	p.DeadlineSlots = *deadline
 	p.BreakerThreshold = *brThresh
 	p.BreakerCooldown = *brCool
@@ -518,6 +575,20 @@ func main() {
 			stats.ReverifyExits, stats.ReverifyTaints, stats.ReverifyUnverified, stats.ReverifyNaive)
 		fmt.Printf("  degraded answers:              %d (maintenance cost: %d slots)\n",
 			stats.ContDegraded, stats.ContSlots)
+	}
+	if stats.OverloadEvents() > 0 {
+		fmt.Printf("\noverload plane (crowd=%.0f/min queue-cap=%d retry-budget=%d admission=%.2f/s governed=%v coalesce=%.2fmi):\n",
+			p.CrowdRate, p.PeerQueueCap, p.RetryBudget, p.AdmissionRate,
+			p.Governed, p.CoalesceRadiusMiles)
+		fmt.Printf("  crowd queries injected:        %d\n", stats.CrowdQueries)
+		fmt.Printf("  busy replies / queue drops:    %d / %d (never breaker strikes)\n",
+			stats.BusyReplies, stats.QueueDrops)
+		fmt.Printf("  queries shed to broadcast:     %d (admission: %d, governor: %d)\n",
+			stats.Shed, stats.AdmissionDenied, stats.GovernorSheds)
+		fmt.Printf("  governor engaged:              %d ticks\n", stats.GovernorEngagedTicks)
+		fmt.Printf("  retry budget exhaustions:      %d\n", stats.RetryBudgetExhausted)
+		fmt.Printf("  coalesced gathers:             %d\n", stats.Coalesced)
+		fmt.Printf("  goodput:                       %.1f%%\n", stats.GoodputPct())
 	}
 	if *baseline && stats.BaselineSampled > 0 {
 		base := stats.BaselineMeanLatencySlots()

@@ -32,6 +32,14 @@ func TestCheckRates(t *testing.T) {
 		{"negative duration", []rateFlag{{"burst-bad-slots", -4, 0}}, "-burst-bad-slots: negative value -4"},
 		{"above MaxRate", []rateFlag{{"reply-loss", 0.96, faults.MaxRate}}, "-reply-loss: 0.96 exceeds maximum 0.95"},
 		{"above probability", []rateFlag{{"byzantine-rate", 1.5, 1}}, "-byzantine-rate: 1.5 exceeds maximum 1"},
+		{"crowd rate is unbounded above", []rateFlag{{"crowd-rate", 1e6, 0}}, ""},
+		{"crowd geometry is legal", []rateFlag{{"crowd-radius", 2, 0}, {"crowd-x", 10, 0}, {"crowd-y", 10, 0}}, ""},
+		{"governor floor boundary is legal", []rateFlag{{"governor-floor", 1, 1}}, ""},
+		{"negative crowd rate", []rateFlag{{"crowd-rate", -5, 0}}, "-crowd-rate: negative value -5"},
+		{"NaN admission rate", []rateFlag{{"admission-rate", math.NaN(), 0}}, "-admission-rate: NaN"},
+		{"infinite crowd duration", []rateFlag{{"crowd-duration", math.Inf(1), 0}}, "-crowd-duration: value must be finite"},
+		{"governor floor above one", []rateFlag{{"governor-floor", 1.2, 1}}, "-governor-floor: 1.2 exceeds maximum 1"},
+		{"negative coalesce radius", []rateFlag{{"coalesce-radius", -1, 0}}, "-coalesce-radius: negative value -1"},
 		{"second flag bad", []rateFlag{
 			{"loss", 0.1, faults.MaxRate},
 			{"burst-bad-loss", math.NaN(), 1},

@@ -56,6 +56,15 @@ type TrafficStats struct {
 	// had already departed (powered off or drifted out of range) — the
 	// querying host cannot know, so the frame is spent for nothing.
 	WastedRetries int64
+	// Busy counts explicit BUSY backpressure replies: a peer's bounded
+	// service queue was full, so it refused the request on the wire
+	// instead of going silent. A busy peer is not a broken peer — these
+	// are excluded from breaker strike accounting.
+	Busy int64
+	// QueueDrops counts requests a peer shed without even a BUSY reply:
+	// the overflow band beyond the busy threshold, where the peer is too
+	// saturated to spend slots on refusals. Also strike-exempt.
+	QueueDrops int64
 }
 
 // NewNetwork creates a network over the service area with the given index

@@ -26,6 +26,15 @@ type FaultCell struct {
 	Burst    bool
 	Blackout bool
 	Degraded bool
+	// Crowd arms the flash-crowd workload generator (a 10× hotspot burst
+	// over the legacy rate); Governed additionally arms the full
+	// overload-control stack (peer backpressure, retry budget, admission
+	// buckets, load governor, coalescing). The two crowd cells append
+	// after the channel rows, carrying bench_schema 6 — the
+	// uncontrolled/governed pair the EXPERIMENTS.md goodput curve
+	// summarizes.
+	Crowd    bool
+	Governed bool
 }
 
 // FaultGrid returns the standard grid `make bench` sweeps: loss rates
@@ -33,13 +42,15 @@ type FaultCell struct {
 // layer, then with the full resilient lifecycle, then the two POI-churn
 // cells (surgical reconciliation vs whole-discard at the same churn and
 // loss), then the three channel-impairment cells (burst fading naive
-// and planned, blackout planned). The legacy cell order (and therefore
-// the BENCH_faults.json row prefix) matches the historical shell loop,
-// so downstream row consumers keep working; churn rows append carrying
-// bench_schema 3, channel rows carrying bench_schema 4.
+// and planned, blackout planned), then the two flash-crowd cells
+// (uncontrolled vs governed at the same hotspot load). The legacy cell
+// order (and therefore the BENCH_faults.json row prefix) matches the
+// historical shell loop, so downstream row consumers keep working;
+// churn rows append carrying bench_schema 3, channel rows carrying
+// bench_schema 4, crowd rows carrying bench_schema 6.
 func FaultGrid() []FaultCell {
 	rates := []float64{0, 0.05, 0.1, 0.2}
-	cells := make([]FaultCell, 0, 2*len(rates)+5)
+	cells := make([]FaultCell, 0, 2*len(rates)+7)
 	for _, p := range rates {
 		cells = append(cells, FaultCell{Loss: p})
 	}
@@ -57,6 +68,12 @@ func FaultGrid() []FaultCell {
 		FaultCell{Loss: 0.1, Resilient: true, Burst: true},
 		FaultCell{Loss: 0.1, Resilient: true, Burst: true, Degraded: true},
 		FaultCell{Resilient: true, Blackout: true, Degraded: true})
+	// Flash-crowd rows (bench_schema 6): the same hotspot burst over the
+	// resilient stack, first uncontrolled (the metastability baseline),
+	// then with the full overload-control stack.
+	cells = append(cells,
+		FaultCell{Loss: 0.1, Resilient: true, Crowd: true},
+		FaultCell{Loss: 0.1, Resilient: true, Crowd: true, Governed: true})
 	return cells
 }
 
@@ -101,6 +118,22 @@ func (c FaultCell) Params(side, hours float64) sim.Params {
 		p.Faults.BlackoutDurationSec = 20
 	}
 	p.DegradedMode = c.Degraded
+	if c.Crowd {
+		// A 10× hotspot burst over the legacy offered load, with the
+		// default geometry (area-center disk, mid-run window).
+		p.CrowdRate = p.QueryRate * 10
+	}
+	if c.Governed {
+		// The full overload-control stack at levels sized for the grid
+		// scale: small per-peer service queues, a bounded per-tick retry
+		// pool, sub-query-rate admission refill, the load governor at its
+		// default floor, and quarter-mile coalescing.
+		p.PeerQueueCap = 2
+		p.RetryBudget = 8
+		p.AdmissionRate = 0.05
+		p.Governed = true
+		p.CoalesceRadiusMiles = 0.25
+	}
 	return p
 }
 

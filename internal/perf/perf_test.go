@@ -41,8 +41,9 @@ func TestFaultGridParallelIdentity(t *testing.T) {
 // loop: plain cells first in ascending loss, then resilient cells, then
 // the appended POI-churn pair (surgical, then whole-discard), then the
 // channel-impairment triplet (burst naive, burst planned, blackout
-// planned). New cells must append — never reorder — so the legacy
-// BENCH_faults.json row prefix stays byte-stable.
+// planned), then the flash-crowd pair (uncontrolled, governed). New
+// cells must append — never reorder — so the legacy BENCH_faults.json
+// row prefix stays byte-stable.
 func TestFaultGridCellOrder(t *testing.T) {
 	grid := FaultGrid()
 	want := []FaultCell{
@@ -54,6 +55,8 @@ func TestFaultGridCellOrder(t *testing.T) {
 		{Loss: 0.1, Resilient: true, Burst: true},
 		{Loss: 0.1, Resilient: true, Burst: true, Degraded: true},
 		{Resilient: true, Blackout: true, Degraded: true},
+		{Loss: 0.1, Resilient: true, Crowd: true},
+		{Loss: 0.1, Resilient: true, Crowd: true, Governed: true},
 	}
 	if !reflect.DeepEqual(grid, want) {
 		t.Fatalf("FaultGrid order changed: %+v", grid)

@@ -261,6 +261,14 @@ func (w *World) contCommit(s *subscription, reason contReason, answer []broadcas
 // nothing from the world stream and counts toward the continuous
 // counters, never Stats.Queries.
 func (w *World) reverifyKNN(s *subscription, reason contReason) {
+	// Standing subscriptions are priority traffic under overload: their
+	// retries bypass the retry budget and they are never admission-denied
+	// or governor-shed (the one-shot gates live outside this path, but
+	// the exemption also covers the retry-budget hook inside the
+	// collection). Peer-side BUSY backpressure still applies — a
+	// saturated peer cannot tell subscribers from one-shots.
+	w.overloadExempt(true)
+	defer w.overloadExempt(false)
 	h := &w.hosts[s.host]
 	ts := &w.types[s.ti]
 	q := h.mob.Pos
@@ -352,6 +360,9 @@ func (w *World) reverifyKNN(s *subscription, reason contReason) {
 // boundary distances, capped by the service-area margin so the
 // translated window never escapes the map inside the safe region).
 func (w *World) reverifyWindow(s *subscription, reason contReason) {
+	// Priority traffic: same overload exemption as reverifyKNN.
+	w.overloadExempt(true)
+	defer w.overloadExempt(false)
 	h := &w.hosts[s.host]
 	ts := &w.types[s.ti]
 	q := h.mob.Pos

@@ -84,7 +84,9 @@ type tickEntry struct {
 	collected int64 // backoff + rung-switch slots (the metrics "spent")
 	spent     int64 // collected + irSlots + audit slots (the latency term)
 	minBorn   int64
-	now       int64 // slotNow + spent + chWait, the algorithm's clock
+	shed      shedCause // overload shed verdict (overload.go)
+	coalesced bool      // reused a co-located donor's gather
+	now       int64     // slotNow + spent + chWait, the algorithm's clock
 	trep      trust.Report
 	sched     *broadcast.Schedule // nil on the channel-less rungs
 	sbnnCfg   core.SBNNConfig
@@ -184,8 +186,10 @@ func (eng *tickEngine) conflicts(w *World, idx, ti int) bool {
 }
 
 // stepBatch is the batched replacement for Step's query loop: identical
-// rng consumption, identical output, parallel algorithm execution.
-func (w *World) stepBatch(n int) {
+// rng consumption, identical output, parallel algorithm execution. The
+// nCrowd flash-crowd queries draw after the legacy batch, host and type
+// from the crowd stream, mirroring the serial path's ordering exactly.
+func (w *World) stepBatch(n, nCrowd int) {
 	eng := &w.eng
 	eng.workers = w.Params.TickWorkers
 	eng.serialAir = w.Params.Faults.Normalized().BroadcastLoss > 0
@@ -197,6 +201,16 @@ func (w *World) stepBatch(n int) {
 	for q := 0; q < n; q++ {
 		idx := w.rng.Intn(len(w.hosts))
 		ti := w.rng.Intn(len(w.types))
+		if eng.conflicts(w, idx, ti) {
+			w.flushBatch()
+		}
+		w.drawQuery(idx, ti)
+	}
+	for q := 0; q < nCrowd; q++ {
+		idx, ti := w.crowdPick()
+		if w.counted() {
+			w.stats.CrowdQueries++
+		}
 		if eng.conflicts(w, idx, ti) {
 			w.flushBatch()
 		}
@@ -234,20 +248,11 @@ func (w *World) drawQuery(idx, ti int) {
 	}
 	qc := w.assessChannel(idx)
 	irSlots := w.syncIR(idx, ti)
-	var (
-		peers     []core.PeerData
-		nPeers    int
-		collected int64
-		minBorn   = int64(math.MaxInt64)
-	)
-	switch qc.mode {
-	case modeFull, modeP2POnly:
-		peers, nPeers, collected = w.gatherPeers(idx, ti, relevance)
-	default:
-		peers, minBorn = w.collectOwnCacheOnly(idx, ti, relevance, qc.mode == modeOwnCache)
-	}
-	collected += qc.switchCost()
-	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots, qc.bcastUp)
+	// The overload-aware collection pipeline (overload.go), in the
+	// serial draw phase so every admission/coalesce/queue decision is
+	// tick-worker identical by construction.
+	cr := w.collectQuery(idx, ti, relevance, qc, irSlots)
+	peers := cr.peers
 
 	sched := ts.sched
 	if qc.mode == modeP2POnly || qc.mode == modeOwnCache {
@@ -256,10 +261,11 @@ func (w *World) drawQuery(idx, ti int) {
 
 	e := w.eng.alloc()
 	e.idx, e.ti, e.q, e.k, e.win = idx, ti, q, k, win
-	e.qc, e.irSlots, e.nPeers = qc, irSlots, nPeers
-	e.collected, e.spent, e.minBorn = collected, spent, minBorn
-	e.trep, e.sched = trep, sched
-	e.now = w.slotNow() + spent + qc.chWait
+	e.qc, e.irSlots, e.nPeers = qc, irSlots, cr.nPeers
+	e.collected, e.spent, e.minBorn = cr.collected, cr.spent, cr.minBorn
+	e.trep, e.sched = cr.trep, sched
+	e.shed, e.coalesced = cr.shed, cr.coalesced
+	e.now = w.slotNow() + cr.spent + qc.chWait
 	if w.Params.Kind == WindowQuery {
 		e.sbwqCfg = core.SBWQConfig{
 			MaxKnownArea: 1.5 * float64(w.Params.CacheSize) / math.Max(ts.lambda, 1e-9),
@@ -525,8 +531,8 @@ func (w *World) commitEntry(e *tickEntry) {
 			w.stats.Retransmissions += int64(res.access.Retransmissions)
 			w.stats.IndexRetries += int64(res.access.IndexRetries)
 		}
-		if w.chanArmed {
-			w.observeBudget(ts, res.access.Latency+e.spent+e.qc.chWait, !degraded || len(res.pois) > 0)
+		if w.chanArmed || w.govSteering() {
+			w.observeBudget(ts, res.access.Latency+e.spent+e.qc.chWait, !degraded || len(res.pois) > 0, e.shed != shedNone)
 		}
 		if e.baselineSampled {
 			// The coin was drawn at its legacy stream position (draw
@@ -567,6 +573,7 @@ func (w *World) commitEntry(e *tickEntry) {
 			ev.K = e.k
 		}
 		ev.StaleBoundSec = w.staleBound(e.qc.mode, e.minBorn)
+		ev.Shed, ev.Coalesced = e.shed.String(), e.coalesced
 		if w.mx != nil {
 			w.net.ObserveFanout(e.nPeers)
 			w.mx.observeQuery(res.outcome, e.collected, e.trep.AuditSlots+e.irSlots, res.access,

@@ -82,6 +82,19 @@ type worldMetrics struct {
 	contSlots     *metrics.Counter
 	contSlotsCost *metrics.Histogram
 
+	// Overload-plane instruments, registered only when a crowd or
+	// overload knob is on (same zero-knob contract). All nil otherwise —
+	// observeOverloadTick checks one. Counters advance by per-tick
+	// deltas against the lastOvl snapshot.
+	ovlCrowd      *metrics.Counter
+	ovlShed       *metrics.Counter
+	ovlBusy       *metrics.Counter
+	ovlQueueDrops *metrics.Counter
+	ovlRetryExh   *metrics.Counter
+	ovlCoalesced  *metrics.Counter
+	ovlGovEngaged *metrics.Gauge
+	lastOvl       [6]int64
+
 	// lastPeerBytes tracks the Stats.PeerBytes high-water mark so the
 	// ad-hoc traffic counter advances by per-query deltas.
 	lastPeerBytes int64
@@ -89,10 +102,11 @@ type worldMetrics struct {
 
 // newWorldMetrics registers the simulator's instrument set. trustOn
 // additionally registers the trust-layer instruments, consOn the
-// consistency-layer ones, chanOn the channel-impairment ones, and
-// contOn the continuous-query ones; with all four false the registry
-// contents are identical to a build without those layers.
-func newWorldMetrics(trustOn, consOn, chanOn, contOn bool) *worldMetrics {
+// consistency-layer ones, chanOn the channel-impairment ones, contOn
+// the continuous-query ones, and ovlOn the overload-plane ones; with
+// all five false the registry contents are identical to a build
+// without those layers.
+func newWorldMetrics(trustOn, consOn, chanOn, contOn, ovlOn bool) *worldMetrics {
 	reg := metrics.NewRegistry()
 	m := &worldMetrics{
 		reg:    reg,
@@ -160,6 +174,15 @@ func newWorldMetrics(trustOn, consOn, chanOn, contOn bool) *worldMetrics {
 			"broadcast-slot cost per subscription re-verification",
 			"slots", metrics.SlotBuckets())
 	}
+	if ovlOn {
+		m.ovlCrowd = reg.Counter("lbsq_overload_crowd_queries_total", "flash-crowd queries launched from the hotspot")
+		m.ovlShed = reg.Counter("lbsq_overload_shed_total", "one-shot peer-gathers shed by admission control or the load governor")
+		m.ovlBusy = reg.Counter("lbsq_overload_busy_replies_total", "explicit BUSY backpressure frames received from saturated peers")
+		m.ovlQueueDrops = reg.Counter("lbsq_overload_queue_drops_total", "requests peers shed silently beyond the busy band")
+		m.ovlRetryExh = reg.Counter("lbsq_overload_retry_budget_exhausted_total", "collections that stopped retrying on an exhausted per-tick retry budget")
+		m.ovlCoalesced = reg.Counter("lbsq_overload_coalesced_total", "queries that reused a co-located donor's peer-gather")
+		m.ovlGovEngaged = reg.Gauge("lbsq_overload_governor_engaged", "load governor state (1 = shedding, 0 = idle)")
+	}
 	return m
 }
 
@@ -186,6 +209,37 @@ func (m *worldMetrics) observeContinuous(reverified bool, slots int64) {
 	m.contReverify.Inc()
 	m.contSlots.Add(slots)
 	m.contSlotsCost.ObserveInt(slots)
+}
+
+// observeOverloadTick advances the overload instruments to the current
+// cumulative totals — called once per tick from Step when the overload
+// plane is armed. Counter deltas are non-negative because every
+// underlying tally is monotonic; the governor gauge tracks engagement.
+func (w *World) observeOverloadTick() {
+	m := w.mx
+	if m == nil || m.ovlCrowd == nil {
+		return
+	}
+	cur := [6]int64{
+		w.stats.CrowdQueries,
+		w.stats.Shed,
+		w.net.Stats.Busy,
+		w.net.Stats.QueueDrops,
+		w.stats.RetryBudgetExhausted,
+		w.stats.Coalesced,
+	}
+	m.ovlCrowd.Add(cur[0] - m.lastOvl[0])
+	m.ovlShed.Add(cur[1] - m.lastOvl[1])
+	m.ovlBusy.Add(cur[2] - m.lastOvl[2])
+	m.ovlQueueDrops.Add(cur[3] - m.lastOvl[3])
+	m.ovlRetryExh.Add(cur[4] - m.lastOvl[4])
+	m.ovlCoalesced.Add(cur[5] - m.lastOvl[5])
+	m.lastOvl = cur
+	if w.ovl.engaged {
+		m.ovlGovEngaged.Set(1)
+	} else {
+		m.ovlGovEngaged.Set(0)
+	}
 }
 
 // observeChannel records one counted query's channel-impairment

@@ -1,0 +1,495 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"lbsq/internal/broadcast"
+	"lbsq/internal/core"
+	"lbsq/internal/geom"
+	"lbsq/internal/mobility"
+	"lbsq/internal/p2p"
+	"lbsq/internal/trust"
+)
+
+// The flash-crowd and overload-control plane (DESIGN.md §16). Four
+// cooperating mechanisms keep a hotspot burst from collapsing the
+// sharing layer into the classic metastable state (every query
+// retrying, every peer saturated, nobody answered):
+//
+//   - a seeded crowd generator injects a spatially and temporally
+//     concentrated extra query load (the disturbance);
+//   - peers bound their per-tick service queues and push back with
+//     explicit BUSY frames (p2p.ServiceQueue, wire.Busy);
+//   - queriers throttle themselves: per-host admission token buckets, a
+//     global per-tick retry budget, and a load governor that watches the
+//     answered-in-budget ratio and sheds one-shot peer-gathers while the
+//     system is underwater;
+//   - co-located queries coalesce onto one peer-gather instead of each
+//     re-asking the same saturated neighborhood.
+//
+// Shedding is sound by construction: a shed or admission-denied query
+// never fabricates an answer — it falls back to its own cache plus the
+// broadcast channel, where every result is exact (the wireless broadcast
+// is the paper's ground-truth distribution channel). Overload control
+// trades peer-channel load for broadcast latency, never correctness.
+//
+// Determinism: every decision here is either a pure function of
+// deterministic per-tick state (queues, buckets, the governor's ratio)
+// or drawn from the dedicated crowd stream (crowdSeedSalt). All hooks
+// run in serial-phase code — Step's draw loop and the batched engine's
+// draw phase — so armed runs are tick-worker identical by construction,
+// and the zero-knob world never constructs this state at all.
+
+// crowdSeedSalt seeds the flash-crowd stream: how many crowd queries
+// fire each tick, and which hotspot hosts and data types they hit.
+// Decorrelated from every other stream so arming the crowd knobs never
+// perturbs movement, legacy query launching, the POI field, or the
+// fault draws. (The crowd queries themselves then consume world-stream
+// draws — k, window shapes — exactly like legacy queries do; crowd-off
+// runs make none of those draws.)
+const crowdSeedSalt = 0x63727764 // "crwd"
+
+// shedCause classifies why a query's peer-gather was shed.
+type shedCause int
+
+const (
+	shedNone shedCause = iota
+	// shedAdmission: the host's admission token bucket was empty.
+	shedAdmission
+	// shedGovernor: the load governor was engaged and demoted the
+	// one-shot query to the broadcast-only path.
+	shedGovernor
+)
+
+// String renders the trace label; shedNone renders empty so unshed
+// queries omit the field (zero-knob byte identity).
+func (c shedCause) String() string {
+	switch c {
+	case shedAdmission:
+		return "admission"
+	case shedGovernor:
+		return "governor"
+	default:
+		return ""
+	}
+}
+
+// Governor tuning. The governor engages when the EWMA answered-in-budget
+// ratio drops below Params.GovernorFloor and disengages once it recovers
+// past the floor plus a hysteresis band (capped at 1 so a floor of 1.0
+// can still disengage). The EWMA decay keeps roughly the last handful of
+// ticks in view: fast enough to catch a crowd onset, slow enough not to
+// flap on a single bad tick.
+const (
+	govDecay      = 0.7
+	govHysteresis = 0.05
+)
+
+// maxCoalesceDonors bounds the per-tick donor table: only this many
+// successful gathers per tick offer their screened peer sets for reuse.
+// Enough for a hotspot (donors and recipients are co-located, so a few
+// donors cover the crowd), small enough to bound the deep-copy cost.
+const maxCoalesceDonors = 16
+
+// coalDonor is one tick-scoped gather snapshot: the screened peer set of
+// a completed full-protocol collection, deep-copied so later cache
+// mutations cannot reach it, offered to co-located same-type queries.
+type coalDonor struct {
+	ti        int
+	origin    geom.Point
+	relevance geom.Rect
+	nPeers    int
+	peers     []core.PeerData
+	pois      []broadcast.POI // backing storage for the POI copies
+}
+
+// overloadState is the World's overload plane. Nil unless a crowd or
+// overload knob is armed — the zero-knob world pays no branches beyond
+// the nil checks and makes zero extra draws.
+type overloadState struct {
+	// Crowd generator (nil crowdRng unless CrowdEnabled).
+	crowdRng *rand.Rand
+	center   geom.Point
+	radius   float64
+	startSec float64
+	durSec   float64
+	rate     float64 // crowd queries per minute at the burst peak
+	crowdIDs []int   // per-tick hotspot membership buffer
+
+	// Peer-side backpressure (nil unless PeerQueueCap > 0).
+	queue *p2p.ServiceQueue
+
+	// Querier-side admission (nil tokens unless AdmissionRate > 0).
+	admRate  float64 // tokens per second
+	admBurst float64
+	tokens   []float64
+
+	// Global per-tick retry budget (0 = unlimited).
+	retryBudget int
+	retryTokens int
+
+	// Load governor.
+	governed bool
+	floor    float64
+	engaged  bool
+	ewmaQ    float64 // decayed counted one-shot queries
+	ewmaA    float64 // decayed answered-in-budget among them
+	tickQ    int64   // current tick's counted one-shot queries
+	tickA    int64
+	// postCrowdEngaged counts the ticks the governor stayed engaged
+	// after the crowd window closed — the soak harness's recovery probe
+	// (metastability means this never stops growing).
+	postCrowdEngaged int64
+
+	// exempt marks the in-flight query as priority traffic (continuous
+	// subscription maintenance): never admission-denied, never
+	// governor-shed, and its retries bypass the retry budget.
+	exempt bool
+
+	// Cross-MH coalescing (radius 0 disables; donors is the per-tick
+	// table, entries reuse their buffers across ticks).
+	coalRadius float64
+	donors     [maxCoalesceDonors]coalDonor
+	nDonors    int
+}
+
+// newOverloadState builds the overload plane, or returns nil when every
+// crowd and overload knob is off.
+func newOverloadState(p Params) *overloadState {
+	if !p.CrowdEnabled() && !p.OverloadEnabled() {
+		return nil
+	}
+	o := &overloadState{
+		admRate:     p.AdmissionRate,
+		retryBudget: p.RetryBudget,
+		retryTokens: p.RetryBudget,
+		governed:    p.Governed,
+		floor:       p.GovernorFloor,
+		coalRadius:  p.CoalesceRadiusMiles,
+	}
+	if p.CrowdEnabled() {
+		o.crowdRng = rand.New(rand.NewSource(p.Seed ^ crowdSeedSalt))
+		o.center = geom.Pt(p.CrowdCenterXMiles, p.CrowdCenterYMiles)
+		o.radius = p.CrowdRadiusMiles
+		o.startSec = p.CrowdStartSec
+		o.durSec = p.CrowdDurationSec
+		o.rate = p.CrowdRate
+	}
+	if p.PeerQueueCap > 0 {
+		o.queue = p2p.NewServiceQueue(p.PeerQueueCap)
+	}
+	if p.AdmissionRate > 0 {
+		// Buckets start full: steady-state load is admitted immediately,
+		// only a burst above the refill rate drains a bucket.
+		o.admBurst = float64(p.AdmissionBurst)
+		o.tokens = make([]float64, p.MHNumber)
+		for i := range o.tokens {
+			o.tokens[i] = o.admBurst
+		}
+	}
+	return o
+}
+
+// crowdActive reports whether nowSec falls inside the crowd window.
+func (o *overloadState) crowdActive(nowSec float64) bool {
+	return o.crowdRng != nil && nowSec > o.startSec && nowSec <= o.startSec+o.durSec
+}
+
+// tickReset runs once per tick on the simulation goroutine, before any
+// query: peer queues empty, admission buckets refill, the retry budget
+// replenishes, the donor table clears, and the governor folds the last
+// tick's answered-in-budget window into its EWMA and re-decides
+// engagement.
+func (w *World) tickReset(dt float64) {
+	o := w.ovl
+	if o == nil {
+		return
+	}
+	if o.queue != nil {
+		o.queue.Reset()
+	}
+	if o.tokens != nil {
+		refill := o.admRate * dt
+		for i := range o.tokens {
+			t := o.tokens[i] + refill
+			if t > o.admBurst {
+				t = o.admBurst
+			}
+			o.tokens[i] = t
+		}
+	}
+	o.retryTokens = o.retryBudget
+	o.nDonors = 0
+	if !o.governed {
+		return
+	}
+	o.ewmaQ = o.ewmaQ*govDecay + float64(o.tickQ)
+	o.ewmaA = o.ewmaA*govDecay + float64(o.tickA)
+	o.tickQ, o.tickA = 0, 0
+	if o.ewmaQ >= 1 {
+		ratio := o.ewmaA / o.ewmaQ
+		if o.engaged {
+			off := o.floor + govHysteresis
+			if off > 1 {
+				off = 1
+			}
+			// Disengage on recovery past the hysteresis band, or when
+			// the remembered miss mass has decayed below half a query:
+			// with a floor at 1.0 the ratio approaches 1 only
+			// asymptotically, and without the second clause the governor
+			// would stay latched ~100 ticks after the last miss.
+			if ratio >= off || o.ewmaQ-o.ewmaA < 0.5 {
+				o.engaged = false
+			}
+		} else if ratio < o.floor {
+			o.engaged = true
+		}
+	} else if o.engaged && o.ewmaQ < 0.5 {
+		// The load vanished entirely; nothing left to govern.
+		o.engaged = false
+	}
+	if o.engaged {
+		if w.counted() {
+			w.stats.GovernorEngagedTicks++
+		}
+		if o.crowdRng != nil && w.nowSec > o.startSec+o.durSec {
+			o.postCrowdEngaged++
+		}
+	}
+}
+
+// noteBudget feeds the governor's per-tick answered-in-budget window.
+func (o *overloadState) noteBudget(ok bool) {
+	o.tickQ++
+	if ok {
+		o.tickA++
+	}
+}
+
+// takeRetry draws one retry token from the global per-tick budget.
+// Returns false when the budget is configured and exhausted — the
+// collection stops retrying and proceeds with the replies it has.
+// Priority (continuous-maintenance) traffic bypasses the budget.
+func (o *overloadState) takeRetry() bool {
+	if o == nil || o.retryBudget <= 0 || o.exempt {
+		return true
+	}
+	if o.retryTokens > 0 {
+		o.retryTokens--
+		return true
+	}
+	return false
+}
+
+// overloadExempt marks (or unmarks) the in-flight query as priority
+// traffic. No-op without the overload plane.
+func (w *World) overloadExempt(on bool) {
+	if w.ovl != nil {
+		w.ovl.exempt = on
+	}
+}
+
+// govSteering reports whether the load governor is armed — it steers by
+// the answered-in-budget ratio, so governed runs account availability
+// even without a channel-impairment knob.
+func (w *World) govSteering() bool {
+	return w.ovl != nil && w.ovl.governed
+}
+
+// admitOneShot is the querier-side gate in front of a one-shot query's
+// peer-gather: the host's admission token bucket first, then the load
+// governor. A denied query sheds its P2P phase — it answers from its own
+// cache plus the broadcast channel (exact, just slower), which is the
+// soundness contract every shed path honors.
+func (w *World) admitOneShot(idx int) (bool, shedCause) {
+	o := w.ovl
+	if o == nil || o.exempt {
+		return true, shedNone
+	}
+	if o.tokens != nil && o.tokens[idx] < 1 {
+		if w.counted() {
+			w.stats.AdmissionDenied++
+			w.stats.Shed++
+		}
+		return false, shedAdmission
+	}
+	if o.engaged {
+		// Governor shed: no token is consumed — the query never gathered.
+		if w.counted() {
+			w.stats.GovernorSheds++
+			w.stats.Shed++
+		}
+		return false, shedGovernor
+	}
+	if o.tokens != nil {
+		o.tokens[idx]--
+	}
+	return true, shedNone
+}
+
+// crowdDraw decides this tick's crowd load: the Poisson draw from the
+// dedicated crowd stream (a sin² ramp over the window peaks the
+// intensity mid-crowd), and the hotspot membership snapshot the launch
+// loop picks hosts from. Zero draws outside the window.
+func (w *World) crowdDraw(dt float64) int {
+	o := w.ovl
+	if o == nil || !o.crowdActive(w.nowSec) {
+		return 0
+	}
+	frac := (w.nowSec - o.startSec) / o.durSec
+	s := math.Sin(math.Pi * frac)
+	mean := o.rate / 60 * dt * s * s
+	n := mobility.Poisson(o.crowdRng, mean)
+	if n == 0 {
+		return 0
+	}
+	o.crowdIDs = w.net.AppendNeighbors(o.crowdIDs[:0], o.center, o.radius, -1)
+	if len(o.crowdIDs) == 0 {
+		// Nobody happens to be inside the hotspot this tick; the Poisson
+		// draw stays consumed so the stream position is schedule-stable.
+		return 0
+	}
+	return n
+}
+
+// crowdPick draws one crowd query's host and data type from the crowd
+// stream. Only valid after a positive crowdDraw in the same tick.
+func (w *World) crowdPick() (idx, ti int) {
+	o := w.ovl
+	idx = o.crowdIDs[o.crowdRng.Intn(len(o.crowdIDs))]
+	ti = o.crowdRng.Intn(len(w.types))
+	return idx, ti
+}
+
+// coalesceLookup scans the tick's donor table for a completed gather a
+// query at q can reuse: same data type, origin within the coalescing
+// radius, and overlapping relevance rectangles. The reuse is sound
+// because the donor's set is a truthful screened subset of the
+// neighborhood's knowledge — the recipient still runs full verification
+// against it, and anything the donor's slightly-offset gather missed
+// only shrinks the merged region, degrading the recipient to the exact
+// broadcast channel, never to a wrong answer. Nil on miss.
+func (w *World) coalesceLookup(ti int, q geom.Point, relevance geom.Rect) *coalDonor {
+	o := w.ovl
+	if o == nil || o.coalRadius <= 0 || o.exempt {
+		return nil
+	}
+	r2 := o.coalRadius * o.coalRadius
+	for i := 0; i < o.nDonors; i++ {
+		d := &o.donors[i]
+		if d.ti == ti && d.origin.DistSq(q) <= r2 && d.relevance.Intersects(relevance) {
+			return d
+		}
+	}
+	return nil
+}
+
+// coalesceDonate registers a completed gather's screened peer set in the
+// donor table. The set is deep-copied (PeerData values and POI slices)
+// because cache storage the originals alias mutates as later queries
+// commit; the copy is immutable for the rest of the tick.
+func (w *World) coalesceDonate(ti int, q geom.Point, relevance geom.Rect, peers []core.PeerData, nPeers int) {
+	o := w.ovl
+	if o == nil || o.coalRadius <= 0 || o.exempt || o.nDonors == maxCoalesceDonors {
+		return
+	}
+	d := &o.donors[o.nDonors]
+	o.nDonors++
+	d.ti, d.origin, d.relevance, d.nPeers = ti, q, relevance, nPeers
+	total := 0
+	for _, pd := range peers {
+		total += len(pd.POIs)
+	}
+	if cap(d.pois) < total {
+		d.pois = make([]broadcast.POI, 0, total)
+	} else {
+		d.pois = d.pois[:0]
+	}
+	d.peers = d.peers[:0]
+	for _, pd := range peers {
+		start := len(d.pois)
+		d.pois = append(d.pois, pd.POIs...)
+		d.peers = append(d.peers, core.PeerData{
+			VR: pd.VR, POIs: d.pois[start:len(d.pois):len(d.pois)], Tainted: pd.Tainted})
+	}
+}
+
+// collectResult is one query's overload-aware collection outcome: the
+// screened peers plus every draw-phase fact the post-algorithm tail
+// needs.
+type collectResult struct {
+	peers     []core.PeerData
+	nPeers    int
+	collected int64
+	minBorn   int64
+	spent     int64
+	trep      trust.Report
+	shed      shedCause
+	coalesced bool
+}
+
+// collectQuery is the collection step shared by the serial query
+// runners and the batched engine's draw phase: the overload gates
+// (coalesce, admission, governor) in front of the mode-dispatched
+// gather, then the trust screen. With the overload plane off this is
+// byte-for-byte the pre-overload pipeline.
+func (w *World) collectQuery(idx, ti int, relevance geom.Rect, qc queryChannel, irSlots int64) collectResult {
+	cr := collectResult{minBorn: math.MaxInt64}
+	gathered := false
+	switch qc.mode {
+	case modeFull, modeP2POnly:
+		q := w.hosts[idx].mob.Pos
+		if d := w.coalesceLookup(ti, q, relevance); d != nil {
+			// Reuse the donor's screened set: no gather, no re-screen —
+			// the donor already paid collection and audits for this
+			// neighborhood this tick.
+			cr.peers = append(w.qs.peers[:0], d.peers...)
+			w.qs.peers = cr.peers
+			cr.nPeers = d.nPeers
+			cr.coalesced = true
+			if w.counted() {
+				w.stats.Coalesced++
+			}
+			cr.collected = qc.switchCost()
+			cr.spent = cr.collected + irSlots
+			return cr
+		}
+		if ok, cause := w.admitOneShot(idx); !ok {
+			// Shed: own cache plus broadcast only — the Lemma 3.2 /
+			// on-air path, exact answers at broadcast latency.
+			cr.shed = cause
+			cr.peers, cr.minBorn = w.collectOwnCacheOnly(idx, ti, relevance, false)
+			break
+		}
+		cr.peers, cr.nPeers, cr.collected = w.gatherPeers(idx, ti, relevance)
+		gathered = true
+	default:
+		// The P2P channel is in a deep fade: spending the retry budget on
+		// peers that cannot hear is pure waste, so the lower rungs skip
+		// the wire entirely.
+		cr.peers, cr.minBorn = w.collectOwnCacheOnly(idx, ti, relevance, qc.mode == modeOwnCache)
+	}
+	cr.collected += qc.switchCost()
+	cr.peers, cr.spent, cr.trep = w.trustScreen(ti, cr.peers, cr.collected+irSlots, qc.bcastUp)
+	if gathered {
+		w.coalesceDonate(ti, w.hosts[idx].mob.Pos, relevance, cr.peers, cr.nPeers)
+	}
+	return cr
+}
+
+// OverloadRecoveryTicks reports how many ticks the load governor stayed
+// engaged after the crowd window closed — the soak harness's
+// no-metastability probe (a healthy system disengages within a bounded
+// tail; a metastable one never does). Zero without the plane.
+func (w *World) OverloadRecoveryTicks() int64 {
+	if w.ovl == nil {
+		return 0
+	}
+	return w.ovl.postCrowdEngaged
+}
+
+// GovernorEngaged reports the governor's current state (testing).
+func (w *World) GovernorEngaged() bool {
+	return w.ovl != nil && w.ovl.engaged
+}

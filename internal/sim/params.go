@@ -275,6 +275,74 @@ type Params struct {
 	// ContinuousRate.
 	ContinuousNaive bool
 
+	// CrowdRate arms the flash-crowd workload generator (DESIGN.md §16):
+	// the mean number of extra queries per minute, system-wide, that the
+	// hotspot injects at the peak of its temporal burst. Zero (the
+	// default) generates no crowd — no crowd stream exists and every
+	// output is bit-identical to a build without the layer. Nonzero
+	// launches additional queries from hosts inside the hotspot disk
+	// during the burst window, Poisson-modulated by a smooth ramp
+	// (sin², peaking mid-window), from a dedicated seeded stream so the
+	// legacy query draws are never perturbed.
+	CrowdRate float64
+	// CrowdRadiusMiles is the hotspot disk radius. Defaults to
+	// AreaMiles/10 when the crowd is armed.
+	CrowdRadiusMiles float64
+	// CrowdCenterXMiles / CrowdCenterYMiles place the hotspot center.
+	// Zero selects the area center when the crowd is armed.
+	CrowdCenterXMiles float64
+	CrowdCenterYMiles float64
+	// CrowdStartSec is when the burst window opens (simulated seconds);
+	// zero selects mid-run when the crowd is armed. CrowdDurationSec is
+	// the window length; zero selects 10% of the run.
+	CrowdStartSec    float64
+	CrowdDurationSec float64
+
+	// PeerQueueCap arms peer-side backpressure (DESIGN.md §16): each
+	// peer serves at most this many cache requests per tick; the next
+	// band is refused with an explicit BUSY frame on the wire, and
+	// saturation beyond that is shed silently (p2p.ServiceQueue). BUSY
+	// replies and queue drops are never breaker strikes — a busy peer is
+	// not a broken peer. Zero (the default) leaves service unbounded.
+	PeerQueueCap int
+	// RetryBudget caps retry amplification: the total number of request
+	// re-broadcasts (across every query) one tick may spend. A query
+	// whose backoff schedule would exceed the exhausted budget stops
+	// retrying and proceeds with the replies it has. Zero (the default)
+	// leaves retries unbudgeted.
+	RetryBudget int
+	// AdmissionRate arms per-MH admission token buckets: each host
+	// accrues this many query tokens per simulated second (deterministic
+	// refill, no randomness) up to AdmissionBurst. A one-shot query
+	// issued from an empty bucket is shed to the broadcast-only path
+	// (Lemma 3.2 / on-air fallback — degraded, never wrong) instead of
+	// gathering peers. Continuous-subscription maintenance is exempt:
+	// safe-region hits are nearly free. Zero (the default) admits
+	// everything.
+	AdmissionRate float64
+	// AdmissionBurst is the token-bucket depth; defaults to 4 when
+	// AdmissionRate is set.
+	AdmissionBurst int
+	// Governed arms the load governor: a windowed answered-in-budget
+	// ratio (DeadlineSlots plus one broadcast cycle, the PR-7
+	// availability metric) is tracked per tick, and when it falls below
+	// GovernorFloor the governor sheds one-shot queries to the
+	// broadcast-only path until the ratio recovers. Priority-aware:
+	// continuous subscriptions keep their service. Off (the default) the
+	// governor never exists.
+	Governed bool
+	// GovernorFloor is the answered-in-budget ratio (0..1) below which
+	// the governor engages; defaults to 0.9 when Governed is set.
+	GovernorFloor float64
+	// CoalesceRadiusMiles arms cross-MH query coalescing: a query whose
+	// origin lies within this distance of an earlier same-tick, same-type
+	// query reuses that query's screened peer gather instead of
+	// broadcasting its own request — one gather serves the co-located
+	// crowd. Soundness is unchanged: the recipient still verifies against
+	// the shared regions and falls back to the channel when coverage is
+	// insufficient. Zero (the default) disables coalescing.
+	CoalesceRadiusMiles float64
+
 	// TickWorkers selects the batched per-tick query engine (DESIGN.md
 	// §14): each tick's queries are drawn serially (consuming every
 	// random stream in the legacy order), executed in parallel across
@@ -330,6 +398,30 @@ func (p *Params) applyDefaults() {
 			p.IRWindow = 8
 		}
 	}
+	// Crowd/overload defaults likewise materialize only when armed.
+	if p.CrowdRate > 0 {
+		if p.CrowdRadiusMiles == 0 {
+			p.CrowdRadiusMiles = p.AreaMiles / 10
+		}
+		if p.CrowdCenterXMiles == 0 {
+			p.CrowdCenterXMiles = p.AreaMiles / 2
+		}
+		if p.CrowdCenterYMiles == 0 {
+			p.CrowdCenterYMiles = p.AreaMiles / 2
+		}
+		if p.CrowdDurationSec == 0 {
+			p.CrowdDurationSec = p.DurationHours * 3600 * 0.1
+		}
+		if p.CrowdStartSec == 0 {
+			p.CrowdStartSec = p.DurationHours * 3600 * 0.5
+		}
+	}
+	if p.AdmissionRate > 0 && p.AdmissionBurst == 0 {
+		p.AdmissionBurst = 4
+	}
+	if p.Governed && p.GovernorFloor == 0 {
+		p.GovernorFloor = 0.9
+	}
 }
 
 // Validate reports configuration errors.
@@ -379,10 +471,48 @@ func (p *Params) Validate() error {
 	if p.ContinuousRate != p.ContinuousRate || p.ContinuousRate < 0 {
 		return fmt.Errorf("sim: ContinuousRate %v must be a non-negative number", p.ContinuousRate)
 	}
+	switch {
+	case p.CrowdRate != p.CrowdRate || p.CrowdRate < 0:
+		return fmt.Errorf("sim: CrowdRate %v must be a non-negative number", p.CrowdRate)
+	case p.CrowdRadiusMiles != p.CrowdRadiusMiles || p.CrowdRadiusMiles < 0:
+		return fmt.Errorf("sim: CrowdRadiusMiles %v must be a non-negative number", p.CrowdRadiusMiles)
+	case p.CrowdCenterXMiles != p.CrowdCenterXMiles || p.CrowdCenterXMiles < 0:
+		return fmt.Errorf("sim: CrowdCenterXMiles %v must be a non-negative number", p.CrowdCenterXMiles)
+	case p.CrowdCenterYMiles != p.CrowdCenterYMiles || p.CrowdCenterYMiles < 0:
+		return fmt.Errorf("sim: CrowdCenterYMiles %v must be a non-negative number", p.CrowdCenterYMiles)
+	case p.CrowdStartSec != p.CrowdStartSec || p.CrowdStartSec < 0:
+		return fmt.Errorf("sim: CrowdStartSec %v must be a non-negative number", p.CrowdStartSec)
+	case p.CrowdDurationSec != p.CrowdDurationSec || p.CrowdDurationSec < 0:
+		return fmt.Errorf("sim: CrowdDurationSec %v must be a non-negative number", p.CrowdDurationSec)
+	case p.PeerQueueCap < 0:
+		return fmt.Errorf("sim: negative PeerQueueCap %d", p.PeerQueueCap)
+	case p.RetryBudget < 0:
+		return fmt.Errorf("sim: negative RetryBudget %d", p.RetryBudget)
+	case p.AdmissionRate != p.AdmissionRate || p.AdmissionRate < 0:
+		return fmt.Errorf("sim: AdmissionRate %v must be a non-negative number", p.AdmissionRate)
+	case p.AdmissionBurst < 0:
+		return fmt.Errorf("sim: negative AdmissionBurst %d", p.AdmissionBurst)
+	case p.GovernorFloor != p.GovernorFloor || p.GovernorFloor < 0 || p.GovernorFloor > 1:
+		return fmt.Errorf("sim: GovernorFloor %v out of [0,1]", p.GovernorFloor)
+	case p.CoalesceRadiusMiles != p.CoalesceRadiusMiles || p.CoalesceRadiusMiles < 0:
+		return fmt.Errorf("sim: CoalesceRadiusMiles %v must be a non-negative number", p.CoalesceRadiusMiles)
+	}
 	if p.TickWorkers < 0 {
 		return fmt.Errorf("sim: negative TickWorkers %d", p.TickWorkers)
 	}
 	return nil
+}
+
+// CrowdEnabled reports whether the flash-crowd workload generator is
+// armed.
+func (p *Params) CrowdEnabled() bool { return p.CrowdRate > 0 }
+
+// OverloadEnabled reports whether any demand-side overload-control knob
+// (peer backpressure, retry budget, admission buckets, the load
+// governor, or query coalescing) is armed.
+func (p *Params) OverloadEnabled() bool {
+	return p.PeerQueueCap > 0 || p.RetryBudget > 0 || p.AdmissionRate > 0 ||
+		p.Governed || p.CoalesceRadiusMiles > 0
 }
 
 // ContinuousEnabled reports whether the continuous-query layer (standing

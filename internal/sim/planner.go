@@ -183,19 +183,28 @@ func (w *World) staleBound(mode queryMode, minBorn int64) int64 {
 }
 
 // observeBudget tallies the availability metric of channel-impaired runs
-// (burst or blackout armed): a query counts as answered-in-budget when
+// (burst or blackout armed) and of load-governed runs (the governor
+// steers by this ratio): a query counts as answered-in-budget when
 // it produced an answer on any rung — exact, approximate, channel, or
 // degraded — within DeadlineSlots plus one broadcast cycle, the
 // end-to-end patience a deadline-bound client realistically has. This is
 // the curve on which the fallback ladder beats the naive
 // stall-and-retry baseline (EXPERIMENTS.md).
-func (w *World) observeBudget(ts *typeState, total int64, answered bool) {
-	if !answered {
-		return
-	}
+func (w *World) observeBudget(ts *typeState, total int64, answered, shed bool) {
 	budget := int64(w.Params.DeadlineSlots) + ts.sched.CycleLength()
-	if total <= budget {
+	ok := answered && total <= budget
+	if ok {
 		w.stats.AnsweredInBudget++
+	}
+	// The load governor steers by this same ratio (overload.go), but
+	// only on queries the overload plane did NOT shed: a shed answer
+	// rides the slow path the plane itself chose, and feeding its
+	// latency back as a budget miss would latch the governor — its own
+	// sheds would hold the ratio at zero forever (metastability by
+	// construction). Organic degradation (BUSY fallbacks, fades) still
+	// feeds the window; shedding relieves those, so that loop damps.
+	if !shed && w.govSteering() {
+		w.ovl.noteBudget(ok)
 	}
 }
 

@@ -51,9 +51,25 @@ type Report struct {
 	// BenchSchemaContinuous.
 	ContinuousRate  float64 `json:"continuous_rate,omitempty"`
 	ContinuousNaive bool    `json:"continuous_naive,omitempty"`
-	SelfCheck       bool    `json:"self_check_passed"`
-	Stats           Stats   `json:"stats"`
-	Derived         Derived `json:"derived"`
+	// Flash-crowd and overload-control knobs (DESIGN.md §16), omitted
+	// when zero/false under the same contract. Rows carrying any of them
+	// report BenchSchemaOverload.
+	CrowdRate           float64 `json:"crowd_rate,omitempty"`
+	CrowdRadiusMiles    float64 `json:"crowd_radius_miles,omitempty"`
+	CrowdCenterXMiles   float64 `json:"crowd_center_x_miles,omitempty"`
+	CrowdCenterYMiles   float64 `json:"crowd_center_y_miles,omitempty"`
+	CrowdStartSec       float64 `json:"crowd_start_sec,omitempty"`
+	CrowdDurationSec    float64 `json:"crowd_duration_sec,omitempty"`
+	PeerQueueCap        int     `json:"peer_queue_cap,omitempty"`
+	RetryBudget         int     `json:"retry_budget,omitempty"`
+	AdmissionRate       float64 `json:"admission_rate,omitempty"`
+	AdmissionBurst      int     `json:"admission_burst,omitempty"`
+	Governed            bool    `json:"governed,omitempty"`
+	GovernorFloor       float64 `json:"governor_floor,omitempty"`
+	CoalesceRadiusMiles float64 `json:"coalesce_radius_miles,omitempty"`
+	SelfCheck           bool    `json:"self_check_passed"`
+	Stats               Stats   `json:"stats"`
+	Derived             Derived `json:"derived"`
 	// Metrics is the final registry snapshot of a metrics-enabled run
 	// (World.Metrics().Snapshot()). Nil — and absent from the encoding —
 	// when the Metrics knob is off, preserving byte-identity with
@@ -77,11 +93,16 @@ type Report struct {
 // BenchSchemaContinuous marks rows carrying the continuous-query knobs
 // (standing subscriptions with safe-region maintenance) and their
 // counters — the same strict-superset courtesy bump as v3→v4.
+// BenchSchemaOverload marks rows carrying the flash-crowd and
+// overload-control knobs (crowd generator, peer backpressure, admission
+// control, retry budgets, load governor, coalescing) and their counters
+// — the same strict-superset courtesy bump as v4→v5.
 const (
 	BenchSchemaVersion     = 2
 	BenchSchemaConsistency = 3
 	BenchSchemaBurst       = 4
 	BenchSchemaContinuous  = 5
+	BenchSchemaOverload    = 6
 )
 
 // Derived holds the rates the human-readable report prints, precomputed
@@ -103,6 +124,8 @@ type Derived struct {
 	AnsweredInBudgetPct    float64 `json:"answered_in_budget_pct,omitempty"`
 	ContinuousEvents       int64   `json:"continuous_events,omitempty"`
 	ReverifyFraction       float64 `json:"reverify_fraction,omitempty"`
+	OverloadEvents         int64   `json:"overload_events,omitempty"`
+	GoodputPct             float64 `json:"goodput_pct,omitempty"`
 }
 
 // NewReport assembles the Report for a finished run.
@@ -117,6 +140,9 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 	if p.ContinuousRate > 0 {
 		schema = BenchSchemaContinuous
 	}
+	if p.CrowdEnabled() || p.OverloadEnabled() {
+		schema = BenchSchemaOverload
+	}
 	if p.UpdateRate > 0 {
 		// Callers may pass pre-default Params; fill the consistency
 		// defaults so armed rows record the period/window actually
@@ -128,35 +154,81 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 			p.IRWindow = 8
 		}
 	}
+	// Same courtesy fill for the crowd/overload defaults (applyDefaults):
+	// armed rows record the hotspot geometry and control levels actually
+	// simulated; zero-knob rows are untouched.
+	if p.CrowdRate > 0 {
+		if p.CrowdRadiusMiles == 0 {
+			p.CrowdRadiusMiles = p.AreaMiles / 10
+		}
+		if p.CrowdCenterXMiles == 0 {
+			p.CrowdCenterXMiles = p.AreaMiles / 2
+		}
+		if p.CrowdCenterYMiles == 0 {
+			p.CrowdCenterYMiles = p.AreaMiles / 2
+		}
+		if p.CrowdDurationSec == 0 {
+			p.CrowdDurationSec = p.DurationHours * 3600 * 0.1
+		}
+		if p.CrowdStartSec == 0 {
+			p.CrowdStartSec = p.DurationHours * 3600 * 0.5
+		}
+	}
+	if p.AdmissionRate > 0 && p.AdmissionBurst == 0 {
+		p.AdmissionBurst = 4
+	}
+	if p.Governed && p.GovernorFloor == 0 {
+		p.GovernorFloor = 0.9
+	}
+	// GoodputPct is nonzero on every run (it partitions the outcomes), so
+	// it only rides rows that carry the overload knobs — zero-knob rows
+	// must stay byte-identical to the earlier schemas.
+	goodput := 0.0
+	if p.CrowdEnabled() || p.OverloadEnabled() {
+		goodput = stats.GoodputPct()
+	}
 	return Report{
-		BenchSchema:     schema,
-		Set:             p.Name,
-		Kind:            p.Kind.String(),
-		Seed:            p.Seed,
-		AreaMiles:       p.AreaMiles,
-		DurationHours:   p.DurationHours,
-		MHNumber:        p.MHNumber,
-		POINumber:       p.POINumber,
-		QueryRate:       p.QueryRate,
-		TxRangeMeters:   p.TxRangeMeters,
-		CacheSize:       p.CacheSize,
-		K:               p.K,
-		WindowPct:       p.WindowPct,
-		Faults:          p.Faults,
-		DeadlineSlots:   p.DeadlineSlots,
-		BreakerThresh:   p.BreakerThreshold,
-		BreakerCooldown: p.BreakerCooldown,
-		AuditRate:       p.AuditRate,
-		UpdateRate:      p.UpdateRate,
-		IRPeriodSec:     p.IRPeriodSec,
-		IRWindow:        p.IRWindow,
-		VRTTLSec:        p.VRTTLSec,
-		IRDiscard:       p.IRDiscard,
-		DegradedMode:    p.DegradedMode,
-		ContinuousRate:  p.ContinuousRate,
-		ContinuousNaive: p.ContinuousNaive,
-		SelfCheck:       selfChecked,
-		Stats:           stats,
+		BenchSchema:         schema,
+		Set:                 p.Name,
+		Kind:                p.Kind.String(),
+		Seed:                p.Seed,
+		AreaMiles:           p.AreaMiles,
+		DurationHours:       p.DurationHours,
+		MHNumber:            p.MHNumber,
+		POINumber:           p.POINumber,
+		QueryRate:           p.QueryRate,
+		TxRangeMeters:       p.TxRangeMeters,
+		CacheSize:           p.CacheSize,
+		K:                   p.K,
+		WindowPct:           p.WindowPct,
+		Faults:              p.Faults,
+		DeadlineSlots:       p.DeadlineSlots,
+		BreakerThresh:       p.BreakerThreshold,
+		BreakerCooldown:     p.BreakerCooldown,
+		AuditRate:           p.AuditRate,
+		UpdateRate:          p.UpdateRate,
+		IRPeriodSec:         p.IRPeriodSec,
+		IRWindow:            p.IRWindow,
+		VRTTLSec:            p.VRTTLSec,
+		IRDiscard:           p.IRDiscard,
+		DegradedMode:        p.DegradedMode,
+		ContinuousRate:      p.ContinuousRate,
+		ContinuousNaive:     p.ContinuousNaive,
+		CrowdRate:           p.CrowdRate,
+		CrowdRadiusMiles:    p.CrowdRadiusMiles,
+		CrowdCenterXMiles:   p.CrowdCenterXMiles,
+		CrowdCenterYMiles:   p.CrowdCenterYMiles,
+		CrowdStartSec:       p.CrowdStartSec,
+		CrowdDurationSec:    p.CrowdDurationSec,
+		PeerQueueCap:        p.PeerQueueCap,
+		RetryBudget:         p.RetryBudget,
+		AdmissionRate:       p.AdmissionRate,
+		AdmissionBurst:      p.AdmissionBurst,
+		Governed:            p.Governed,
+		GovernorFloor:       p.GovernorFloor,
+		CoalesceRadiusMiles: p.CoalesceRadiusMiles,
+		SelfCheck:           selfChecked,
+		Stats:               stats,
 		Derived: Derived{
 			VerifiedPct:            stats.VerifiedPct(),
 			ApproximatePct:         stats.ApproximatePct(),
@@ -174,6 +246,8 @@ func NewReport(p Params, stats Stats, selfChecked bool, wallSeconds float64) Rep
 			AnsweredInBudgetPct:    stats.AnsweredInBudgetPct(),
 			ContinuousEvents:       stats.ContinuousEvents(),
 			ReverifyFraction:       stats.ReverifyFraction(),
+			OverloadEvents:         stats.OverloadEvents(),
+			GoodputPct:             goodput,
 		},
 		WallSeconds: wallSeconds,
 	}

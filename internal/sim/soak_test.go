@@ -19,7 +19,11 @@ package sim
 // schedule arms continuous subscriptions (some on the naive
 // always-reverify baseline), so safe-region maintenance soaks against
 // faults, byzantine attack, consistency churn, and channel impairments
-// too. The harness asserts:
+// too. Every sixth schedule injects a hotspot flash crowd (most with
+// the full overload-control stack, one uncontrolled), and every tenth
+// arms the controls under plain background load, so admission,
+// backpressure, retry budgets, the governor, and coalescing soak
+// against everything else. The harness asserts:
 //
 //   - soundness: every exact result matched the R-tree ground truth, and
 //     approximate results are only reported when the run accepts them;
@@ -168,6 +172,32 @@ func soakParams(schedule int) Params {
 		p.ContinuousRate = 0.5 + rng.Float64()*4
 		p.ContinuousNaive = schedule%3 == 0
 	}
+
+	// Flash-crowd/overload schedules (drawn after every legacy knob so
+	// crowd-free schedules keep their exact historical draws). Every
+	// sixth schedule (offset 5) injects a hotspot burst; those arm the
+	// full overload-control stack except every twelfth (offset 11),
+	// which soaks the uncontrolled crowd. Every tenth schedule (offset
+	// 9) arms the controls without a crowd, so the control plane also
+	// soaks under plain background load (and combined with blackout at
+	// 9, byzantine at 9 and 19, continuous at 9).
+	crowd := schedule%6 == 5
+	overloadCtl := (crowd && schedule%12 != 11) || schedule%10 == 9
+	if crowd {
+		p.CrowdRate = p.QueryRate * (4 + rng.Float64()*8)
+		p.CrowdRadiusMiles = 0.2 + rng.Float64()*0.5
+	}
+	if overloadCtl {
+		p.PeerQueueCap = 2 + rng.Intn(6)
+		// Tight: a handful of retry rounds per tick, so exhaustion (and
+		// its bounded-amplification contract) actually soaks.
+		p.RetryBudget = 2 + rng.Intn(14)
+		p.AdmissionRate = 0.05 + rng.Float64()*0.2
+		p.AdmissionBurst = 2 + rng.Intn(6)
+		p.Governed = true
+		p.GovernorFloor = 0.6 + rng.Float64()*0.35
+		p.CoalesceRadiusMiles = 0.15 + rng.Float64()*0.5
+	}
 	return p
 }
 
@@ -303,8 +333,8 @@ func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
 		t.Errorf("planner run stalled naively: queries=%d wait=%d",
 			s.BlackoutQueries, s.BlackoutWaitSlots)
 	}
-	if !p.Faults.BurstEnabled() && !p.Faults.BlackoutEnabled() && s.AnsweredInBudget != 0 {
-		t.Errorf("availability tally %d without any channel impairment", s.AnsweredInBudget)
+	if !p.Faults.BurstEnabled() && !p.Faults.BlackoutEnabled() && !p.Governed && s.AnsweredInBudget != 0 {
+		t.Errorf("availability tally %d without any channel impairment or governor", s.AnsweredInBudget)
 	}
 	if p.BreakerThreshold == 0 && s.FadeSuppressedStrikes != 0 {
 		t.Errorf("fade-suppressed strikes %d with breakers off", s.FadeSuppressedStrikes)
@@ -334,6 +364,40 @@ func checkSoakInvariants(t *testing.T, p Params, w *World, s Stats) {
 	}
 	if s.ReverifyTaints > 0 && p.UpdateRate == 0 && p.VRTTLSec == 0 {
 		t.Errorf("taint reverifies %d with no update process or TTL", s.ReverifyTaints)
+	}
+
+	// Overload counter causality: the plane off leaves every counter at
+	// zero, each mechanism's counters require its knob, sheds partition
+	// exactly by cause, and governor sheds require an engaged tick.
+	if !p.CrowdEnabled() && !p.OverloadEnabled() && s.OverloadEvents() != 0 {
+		t.Errorf("overload counters fired with the plane off: %+v", s)
+	}
+	if p.CrowdRate == 0 && s.CrowdQueries != 0 {
+		t.Errorf("crowd queries %d with no crowd", s.CrowdQueries)
+	}
+	if p.PeerQueueCap == 0 && (s.BusyReplies != 0 || s.QueueDrops != 0) {
+		t.Errorf("backpressure fired with no queue cap: busy=%d drops=%d",
+			s.BusyReplies, s.QueueDrops)
+	}
+	if p.RetryBudget == 0 && s.RetryBudgetExhausted != 0 {
+		t.Errorf("retry budget exhausted %d with no budget", s.RetryBudgetExhausted)
+	}
+	if p.AdmissionRate == 0 && s.AdmissionDenied != 0 {
+		t.Errorf("admission denied %d with no buckets", s.AdmissionDenied)
+	}
+	if !p.Governed && (s.GovernorSheds != 0 || s.GovernorEngagedTicks != 0) {
+		t.Errorf("governor fired while off: sheds=%d ticks=%d",
+			s.GovernorSheds, s.GovernorEngagedTicks)
+	}
+	if p.CoalesceRadiusMiles == 0 && s.Coalesced != 0 {
+		t.Errorf("coalesced gathers %d with coalescing off", s.Coalesced)
+	}
+	if s.Shed != s.AdmissionDenied+s.GovernorSheds {
+		t.Errorf("shed causes do not partition sheds: shed=%d admission=%d governor=%d",
+			s.Shed, s.AdmissionDenied, s.GovernorSheds)
+	}
+	if s.GovernorSheds > 0 && s.GovernorEngagedTicks == 0 {
+		t.Errorf("governor sheds %d without any engaged tick", s.GovernorSheds)
 	}
 }
 
@@ -392,6 +456,13 @@ func TestChaosSoak(t *testing.T) {
 			agg.Subscriptions += s.Subscriptions
 			agg.SafeRegionHits += s.SafeRegionHits
 			agg.Reverifies += s.Reverifies
+			agg.CrowdQueries += s.CrowdQueries
+			agg.BusyReplies += s.BusyReplies
+			agg.QueueDrops += s.QueueDrops
+			agg.Shed += s.Shed
+			agg.GovernorEngagedTicks += s.GovernorEngagedTicks
+			agg.RetryBudgetExhausted += s.RetryBudgetExhausted
+			agg.Coalesced += s.Coalesced
 		})
 	}
 
@@ -456,6 +527,21 @@ func TestChaosSoak(t *testing.T) {
 		}
 		if agg.SafeRegionHits == 0 {
 			t.Error("no continuous schedule ever took a safe-region hit")
+		}
+		if agg.CrowdQueries == 0 {
+			t.Error("no schedule ever injected a crowd query")
+		}
+		if agg.BusyReplies == 0 {
+			t.Error("no schedule ever pushed back with a BUSY frame")
+		}
+		if agg.Shed == 0 {
+			t.Error("no schedule ever shed a query to the broadcast path")
+		}
+		if agg.RetryBudgetExhausted == 0 {
+			t.Error("no schedule ever exhausted a retry budget")
+		}
+		if agg.Coalesced == 0 {
+			t.Error("no schedule ever coalesced a co-located gather")
 		}
 	}
 }

@@ -198,7 +198,8 @@ type Stats struct {
 	// AnsweredInBudget counts queries answered (any rung) within
 	// DeadlineSlots plus one broadcast cycle — the availability metric of
 	// the EXPERIMENTS.md burstiness curve. Computed only when the burst
-	// or blackout knobs are armed.
+	// or blackout knobs are armed, or the load governor is (it steers by
+	// this ratio).
 	AnsweredInBudget int64 `json:",omitempty"`
 	// StaleBoundMaxSec is the worst explicit staleness bound any
 	// own-cache-rung answer carried (seconds since the oldest
@@ -241,6 +242,41 @@ type Stats struct {
 	// waits) — the continuous layer's slot cost, kept separate from the
 	// one-shot query counters.
 	ContSlots int64 `json:",omitempty"`
+
+	// Overload-plane visibility (DESIGN.md §16): the flash-crowd
+	// generator and the demand-side overload controls. All of these are
+	// zero when the crowd/overload knobs are off; the fields are omitted
+	// from JSON encodings then, so zero-knob report rows stay
+	// byte-identical to earlier schema versions.
+	//
+	// CrowdQueries counts the extra hotspot queries the flash-crowd
+	// generator injected (post-warm-up, included in Queries).
+	CrowdQueries int64 `json:",omitempty"`
+	// BusyReplies counts explicit BUSY backpressure frames received from
+	// peers whose bounded service queue was full; QueueDrops counts
+	// requests peers shed silently beyond the busy band. Neither is ever
+	// a breaker strike.
+	BusyReplies int64 `json:",omitempty"`
+	QueueDrops  int64 `json:",omitempty"`
+	// Shed counts one-shot queries demoted to the broadcast-only path by
+	// the demand-side controls; it always equals AdmissionDenied +
+	// GovernorSheds. AdmissionDenied are sheds from an empty per-MH
+	// admission token bucket, GovernorSheds from the load governor's
+	// engaged state.
+	Shed            int64 `json:",omitempty"`
+	AdmissionDenied int64 `json:",omitempty"`
+	GovernorSheds   int64 `json:",omitempty"`
+	// GovernorEngagedTicks counts ticks the load governor spent in its
+	// shedding state (answered-in-budget ratio below the floor).
+	GovernorEngagedTicks int64 `json:",omitempty"`
+	// RetryBudgetExhausted counts queries whose retry rounds stopped
+	// because the tick's global retry budget ran out (the query proceeds
+	// with the replies it has — bounded amplification, not failure).
+	RetryBudgetExhausted int64 `json:",omitempty"`
+	// Coalesced counts queries that reused a co-located same-tick
+	// query's screened peer gather instead of broadcasting their own
+	// request.
+	Coalesced int64 `json:",omitempty"`
 
 	// Batched-tick-engine visibility (DESIGN.md §14). MVRMemoHits counts
 	// same-tick queries that reused another query's merged verified
@@ -391,6 +427,24 @@ func (s Stats) ReverifyFraction() float64 {
 	return 0
 }
 
+// OverloadEvents returns the total activity of the overload plane —
+// zero exactly when the crowd and overload knobs were all zero (no
+// crowd stream, no service queues, no buckets, no governor, no
+// coalescing).
+func (s Stats) OverloadEvents() int64 {
+	return s.CrowdQueries + s.BusyReplies + s.QueueDrops + s.Shed +
+		s.AdmissionDenied + s.GovernorSheds + s.GovernorEngagedTicks +
+		s.RetryBudgetExhausted + s.Coalesced
+}
+
+// GoodputPct returns the fraction of counted queries answered exactly or
+// acceptably (verified, approximate, or broadcast — everything except
+// the channel-less degraded/unanswered outcomes), the y-axis of the
+// EXPERIMENTS.md goodput-vs-offered-load curve.
+func (s Stats) GoodputPct() float64 {
+	return pct(s.Verified+s.Approximate+s.Broadcast, s.Queries)
+}
+
 // ResilienceEvents returns the total activity of the resilient query
 // lifecycle — zero exactly when every resilience knob was zero.
 func (s Stats) ResilienceEvents() int64 {
@@ -452,6 +506,14 @@ func (s Stats) String() string {
 			s.Subscriptions, s.SafeRegionHits, s.Reverifies,
 			s.ReverifyExits, s.ReverifyTaints, s.ReverifyUnverified,
 			s.ReverifyNaive, s.ContDegraded, s.ContSlots, s.ReverifyFraction(),
+		)
+	}
+	if s.OverloadEvents() > 0 {
+		out += fmt.Sprintf(
+			" overload[crowd=%d busy=%d qdrops=%d shed=%d (admission=%d governor=%d) govticks=%d retrybudget=%d coalesced=%d]",
+			s.CrowdQueries, s.BusyReplies, s.QueueDrops, s.Shed,
+			s.AdmissionDenied, s.GovernorSheds, s.GovernorEngagedTicks,
+			s.RetryBudgetExhausted, s.Coalesced,
 		)
 	}
 	return out

@@ -119,6 +119,14 @@ type World struct {
 	// to the pre-continuous build.
 	cont *contState
 
+	// ovl is the flash-crowd and overload-control plane (overload.go,
+	// DESIGN.md §16): the seeded crowd generator, peer service queues,
+	// admission buckets, the retry budget, the load governor, and the
+	// coalescing donor table. Nil unless a crowd or overload knob is
+	// armed — the zero-knob world makes zero extra draws and stays
+	// bit-identical to the pre-overload build.
+	ovl *overloadState
+
 	nowSec      float64
 	durationSec float64
 	warmupSec   float64
@@ -163,6 +171,11 @@ type collectTarget struct {
 	id       int
 	departed bool // churned away (the querier cannot know)
 	resolved bool // replied with content or a null ack
+	// dropped marks a peer whose bounded service queue silently shed at
+	// least one of this query's requests: overload, not failure, so the
+	// end-of-collection timeout is strike-exempt (the BUSY/queue-drop
+	// analogue of the fade suppression below).
+	dropped bool
 }
 
 // sharedRegion is one cache region a peer serves in a reply, with its
@@ -293,9 +306,11 @@ func NewWorld(p Params) (*World, error) {
 	if p.ContinuousEnabled() {
 		w.cont = newContState(p)
 	}
+	w.ovl = newOverloadState(p)
 	if p.Metrics {
 		w.mx = newWorldMetrics(w.tr != nil, w.cons != nil || p.VRTTLSec > 0,
-			w.chanArmed || w.planner, p.ContinuousEnabled())
+			w.chanArmed || w.planner, p.ContinuousEnabled(),
+			p.CrowdEnabled() || p.OverloadEnabled())
 		w.mx.hosts.Set(float64(p.MHNumber))
 		w.net.FanoutHist = w.mx.fanout
 	}
@@ -438,6 +453,8 @@ func (w *World) Stats() Stats {
 	s.BurstFrameLosses = c.BurstLosses
 	s.BurstTransitions = c.BurstTransitions
 	s.WastedRetries = w.net.Stats.WastedRetries
+	s.BusyReplies = w.net.Stats.Busy
+	s.QueueDrops = w.net.Stats.QueueDrops
 	b := w.breakers.Stats()
 	s.BreakerTrips = b.Trips
 	s.BreakerShortCircuits = b.ShortCircuits
@@ -508,6 +525,11 @@ func (w *World) Step(dt float64) {
 	if w.mx != nil {
 		w.mx.nowSec.Set(w.nowSec)
 	}
+	// The overload plane resets its per-tick state (peer queues,
+	// admission refill, retry budget, donor table, governor decision)
+	// before any query of the tick — including continuous maintenance,
+	// which shares the peers' bounded service capacity.
+	w.tickReset(dt)
 	w.advanceConsistency()
 	// Continuous subscriptions register and maintain strictly before the
 	// one-shot Poisson loop, on the simulation goroutine: the batched tick
@@ -517,20 +539,38 @@ func (w *World) Step(dt float64) {
 
 	mean := w.Params.QueryRate / 60 * dt
 	n := mobility.Poisson(w.rng, mean)
-	if w.Params.TickWorkers > 1 && n > 0 {
+	// Crowd queries launch after the legacy loop each tick, drawn from
+	// the dedicated crowd stream (overload.go); crowd-off runs draw
+	// nothing here.
+	nCrowd := w.crowdDraw(dt)
+	if w.Params.TickWorkers > 1 && n+nCrowd > 0 {
 		// Batched engine: serial draw, parallel execute, serial commit —
 		// byte-identical output (engine.go).
-		w.stepBatch(n)
-		return
-	}
-	for q := 0; q < n; q++ {
-		idx := w.rng.Intn(len(w.hosts))
-		ti := w.rng.Intn(len(w.types))
-		if w.Params.Kind == WindowQuery {
-			w.runWindowQuery(idx, ti)
-		} else {
-			w.runKNNQuery(idx, ti)
+		w.stepBatch(n, nCrowd)
+	} else {
+		for q := 0; q < n; q++ {
+			idx := w.rng.Intn(len(w.hosts))
+			ti := w.rng.Intn(len(w.types))
+			if w.Params.Kind == WindowQuery {
+				w.runWindowQuery(idx, ti)
+			} else {
+				w.runKNNQuery(idx, ti)
+			}
 		}
+		for q := 0; q < nCrowd; q++ {
+			idx, ti := w.crowdPick()
+			if w.counted() {
+				w.stats.CrowdQueries++
+			}
+			if w.Params.Kind == WindowQuery {
+				w.runWindowQuery(idx, ti)
+			} else {
+				w.runKNNQuery(idx, ti)
+			}
+		}
+	}
+	if w.ovl != nil && w.mx != nil {
+		w.observeOverloadTick()
 	}
 }
 
@@ -611,6 +651,22 @@ func (w *World) collectPeers(idx, ti int, relevance geom.Rect) ([]core.PeerData,
 		peers, _ = w.appendOwnCache(peers, idx, ti, relevance)
 	}
 	for _, id := range heard {
+		if w.ovl != nil && w.ovl.queue != nil {
+			// Peer-side backpressure: the peer's bounded service queue
+			// admits, refuses with an explicit BUSY frame, or sheds the
+			// request before any serving work happens (p2p.ServiceQueue).
+			switch w.ovl.queue.Admit(id) {
+			case p2p.ServeBusy:
+				w.net.Stats.Busy++
+				if count {
+					w.stats.PeerBytes += int64(wire.BusySize)
+				}
+				continue
+			case p2p.ServeDrop:
+				w.net.Stats.QueueDrops++
+				continue
+			}
+		}
 		peers, _ = w.receiveReply(peers, id, ti, relevance, stamp, count)
 	}
 	w.qs.peers = peers
@@ -739,6 +795,17 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 
 	for attempt := 1; remaining > 0 && attempt <= maxAttempts; attempt++ {
 		if attempt > 1 {
+			// The global per-tick retry budget gates every retry round
+			// before its backoff is even priced: exhausted means stop
+			// retrying and proceed with the replies collected so far —
+			// under a flash crowd, retry amplification is the collapse
+			// mechanism, and the budget caps it fleet-wide.
+			if w.ovl != nil && !w.ovl.takeRetry() {
+				if count {
+					w.stats.RetryBudgetExhausted++
+				}
+				break
+			}
 			// Adaptive backoff before each retry round: capped
 			// exponential base plus seeded jitter, charged against the
 			// per-query slot deadline.
@@ -801,6 +868,30 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 		// in flight on the single-hop link.
 		for _, i := range heard {
 			t := &targets[i]
+			if w.ovl != nil && w.ovl.queue != nil {
+				// Peer-side backpressure before any serving work. BUSY is
+				// an explicit, observable refusal: the peer is overloaded,
+				// not broken, so the target resolves with no breaker
+				// signal and no further retries this query (the frame's
+				// advisory retry-after points at a later tick). A silent
+				// queue drop keeps the target pending — later rounds may
+				// retry into the same saturated queue — but marks it
+				// strike-exempt for the end-of-collection timeout.
+				switch w.ovl.queue.Admit(t.id) {
+				case p2p.ServeBusy:
+					t.resolved = true
+					remaining--
+					w.net.Stats.Busy++
+					if count {
+						w.stats.PeerBytes += int64(wire.BusySize)
+					}
+					continue
+				case p2p.ServeDrop:
+					t.dropped = true
+					w.net.Stats.QueueDrops++
+					continue
+				}
+			}
 			var out replyOutcome
 			peers, out = w.receiveReply(peers, t.id, ti, relevance, stamp, count)
 			switch out.kind {
@@ -855,6 +946,14 @@ func (w *World) collectPeersResilient(idx, ti int, relevance geom.Rect) ([]core.
 			if w.breakers != nil {
 				w.stats.FadeSuppressedStrikes++
 			}
+		case t.dropped:
+			// The peer's service queue shed this query's request. A drop
+			// only happens beyond the busy band — after the peer has
+			// already refused 3×cap requests with explicit BUSY frames —
+			// so the querier's neighborhood is observably overloaded,
+			// not misbehaving. The timeout must not strike, or a flash
+			// crowd would trip every breaker around the hotspot and
+			// amputate the sharing layer exactly when it is most needed.
 		case t.departed:
 			w.breakers.RecordDeparture(t.id)
 		default:
@@ -1079,23 +1178,13 @@ func (w *World) runKNNQuery(idx, ti int) {
 	relevance := geom.RectAround(q, w.knnRelevanceRadius(ti, k))
 	qc := w.assessChannel(idx)
 	irSlots := w.syncIR(idx, ti)
-	var (
-		peers     []core.PeerData
-		nPeers    int
-		collected int64
-		minBorn   = int64(math.MaxInt64)
-	)
-	switch qc.mode {
-	case modeFull, modeP2POnly:
-		peers, nPeers, collected = w.gatherPeers(idx, ti, relevance)
-	default:
-		// The P2P channel is in a deep fade: spending the retry budget on
-		// peers that cannot hear is pure waste, so the lower rungs skip
-		// the wire entirely.
-		peers, minBorn = w.collectOwnCacheOnly(idx, ti, relevance, qc.mode == modeOwnCache)
-	}
-	collected += qc.switchCost()
-	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots, qc.bcastUp)
+	// The overload-aware collection pipeline (overload.go): coalesce /
+	// admission / governor gates in front of the mode-dispatched gather,
+	// then the trust screen. Identical to the inline pre-overload
+	// pipeline when the plane is off.
+	cr := w.collectQuery(idx, ti, relevance, qc, irSlots)
+	peers, nPeers, collected := cr.peers, cr.nPeers, cr.collected
+	minBorn, spent, trep := cr.minBorn, cr.spent, cr.trep
 
 	// The blackout rungs have no channel to fall back to; the core
 	// algorithms answer from peer knowledge alone (nil schedule).
@@ -1145,8 +1234,8 @@ func (w *World) runKNNQuery(idx, ti int) {
 			w.stats.Retransmissions += int64(res.Access.Retransmissions)
 			w.stats.IndexRetries += int64(res.Access.IndexRetries)
 		}
-		if w.chanArmed {
-			w.observeBudget(ts, res.Access.Latency+spent+qc.chWait, !degraded || len(res.POIs) > 0)
+		if w.chanArmed || w.govSteering() {
+			w.observeBudget(ts, res.Access.Latency+spent+qc.chWait, !degraded || len(res.POIs) > 0, cr.shed != shedNone)
 		}
 		w.sampleKNNBaseline(ti, q, k)
 		if w.SelfCheck && !degraded && res.Outcome != core.OutcomeApproximate {
@@ -1164,6 +1253,7 @@ func (w *World) runKNNQuery(idx, ti int) {
 			Mode: qc.mode.String(), WaitSlots: qc.chWait,
 		}
 		ev.StaleBoundSec = w.staleBound(qc.mode, minBorn)
+		ev.Shed, ev.Coalesced = cr.shed.String(), cr.coalesced
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
 			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots+irSlots, res.Access,
@@ -1197,20 +1287,9 @@ func (w *World) runWindowQuery(idx, ti int) {
 	}
 	qc := w.assessChannel(idx)
 	irSlots := w.syncIR(idx, ti)
-	var (
-		peers     []core.PeerData
-		nPeers    int
-		collected int64
-		minBorn   = int64(math.MaxInt64)
-	)
-	switch qc.mode {
-	case modeFull, modeP2POnly:
-		peers, nPeers, collected = w.gatherPeers(idx, ti, win)
-	default:
-		peers, minBorn = w.collectOwnCacheOnly(idx, ti, win, qc.mode == modeOwnCache)
-	}
-	collected += qc.switchCost()
-	peers, spent, trep := w.trustScreen(ti, peers, collected+irSlots, qc.bcastUp)
+	cr := w.collectQuery(idx, ti, win, qc, irSlots)
+	peers, nPeers, collected := cr.peers, cr.nPeers, cr.collected
+	minBorn, spent, trep := cr.minBorn, cr.spent, cr.trep
 
 	sched := ts.sched
 	if qc.mode == modeP2POnly || qc.mode == modeOwnCache {
@@ -1243,8 +1322,8 @@ func (w *World) runWindowQuery(idx, ti int) {
 			w.stats.Retransmissions += int64(res.Access.Retransmissions)
 			w.stats.IndexRetries += int64(res.Access.IndexRetries)
 		}
-		if w.chanArmed {
-			w.observeBudget(ts, res.Access.Latency+spent+qc.chWait, !degraded || len(res.POIs) > 0)
+		if w.chanArmed || w.govSteering() {
+			w.observeBudget(ts, res.Access.Latency+spent+qc.chWait, !degraded || len(res.POIs) > 0, cr.shed != shedNone)
 		}
 		w.sampleWindowBaseline(ti, win)
 		if w.SelfCheck && !degraded {
@@ -1262,6 +1341,7 @@ func (w *World) runWindowQuery(idx, ti int) {
 			Mode: qc.mode.String(), WaitSlots: qc.chWait,
 		}
 		ev.StaleBoundSec = w.staleBound(qc.mode, minBorn)
+		ev.Shed, ev.Coalesced = cr.shed.String(), cr.coalesced
 		if w.mx != nil {
 			w.net.ObserveFanout(nPeers)
 			w.mx.observeQuery(res.Outcome, collected, trep.AuditSlots+irSlots, res.Access,

@@ -77,6 +77,14 @@ type Event struct {
 	// Omitted when zero, so continuous-off traces stay byte-identical.
 	SafeRadiusMiles float64 `json:"safe_radius_miles,omitempty"`
 	Subscription    int     `json:"subscription,omitempty"`
+	// Overload-control fields (crowd/overload knobs): why this query's
+	// peer-gather was shed ("admission" or "governor"; empty when it ran
+	// — shed queries fall back to own cache plus the broadcast channel),
+	// and whether the query coalesced onto a co-located donor's gather
+	// instead of gathering itself. Omitted when zero/empty, so
+	// overload-free traces stay byte-identical.
+	Shed      string `json:"shed,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
 }
 
 // Writer appends events as JSON Lines.

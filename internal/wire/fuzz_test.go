@@ -120,6 +120,43 @@ func FuzzInvalidationReport(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBusy: the backpressure decoder must never panic; accepted
+// frames must carry a bounded retry-after hint and re-encode
+// byte-identically — the resilient collector adjusts its retry schedule
+// from decoded BUSY frames, so a hostile hint must not park it forever.
+func FuzzDecodeBusy(f *testing.F) {
+	fuzzSeeds(f, func() []byte {
+		b, err := EncodeBusy(Busy{QueryID: 11, RetryAfter: 6})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		busy, err := DecodeBusy(b)
+		if err != nil {
+			return
+		}
+		if busy.RetryAfter > MaxBusyRetryAfter {
+			t.Fatalf("accepted retry-after %d above limit", busy.RetryAfter)
+		}
+		re, err := EncodeBusy(busy)
+		if err != nil {
+			t.Fatalf("re-encode of accepted busy failed: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted busy is not canonical: %d vs %d bytes", len(re), len(b))
+		}
+		got, err := DecodeBusy(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted busy failed: %v", err)
+		}
+		if got != busy {
+			t.Fatalf("round trip drifted: %+v -> %+v", busy, got)
+		}
+	})
+}
+
 // FuzzDecodeReply: the reply decoder must never panic; accepted inputs
 // must be structurally sound (valid rects, finite points, bounded counts)
 // and survive an encode/decode round trip byte-identically.

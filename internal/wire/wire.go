@@ -19,6 +19,7 @@
 //	IR       := magic(2) ver(1) kind(1)=3 epoch(8) horizon(8) nItems(2)
 //	            IRItem* crc(4)
 //	IRItem   := epoch(8) kind(1) id(8) cell(32)
+//	Busy     := magic(2) ver(1) kind(1)=4 queryID(8) retryAfter(2) crc(4)
 //
 // The IR frame is the on-air invalidation report of the consistency
 // layer (DESIGN.md §12): the base station piggybacks it on every (1, m)
@@ -26,6 +27,13 @@
 // POI churn. Epoch is the current database version, Horizon the oldest
 // epoch whose mutation items the frame still carries; a region older
 // than Horizon-1 cannot be repaired from this frame and must be demoted.
+//
+// The Busy frame is the backpressure reply of the overload plane
+// (DESIGN.md §16): a peer whose per-tick service queue is full answers a
+// cache request with an explicit BUSY instead of going silent, so the
+// querier can distinguish an overloaded neighbor from a broken one (a
+// busy peer is not a breaker strike). RetryAfter is an advisory backoff
+// hint in broadcast slots; zero means "no hint".
 package wire
 
 import (
@@ -45,6 +53,7 @@ const (
 	kindRequest      = 1
 	kindReply        = 2
 	kindInvalidation = 3
+	kindBusy         = 4
 
 	headerSize = 2 + 1 + 1 + 8 // magic, version, kind, queryID
 
@@ -249,6 +258,51 @@ func DecodeReply(b []byte) (Reply, error) {
 	}
 	if len(rest) != 0 {
 		return Reply{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return out, nil
+}
+
+// Busy is the explicit backpressure reply a peer sends when its service
+// queue is full: the request was heard and is being refused, not lost.
+// RetryAfter is an advisory backoff hint in broadcast slots (0 = none).
+type Busy struct {
+	QueryID    uint64
+	RetryAfter uint16
+}
+
+// BusySize is the fixed encoded size of a Busy frame, trailer included.
+const BusySize = headerSize + 2 + TrailerSize
+
+// MaxBusyRetryAfter bounds the advisory backoff hint; a larger value is
+// malformed or hostile (it would park a querier for longer than any
+// deadline budget the simulator models).
+const MaxBusyRetryAfter = 1 << 12
+
+// EncodeBusy serializes a BUSY backpressure reply.
+func EncodeBusy(b Busy) ([]byte, error) {
+	if b.RetryAfter > MaxBusyRetryAfter {
+		return nil, fmt.Errorf("wire: busy retry-after %d exceeds limit %d", b.RetryAfter, MaxBusyRetryAfter)
+	}
+	buf := make([]byte, 0, BusySize)
+	buf = appendHeader(buf, kindBusy, b.QueryID)
+	buf = binary.LittleEndian.AppendUint16(buf, b.RetryAfter)
+	return appendTrailer(buf), nil
+}
+
+// DecodeBusy parses a BUSY backpressure reply.
+func DecodeBusy(b []byte) (Busy, error) {
+	var out Busy
+	rest, queryID, err := parseHeader(b, kindBusy)
+	if err != nil {
+		return out, err
+	}
+	if len(rest) != 2 {
+		return out, fmt.Errorf("wire: busy payload %d bytes, want 2", len(rest))
+	}
+	out.QueryID = queryID
+	out.RetryAfter = binary.LittleEndian.Uint16(rest)
+	if out.RetryAfter > MaxBusyRetryAfter {
+		return Busy{}, fmt.Errorf("wire: busy retry-after %d exceeds limit %d", out.RetryAfter, MaxBusyRetryAfter)
 	}
 	return out, nil
 }
